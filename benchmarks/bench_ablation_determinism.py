@@ -1,0 +1,62 @@
+"""Ablation: determinism guarantees.
+
+The methodology's foundation (paper 3.3): the simulator itself is
+deterministic -- identical configuration and seed give bit-identical
+results -- and with perturbation disabled the whole space of runs
+collapses to a single execution regardless of seed.  This bench verifies
+both properties at experiment scale and measures the cost of a run.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import RunConfig, SystemConfig
+from repro.system.simulation import run_simulation
+from repro.workloads.registry import make_workload
+
+from benchmarks import common
+
+
+def one_run(config: SystemConfig, seed: int, checkpoint) -> float:
+    return run_simulation(
+        config,
+        make_workload("oltp"),
+        RunConfig(
+            measured_transactions=common.N_TXNS, seed=seed, max_time_ns=common.MAX_TIME_NS
+        ),
+        checkpoint=checkpoint,
+    ).cycles_per_transaction
+
+
+def run_experiment() -> dict:
+    checkpoint = common.warm_checkpoint("oltp")
+    base = SystemConfig()
+    replay = [one_run(base, 123, checkpoint) for _ in range(3)]
+    frozen = SystemConfig().with_perturbation(0)
+    collapsed = [one_run(frozen, seed, checkpoint) for seed in (1, 2, 3)]
+    perturbed = [one_run(base, seed, checkpoint) for seed in (1, 2, 3)]
+    return {"replay": replay, "collapsed": collapsed, "perturbed": perturbed}
+
+
+def report(result: dict) -> str:
+    rows = [
+        ["same seed, 3 replays", *(f"{v:,.2f}" for v in result["replay"])],
+        ["perturbation off, seeds 1-3", *(f"{v:,.2f}" for v in result["collapsed"])],
+        ["perturbation 0-4 ns, seeds 1-3", *(f"{v:,.2f}" for v in result["perturbed"])],
+    ]
+    return format_table(
+        ["scenario", "run 1", "run 2", "run 3"],
+        rows,
+        title="Ablation: determinism and the perturbation-created run space",
+    )
+
+
+def test_ablation_determinism(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    common.print_header("Ablation: determinism")
+    print(report(result))
+    assert len(set(result["replay"])) == 1, "same seed must replay identically"
+    assert len(set(result["collapsed"])) == 1, "no perturbation must collapse the space"
+    assert len(set(result["perturbed"])) == 3, "perturbation must open the space"
+
+
+if __name__ == "__main__":
+    print(report(run_experiment()))

@@ -1,0 +1,79 @@
+"""Figure 4: single runs across DRAM latencies 80-90 ns.
+
+Paper 2.3: one 500-transaction OLTP run per DRAM latency from one
+checkpoint.  The expected trend (slower memory, more cycles) is swamped
+by space variability: the paper's 84 ns configuration beat the 81 ns one
+by 7 %.  This bench reproduces the sweep and counts the non-monotonic
+steps, then shows that the *means* of multiple runs recover the trend.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import SystemConfig
+
+from benchmarks import common
+
+LATENCIES = list(range(80, 91))
+
+
+def run_experiment() -> dict:
+    checkpoint = common.warm_checkpoint("oltp")
+    singles = {}
+    for latency in LATENCIES:
+        sample = common.sample_runs(
+            SystemConfig().with_dram_latency(latency),
+            checkpoint,
+            n_runs=1,
+            txns=min(500, common.N_TXNS * 2),
+            seed_base=42,
+        )
+        singles[latency] = sample.values[0]
+    # Means over a few runs at the endpoints recover the expected trend.
+    ends = {
+        latency: common.sample_runs(
+            SystemConfig().with_dram_latency(latency),
+            checkpoint,
+            n_runs=max(5, common.N_RUNS // 4),
+            txns=common.N_TXNS,
+            seed_base=300,
+        ).summary().mean
+        for latency in (80, 90)
+    }
+    inversions = sum(
+        1
+        for a, b in zip(LATENCIES, LATENCIES[1:])
+        if singles[b] < singles[a]
+    )
+    return {"singles": singles, "ends": ends, "inversions": inversions}
+
+
+def report(result: dict) -> str:
+    singles = result["singles"]
+    rows = [[latency, f"{singles[latency]:,.0f}"] for latency in LATENCIES]
+    lines = [
+        format_table(
+            ["DRAM latency (ns)", "cycles/transaction (single run)"],
+            rows,
+            title="Figure 4: 500-transaction single runs vs DRAM latency",
+        ),
+        "",
+        f"non-monotonic steps in the single-run sweep: {result['inversions']} of "
+        f"{len(LATENCIES) - 1} (paper's point: single runs invert the trend)",
+        f"multi-run means: 80 ns -> {result['ends'][80]:,.0f}, "
+        f"90 ns -> {result['ends'][90]:,.0f} "
+        f"(trend recovered: {result['ends'][80] < result['ends'][90]})",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig04(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    common.print_header("Figure 4: DRAM latency sweep, single runs")
+    print(report(result))
+    # Space variability must make some single-run steps non-monotonic.
+    assert result["inversions"] >= 1
+    # Averaging recovers the expected direction.
+    assert result["ends"][80] < result["ends"][90]
+
+
+if __name__ == "__main__":
+    print(report(run_experiment()))

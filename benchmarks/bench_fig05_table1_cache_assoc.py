@@ -1,0 +1,77 @@
+"""Figure 5 + Table 1: L2 cache associativity (Experiment 1).
+
+Paper 4.1.1: twenty 200-transaction OLTP runs per configuration
+(direct-mapped, 2-way, 4-way; 4 MB L2 held constant) with the simple
+processor model.  Expected: average cycles/transaction falls as
+associativity rises, but the per-configuration ranges overlap, and the
+single-run wrong-conclusion ratios are large (paper: 24 % / 10 % / 31 %).
+"""
+
+from repro.analysis.series import add_sample_point, summary_series
+from repro.analysis.tables import format_table
+from repro.core.wcr import wrong_conclusion_ratio
+
+from benchmarks import common
+from benchmarks.experiments import experiment1_samples
+
+PAPER_WCR = {(1, 2): 24.0, (1, 4): 10.0, (2, 4): 31.0}
+LABELS = {1: "Direct Mapped", 2: "2-way SA", 4: "4-way SA"}
+
+
+def run_experiment() -> dict:
+    samples = experiment1_samples()
+    series = summary_series("Figure 5: OLTP cycles/txn vs L2 associativity", "L2 set size")
+    for assoc in (1, 2, 4):
+        add_sample_point(series, assoc, samples[assoc].values)
+    wcr = {
+        pair: wrong_conclusion_ratio(samples[pair[0]].values, samples[pair[1]].values)
+        for pair in ((1, 2), (1, 4), (2, 4))
+    }
+    return {"series": series, "wcr": wcr, "samples": samples}
+
+
+def report(result: dict) -> str:
+    from repro.analysis.ascii import sample_chart
+
+    chart = sample_chart(
+        {LABELS[a]: result["samples"][a].values for a in (1, 2, 4)}
+    )
+    lines = [result["series"].render(), "", chart, ""]
+    rows = []
+    for (a, b), value in result["wcr"].items():
+        rows.append(
+            [
+                f"{LABELS[a]} vs ({LABELS[b]})",
+                f"{PAPER_WCR[(a, b)]:.0f}%",
+                f"{value:.0f}%",
+            ]
+        )
+    lines.append(
+        format_table(
+            ["Configurations Compared (Superior)", "paper WCR", "measured WCR"],
+            rows,
+            title="Table 1: Wrong Conclusion Ratios",
+        )
+    )
+    means = {a: result["samples"][a].summary().mean for a in (1, 2, 4)}
+    lines.append("")
+    lines.append(
+        f"ordering: DM {means[1]:,.0f} > 2-way {means[2]:,.0f} > 4-way {means[4]:,.0f}"
+        f"  (expected conclusion holds: {means[1] > means[2] > means[4]})"
+    )
+    return "\n".join(lines)
+
+
+def test_fig05_table1(benchmark):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    common.print_header("Figure 5 / Table 1: cache associativity (Experiment 1)")
+    print(report(result))
+    means = [result["samples"][a].summary().mean for a in (1, 2, 4)]
+    # The paper's expected conclusion: higher associativity is faster.
+    assert means[0] > means[2]
+    # And single runs must be risky: ranges overlap.
+    assert result["samples"][2].summary().minimum < result["samples"][4].summary().maximum
+
+
+if __name__ == "__main__":
+    print(report(run_experiment()))

@@ -1,0 +1,125 @@
+"""Figure 7 + Table 3: space variability across the seven benchmarks.
+
+Paper 4.2.1: twenty runs per benchmark on the 16-processor system with
+the simple model.  Scientific codes (Barnes, Ocean) run whole-benchmark
+(one transaction); the commercial workloads run their Table 3
+transaction counts (scaled here -- see the `TXNS` map and EXPERIMENTS.md).
+The paper's spectrum: Barnes 0.16 % CoV ... Slashcode 3.6 % CoV, with
+range of variability 0.59 % ... 14.45 %.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import RunConfig, SystemConfig
+from repro.core.metrics import summarize
+from repro.core.runner import run_space
+from repro.workloads.registry import PAPER_TRANSACTIONS
+
+from benchmarks import common
+
+#: measured transactions per benchmark: the paper's Table 3 counts,
+#: scaled down for the heavyweight ones (our transactions are ~500x
+#: lighter, so variability at count N here corresponds to a shorter
+#: wall-clock window; the cross-benchmark *ordering* is the target).
+TXNS = {
+    "barnes": 1,
+    "ocean": 1,
+    "ecperf": 5,
+    "slashcode": 30,
+    "oltp": 1000,
+    "apache": 600,
+    "specjbb": 800,
+}
+PAPER_COV = {
+    "barnes": 0.16,
+    "ocean": 0.31,
+    "ecperf": 1.40,
+    "slashcode": 3.60,
+    "oltp": 0.98,
+    "apache": 0.88,
+    "specjbb": 0.26,
+}
+PAPER_RANGE = {
+    "barnes": 0.59,
+    "ocean": 1.13,
+    "ecperf": 5.30,
+    "slashcode": 14.45,
+    "oltp": 3.85,
+    "apache": 3.94,
+    "specjbb": 1.10,
+}
+#: scientific codes measure the whole benchmark from boot; the rest warm
+#: up first (scaled-down warm-up, checkpointed once)
+WARM = {"oltp": 3000, "apache": 1500, "specjbb": 1200, "slashcode": 400, "ecperf": 100}
+
+
+def run_benchmark(name: str) -> list[float]:
+    config = SystemConfig()
+    run = RunConfig(
+        measured_transactions=TXNS[name], seed=100, max_time_ns=common.MAX_TIME_NS
+    )
+    checkpoint = None
+    if name in WARM:
+        checkpoint = common.warm_checkpoint(name, warmup=WARM[name])
+    sample = run_space(config, name, run, common.N_RUNS, checkpoint=checkpoint)
+    return sample.values
+
+
+def run_experiment() -> dict[str, dict]:
+    results = {}
+    for name in ("barnes", "ocean", "ecperf", "slashcode", "oltp", "apache", "specjbb"):
+        summary = summarize(run_benchmark(name))
+        results[name] = {
+            "summary": summary,
+            "paper_cov": PAPER_COV[name],
+            "paper_range": PAPER_RANGE[name],
+        }
+    return results
+
+
+def report(results: dict) -> str:
+    rows = []
+    for name, data in results.items():
+        s = data["summary"]
+        rows.append(
+            [
+                name,
+                PAPER_TRANSACTIONS[name],
+                TXNS[name],
+                f"{data['paper_cov']:.2f}%",
+                f"{s.coefficient_of_variation:.2f}%",
+                f"{data['paper_range']:.2f}%",
+                f"{s.range_of_variability:.2f}%",
+            ]
+        )
+    return format_table(
+        [
+            "benchmark",
+            "paper #txns",
+            "our #txns",
+            "paper CoV",
+            "measured CoV",
+            "paper range",
+            "measured range",
+        ],
+        rows,
+        title="Table 3 / Figure 7: space variability across benchmarks",
+    )
+
+
+def test_fig07_table3(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    common.print_header("Figure 7 / Table 3: benchmark variability spectrum")
+    print(report(results))
+    cov = {name: d["summary"].coefficient_of_variation for name, d in results.items()}
+    # The paper's qualitative spectrum: scientific codes and SPECjbb are
+    # space-stable; Slashcode is the most variable commercial workload.
+    assert cov["barnes"] < 1.0
+    assert cov["ocean"] < 1.5
+    assert cov["specjbb"] < 1.5
+    assert cov["slashcode"] > cov["barnes"]
+    assert cov["slashcode"] > cov["specjbb"]
+    assert max(cov["oltp"], cov["apache"], cov["ecperf"], cov["slashcode"]) > 1.0
+
+
+if __name__ == "__main__":
+    print(report(run_experiment()))

@@ -1,0 +1,97 @@
+"""Figure 9: runs from multiple starting points (OLTP and SPECjbb).
+
+Paper 4.3: twenty runs from each of ten checkpoints spread across the
+workload lifetime.  OLTP's per-checkpoint averages differ by >16 %;
+SPECjbb's by >36 % even though its space variability (within-checkpoint
+spread) is negligible -- time variability matters even for space-stable
+workloads.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import RunConfig, SystemConfig
+from repro.core.sampling import checkpoint_study, systematic_checkpoint_counts
+from repro.workloads.registry import make_workload
+
+from benchmarks import common
+
+#: per-workload study shape (paper: 10 checkpoints x 20 runs)
+N_CHECKPOINTS = int(__import__("os").environ.get("REPRO_BENCH_CHECKPOINTS", "8"))
+RUNS_PER_POINT = max(4, common.N_RUNS // 2)
+STUDY = {
+    # lifetime span, measured txns per run (paper: 10K-100K/200 for OLTP,
+    # 100K-1M/5000 for SPECjbb -- scaled).  skip_initial places all
+    # starting points past the cold-start region, as the paper's database
+    # warm-up does, so the spread reflects workload phases rather than
+    # cache warming.
+    "oltp": {"lifetime": 4000, "txns": 200, "skip": 2000},
+    "specjbb": {"lifetime": 4000, "txns": 400, "skip": 1000},
+}
+PAPER_SPREAD = {"oltp": 16.0, "specjbb": 36.0}
+
+
+def run_study(name: str):
+    params = STUDY[name]
+    counts = systematic_checkpoint_counts(
+        params["lifetime"], N_CHECKPOINTS, skip_initial=params["skip"]
+    )
+    return checkpoint_study(
+        SystemConfig(),
+        make_workload(name),
+        counts,
+        RunConfig(
+            measured_transactions=params["txns"],
+            seed=700,
+            max_time_ns=common.MAX_TIME_NS,
+        ),
+        RUNS_PER_POINT,
+    )
+
+
+def run_experiment() -> dict:
+    return {name: run_study(name) for name in STUDY}
+
+
+def report(studies: dict) -> str:
+    sections = []
+    for name, study in studies.items():
+        rows = []
+        for count, summary in zip(study.checkpoint_transactions, study.summaries()):
+            rows.append(
+                [
+                    count,
+                    f"{summary.mean:,.0f}",
+                    f"{summary.stddev:,.0f}",
+                    f"{summary.minimum:,.0f}",
+                    f"{summary.maximum:,.0f}",
+                ]
+            )
+        table = format_table(
+            ["warmup txns", "avg cycles/txn", "sd", "min", "max"],
+            rows,
+            title=f"Figure 9 ({name}): {RUNS_PER_POINT} runs per starting point",
+        )
+        spread = study.between_checkpoint_spread_percent()
+        sections.append(
+            table
+            + f"\nbetween-checkpoint spread: {spread:.0f}% "
+            + f"(paper: >{PAPER_SPREAD[name]:.0f}%)"
+        )
+    return "\n\n".join(sections)
+
+
+def test_fig09(benchmark):
+    studies = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    common.print_header("Figure 9: performance from multiple starting points")
+    print(report(studies))
+    # Both workloads show material time variability between checkpoints.
+    assert studies["oltp"].between_checkpoint_spread_percent() > 5.0
+    assert studies["specjbb"].between_checkpoint_spread_percent() > 10.0
+    # SPECjbb's within-checkpoint spread stays small (space-stable).
+    specjbb_cov = max(
+        s.coefficient_of_variation for s in studies["specjbb"].summaries()
+    )
+    assert specjbb_cov < 2.0
+
+
+if __name__ == "__main__":
+    print(report(run_experiment()))

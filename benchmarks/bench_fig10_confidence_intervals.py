@@ -1,0 +1,65 @@
+"""Figure 10: 95 % confidence intervals vs sample size (32 vs 64 ROB).
+
+Paper 5.1.1: the CIs of the 32- and 64-entry configurations tighten as
+the sample grows; at the full sample they separate, bounding the wrong
+conclusion probability by 5 %, while small samples overlap (not
+significant).
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.confidence import confidence_interval, intervals_overlap
+
+from benchmarks import common
+from benchmarks.experiments import experiment2_samples
+
+
+def run_experiment() -> list[dict]:
+    samples = experiment2_samples()
+    max_n = len(samples[32].values)
+    sizes = [n for n in (5, 10, 15, 20) if n <= max_n]
+    if len(sizes) < 2:
+        # Reduced-run quick passes: still show the shrink across two sizes.
+        sizes = sorted({max(3, max_n // 2), max_n})
+    rows = []
+    for n in sizes:
+        ci32 = confidence_interval(samples[32].values[:n], 0.95)
+        ci64 = confidence_interval(samples[64].values[:n], 0.95)
+        rows.append(
+            {
+                "n": n,
+                "ci32": ci32,
+                "ci64": ci64,
+                "overlap": intervals_overlap(ci32, ci64),
+            }
+        )
+    return rows
+
+
+def report(rows: list[dict]) -> str:
+    table = format_table(
+        ["sample size", "32-entry 95% CI", "64-entry 95% CI", "overlap?"],
+        [
+            [
+                row["n"],
+                f"[{row['ci32'].lower:,.0f}, {row['ci32'].upper:,.0f}]",
+                f"[{row['ci64'].lower:,.0f}, {row['ci64'].upper:,.0f}]",
+                "yes (not significant)" if row["overlap"] else "NO -> wrong-conclusion p < 5%",
+            ]
+            for row in rows
+        ],
+        title="Figure 10: 95% confidence intervals, 32 vs 64-entry ROB",
+    )
+    return table
+
+
+def test_fig10(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    common.print_header("Figure 10: confidence intervals vs sample size")
+    print(report(rows))
+    # CIs tighten as the sample grows.
+    widths = [row["ci32"].half_width for row in rows]
+    assert widths[-1] < widths[0]
+
+
+if __name__ == "__main__":
+    print(report(run_experiment()))

@@ -1,0 +1,48 @@
+"""Table 5: runs needed per significance level (ROB experiment).
+
+Paper 5.1.2: evaluating the test statistic on growing sample prefixes,
+the number of runs needed to reject H0 (32-entry == 64-entry means) at
+10 % / 5 % / 2.5 % / 1 % / 0.5 % was 6 / 9 / 11 / 13 / 16.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.hypothesis import TABLE5_LEVELS, runs_needed
+
+from benchmarks import common
+from benchmarks.experiments import experiment2_samples
+
+PAPER_TABLE5 = {0.10: 6, 0.05: 9, 0.025: 11, 0.01: 13, 0.005: 16}
+
+
+def run_experiment() -> dict[float, int | None]:
+    samples = experiment2_samples()
+    return runs_needed(samples[32].values, samples[64].values, TABLE5_LEVELS)
+
+
+def report(needed: dict[float, int | None]) -> str:
+    rows = [
+        [
+            f"{alpha * 100:g}%",
+            PAPER_TABLE5[alpha],
+            needed[alpha] if needed[alpha] is not None else "not reached",
+        ]
+        for alpha in TABLE5_LEVELS
+    ]
+    return format_table(
+        ["Significance level (wrong-conclusion prob.)", "paper #runs", "measured #runs"],
+        rows,
+        title="Table 5: runs needed for different significance levels",
+    )
+
+
+def test_table5(benchmark):
+    needed = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    common.print_header("Table 5: runs needed per significance level")
+    print(report(needed))
+    # Stricter levels can never need fewer runs.
+    reached = [n for n in (needed[a] for a in TABLE5_LEVELS) if n is not None]
+    assert reached == sorted(reached)
+
+
+if __name__ == "__main__":
+    print(report(run_experiment()))

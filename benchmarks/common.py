@@ -1,0 +1,121 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The
+experiments follow the paper's methodology: warm the workload once,
+checkpoint, and start every perturbed run from that checkpoint.
+Checkpoints are cached on disk (``benchmarks/.cache``) so re-running a
+bench does not repeat the warm-up.
+
+Environment knobs:
+
+- ``REPRO_BENCH_RUNS``: runs per configuration (default 20, the paper's
+  sample size; set lower for a quick pass).
+- ``REPRO_BENCH_TXNS``: measured transactions for the standard OLTP
+  experiments (default 200, as in Experiment 1).
+
+Scale note (see DESIGN.md): one synthetic transaction costs ~10^2-10^3
+memory operations, about 500x lighter than the paper's (~10^6
+instructions), so absolute cycles-per-transaction values are ~500x
+smaller.  All comparisons are relative, which is what the paper's
+conclusions rest on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.runner import RunSample, run_space
+from repro.system.checkpoint import Checkpoint
+from repro.system.machine import Machine
+from repro.workloads.registry import make_workload
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+#: runs per configuration (paper: twenty)
+N_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "20"))
+#: measured transactions for the standard OLTP experiments
+N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "200"))
+#: machine-lifetime transactions of warm-up before the checkpoint
+WARMUP_TXNS = int(os.environ.get("REPRO_BENCH_WARMUP", "3000"))
+
+MAX_TIME_NS = 10**13
+
+
+def _cache_key(*parts) -> str:
+    text = "|".join(str(p) for p in parts)
+    return hashlib.md5(text.encode()).hexdigest()[:16]
+
+
+def warm_checkpoint(
+    workload_name: str = "oltp",
+    *,
+    config: SystemConfig | None = None,
+    warmup: int | None = None,
+    workload_params: dict | None = None,
+) -> Checkpoint:
+    """Warm a workload on the base configuration and checkpoint it.
+
+    Cached on disk keyed by (workload, config, warm-up length, params).
+    """
+    config = config or SystemConfig()
+    warmup = warmup if warmup is not None else WARMUP_TXNS
+    params = workload_params or {}
+    CACHE_DIR.mkdir(exist_ok=True)
+    key = _cache_key("v5", workload_name, config, warmup, sorted(params.items()))
+    path = CACHE_DIR / f"{workload_name}-{key}.ckpt"
+    if path.exists():
+        return Checkpoint.load(path)
+    machine = Machine(config, make_workload(workload_name, **params))
+    machine.hierarchy.seed_perturbation(8)
+    machine.run_until_transactions(warmup, max_time_ns=MAX_TIME_NS)
+    checkpoint = Checkpoint.capture(machine)
+    checkpoint.save(path)
+    return checkpoint
+
+
+def sample_runs(
+    config: SystemConfig,
+    checkpoint: Checkpoint,
+    *,
+    n_runs: int | None = None,
+    txns: int | None = None,
+    seed_base: int = 100,
+    workload_name: str = "oltp",
+    workload_params: dict | None = None,
+) -> RunSample:
+    """N perturbed runs of one configuration from a shared checkpoint."""
+    run = RunConfig(
+        measured_transactions=txns if txns is not None else N_TXNS,
+        warmup_transactions=0,
+        seed=seed_base,
+        max_time_ns=MAX_TIME_NS,
+    )
+    return run_space(
+        config,
+        make_workload(workload_name, **(workload_params or {})),
+        run,
+        n_runs if n_runs is not None else N_RUNS,
+        checkpoint=checkpoint,
+        workload_params=workload_params or {},
+    )
+
+
+def paper_vs_measured(rows: list[tuple[str, object, object]]) -> str:
+    """Render a paper-value vs measured-value comparison table."""
+    from repro.analysis.tables import format_table
+
+    return format_table(
+        ["quantity", "paper", "measured"],
+        [[name, paper, measured] for name, paper, measured in rows],
+    )
+
+
+def print_header(title: str) -> None:
+    """Print a bench banner."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,87 @@
+"""Planning a simulation budget: run length vs number of runs.
+
+Run:  python examples/budget_planning.py
+
+The paper's section 5.2 leaves as future work: "given a fixed simulation
+budget, a tradeoff must be made between the length of each simulation and
+the number of simulations required to maximize the confidence
+probability."  This example implements that planning loop:
+
+1. pilot runs at two lengths estimate how the coefficient of variation
+   decays with run length (a power law, like the paper's Table 4);
+2. :func:`repro.allocate_budget` scans (runs x length) allocations under
+   a fixed total-transaction budget and picks the one minimizing the
+   predicted wrong-conclusion probability;
+3. the plan is executed and the resulting comparison checked against the
+   prediction.
+"""
+
+from repro import (
+    Checkpoint,
+    Machine,
+    RunConfig,
+    SystemConfig,
+    compare_samples,
+    make_workload,
+    run_space,
+)
+from repro.core.budget import allocate_budget, fit_cov_model_from_samples
+
+
+def main() -> None:
+    base = SystemConfig()
+    workload = make_workload("oltp")
+
+    print("warming the workload and capturing a checkpoint...")
+    machine = Machine(base, workload)
+    machine.hierarchy.seed_perturbation(7)
+    machine.run_until_transactions(2000, max_time_ns=10**13)
+    checkpoint = Checkpoint.capture(machine)
+
+    # -- 1. pilot: how does CoV decay with run length? -------------------
+    print("pilot runs at two lengths...")
+    pilots = {}
+    for length in (100, 400):
+        sample = run_space(
+            base,
+            workload,
+            RunConfig(measured_transactions=length, seed=40),
+            n_runs=5,
+            checkpoint=checkpoint,
+        )
+        pilots[length] = sample.values
+        print(
+            f"  length {length}: CoV "
+            f"{sample.summary().coefficient_of_variation:.2f}%"
+        )
+    model = fit_cov_model_from_samples(pilots)
+    print(f"fitted CoV model: {model.c:.3f} * L^-{model.gamma:.2f}")
+
+    # -- 2. allocate the budget -------------------------------------------
+    budget = 8_000  # total simulated transactions across both configs
+    expected_difference = 0.05  # we anticipate ~5% between the designs
+    plan = allocate_budget(model, budget, expected_difference)
+    print(f"\nbudget plan: {plan}")
+
+    # -- 3. execute the plan ----------------------------------------------
+    run = RunConfig(measured_transactions=plan.run_length, seed=60)
+    sample_a = run_space(
+        base.with_dram_latency(80), workload, run,
+        n_runs=plan.runs_per_configuration, checkpoint=checkpoint,
+    )
+    sample_b = run_space(
+        base.with_dram_latency(120), workload, run,
+        n_runs=plan.runs_per_configuration, checkpoint=checkpoint,
+    )
+    comparison = compare_samples(sample_a, sample_b, label_a="80ns", label_b="120ns")
+    print()
+    print(comparison.report())
+    print(
+        f"\npredicted wrong-conclusion probability "
+        f"{plan.wrong_conclusion_probability:.4f}; "
+        f"achieved hypothesis-test bound {comparison.wrong_conclusion_bound:.4f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

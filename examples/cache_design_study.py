@@ -1,0 +1,86 @@
+"""A complete cache-design study using the statistical methodology.
+
+Run:  python examples/cache_design_study.py
+
+Scenario: you are deciding whether a 4-way set-associative L2 is worth it
+over 2-way for an OLTP server.  The paper's methodology (section 5):
+
+1. pilot runs to estimate the workload's coefficient of variation;
+2. sample-size estimation for the precision you need;
+3. checkpointed multi-run samples of both designs (identical initial
+   conditions, per-run perturbation seeds);
+4. decision by confidence-interval separation and hypothesis test, with
+   the wrong-conclusion probability bounded explicitly.
+"""
+
+from repro import (
+    Checkpoint,
+    Machine,
+    RunConfig,
+    SystemConfig,
+    compare_samples,
+    estimate_sample_size,
+    make_workload,
+    run_space,
+)
+
+
+def main() -> None:
+    base = SystemConfig()
+    workload = make_workload("oltp")
+    run = RunConfig(measured_transactions=200)
+
+    # -- warm once, checkpoint, reuse (paper 3.2.2) ---------------------
+    print("warming the database and capturing a checkpoint...")
+    machine = Machine(base, workload)
+    machine.hierarchy.seed_perturbation(7)
+    machine.run_until_transactions(2000, max_time_ns=10**13)
+    checkpoint = Checkpoint.capture(machine)
+
+    # -- pilot: how variable is this workload? -------------------------
+    pilot = run_space(
+        base.with_l2_associativity(2), workload, run, n_runs=5, checkpoint=checkpoint
+    )
+    cov = pilot.summary().coefficient_of_variation / 100.0
+    print(f"pilot coefficient of variation: {100 * cov:.2f}%")
+
+    # -- sample size for the precision we need --------------------------
+    # We expect the associativity effect to be a few percent, so bound the
+    # relative error of each mean to half of a 4% expected difference.
+    n_runs = max(5, estimate_sample_size(cov, relative_error=0.02, confidence=0.95))
+    print(f"runs needed for +/-2% at 95% confidence: {n_runs}")
+
+    # -- the experiment --------------------------------------------------
+    print(f"\nrunning {n_runs} perturbed runs per configuration...")
+    sample_2way = run_space(
+        base.with_l2_associativity(2), workload, run,
+        n_runs=n_runs, checkpoint=checkpoint,
+    )
+    sample_4way = run_space(
+        base.with_l2_associativity(4), workload, run,
+        n_runs=n_runs, checkpoint=checkpoint,
+    )
+
+    # -- the decision -----------------------------------------------------
+    comparison = compare_samples(
+        sample_2way, sample_4way, label_a="2-way", label_b="4-way"
+    )
+    print()
+    print(comparison.report())
+    print()
+    if comparison.conclusion_is_safe:
+        print(
+            f"DECISION: adopt the {comparison.faster} L2 "
+            f"({comparison.speedup_percent:.1f}% faster; wrong-conclusion "
+            f"probability < {comparison.t_test.p_value:.3g})"
+        )
+    else:
+        print(
+            "DECISION: not statistically significant at 95% -- run more "
+            "simulations or accept that the designs are equivalent for "
+            "this workload."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: measure a workload, see variability, compare two designs.
+
+Run:  python examples/quickstart.py
+
+This walks the paper's core loop in three steps:
+
+1. run one simulation and look at the metric;
+2. run the *same* simulation with different perturbation seeds and watch
+   the results spread (space variability);
+3. compare two cache designs properly: multiple runs, confidence
+   intervals, a hypothesis test, and the single-run wrong-conclusion
+   ratio you would have risked.
+"""
+
+from repro import (
+    RunConfig,
+    SystemConfig,
+    compare_configurations,
+    run_simulation,
+    run_space,
+)
+
+def main() -> None:
+    base = SystemConfig()  # 16-node Sun-E10000-like target
+    run = RunConfig(measured_transactions=150, warmup_transactions=300, seed=1)
+
+    # -- Step 1: a single run ------------------------------------------
+    result = run_simulation(base, "oltp", run)
+    print("single OLTP run:")
+    print(f"  cycles per transaction : {result.cycles_per_transaction:,.0f}")
+    print(f"  simulated time         : {result.elapsed_ns:,} ns")
+    print(f"  throughput             : {result.transactions_per_second:,.0f} txn/s")
+    print(f"  L2 miss rate           : {result.stats['l2_miss_rate']:.1%}")
+
+    # -- Step 2: the space of runs -------------------------------------
+    # Same workload, same initial conditions; only the 0-4 ns pseudo-random
+    # perturbation on L2 misses differs per seed (paper section 3.3).
+    sample = run_space(base, "oltp", run, n_runs=8)
+    print("\neight perturbed runs of the identical configuration:")
+    for r in sample.results:
+        print(f"  seed {r.seed}: {r.cycles_per_transaction:,.0f} cycles/txn")
+    print(f"  summary: {sample.summary()}")
+
+    # -- Step 3: a comparison done right -------------------------------
+    print("\ncomparing 2-way vs 4-way L2 associativity (8 runs each):")
+    comparison = compare_configurations(
+        base.with_l2_associativity(2),
+        base.with_l2_associativity(4),
+        "oltp",
+        run,
+        n_runs=8,
+        label_a="2-way",
+        label_b="4-way",
+    )
+    print(comparison.report())
+    print(
+        f"\nhad you used single simulations, you would have drawn the wrong "
+        f"conclusion {comparison.wcr_percent:.0f}% of the time."
+    )
+
+
+if __name__ == "__main__":
+    main()

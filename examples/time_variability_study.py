@@ -1,0 +1,87 @@
+"""Studying time variability: phases, starting points, and ANOVA.
+
+Run:  python examples/time_variability_study.py
+
+Scenario: you want to know whether measuring your workload from a single
+checkpoint is safe, or whether its behaviour drifts enough over its
+lifetime that samples must span multiple starting points (paper
+sections 4.3 and 5.2).
+
+1. one long run, windowed: does performance drift within a run?
+2. short runs from systematically sampled checkpoints: do the
+   per-checkpoint averages differ?
+3. one-way ANOVA: is the between-checkpoint variation explainable by
+   within-checkpoint (space) variation?
+"""
+
+from repro import (
+    RunConfig,
+    SystemConfig,
+    checkpoint_study,
+    make_workload,
+    one_way_anova,
+    run_simulation,
+    systematic_checkpoint_counts,
+    windowed_cycles_per_transaction,
+)
+
+
+def main() -> None:
+    config = SystemConfig()
+    workload_name = "specjbb"  # the paper's poster child for time variability
+
+    # -- 1. phases within one long run -----------------------------------
+    print(f"one long {workload_name} run, windowed every 200 transactions:")
+    long_run = run_simulation(
+        config,
+        make_workload(workload_name),
+        RunConfig(measured_transactions=2400, seed=5, max_time_ns=10**13),
+        collect_transaction_times=True,
+    )
+    series = windowed_cycles_per_transaction(long_run, window=200)
+    for i, value in enumerate(series):
+        bar = "#" * int(40 * value / max(series))
+        print(f"  txns {i * 200:5d}-{(i + 1) * 200:5d}: {value:10,.0f} {bar}")
+    swing = 100 * (max(series) - min(series)) / min(series)
+    print(f"  peak-to-trough swing: {swing:.0f}%")
+
+    # -- 2. runs from multiple starting points ---------------------------
+    counts = systematic_checkpoint_counts(2400, n_points=5)
+    print(f"\nshort runs from checkpoints at {counts} transactions:")
+    study = checkpoint_study(
+        config,
+        make_workload(workload_name),
+        counts,
+        RunConfig(measured_transactions=300, seed=50, max_time_ns=10**13),
+        n_runs=4,
+    )
+    for count, summary in zip(study.checkpoint_transactions, study.summaries()):
+        print(
+            f"  from {count:5d} txns: mean {summary.mean:10,.0f}  "
+            f"(within-checkpoint CoV {summary.coefficient_of_variation:.2f}%)"
+        )
+    print(
+        f"  between-checkpoint spread: "
+        f"{study.between_checkpoint_spread_percent():.0f}%"
+    )
+
+    # -- 3. ANOVA: which kind of variability dominates? ------------------
+    anova = one_way_anova(study.groups)
+    print(
+        f"\nANOVA: F = {anova.f_statistic:.1f}, p = {anova.p_value:.2e} "
+        f"(between df {anova.df_between}, within df {anova.df_within})"
+    )
+    if anova.significant_at(0.05):
+        print(
+            "time variability is significant: one starting point is NOT "
+            "representative -- sample runs from multiple checkpoints."
+        )
+    else:
+        print(
+            "between-checkpoint differences are explainable by space "
+            "variability: a single starting point suffices."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Survey the variability spectrum of the workload suite.
+
+Run:  python examples/variability_survey.py
+
+Before designing a simulation experiment around a workload, measure how
+space-variable it is (the paper's Table 3 exercise).  The survey places
+each workload on the spectrum, and the sample-size estimator turns the
+measured coefficient of variation into the number of runs an experiment
+on that workload would need.
+"""
+
+from repro import estimate_sample_size
+from repro.core.survey import survey_workloads
+
+
+def main() -> None:
+    # The two scientific codes and the three most distinctive commercial
+    # workloads; add "oltp"/"apache" for the full (slower) spectrum.
+    names = ["barnes", "ocean", "ecperf", "slashcode", "specjbb"]
+    print(f"surveying {', '.join(names)} (10 perturbed runs each)...\n")
+    survey = survey_workloads(names, n_runs=10)
+    print(survey.render())
+
+    print("\nruns needed for a +/-2% mean at 95% confidence:")
+    for entry in survey.ranked_by_variability():
+        cov = entry.coefficient_of_variation / 100.0
+        if cov == 0:
+            print(f"  {entry.workload:10s}: 2 (no observed variability)")
+            continue
+        n = max(2, estimate_sample_size(cov, relative_error=0.02))
+        print(f"  {entry.workload:10s}: {n}")
+    print(
+        "\nhigh-variability workloads (Slashcode-like) need many runs per"
+        "\nconfiguration; barrier-synchronized scientific codes need few."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro: variability in architectural simulations of multi-threaded
+workloads.
+
+A from-scratch reproduction of Alameldeen & Wood, "Variability in
+Architectural Simulations of Multi-threaded Workloads" (HPCA-9, 2003):
+an execution-driven multiprocessor simulator whose variability mechanisms
+(OS scheduling, lock ordering, coherence timing) are real, plus the
+paper's statistical methodology -- perturbation injection, multi-run
+sampling, wrong-conclusion ratios, confidence intervals, hypothesis
+tests and ANOVA.
+
+Quick start::
+
+    from repro import (
+        SystemConfig, RunConfig, run_space, compare_configurations,
+    )
+
+    base = SystemConfig()                       # 16-node Sun-E10000-like
+    runs = RunConfig(measured_transactions=200, warmup_transactions=50)
+    sample = run_space(base, "oltp", runs, n_runs=10)
+    print(sample.summary())                     # CoV, range of variability
+
+    result = compare_configurations(
+        base.with_l2_associativity(2), base.with_l2_associativity(4),
+        "oltp", runs, n_runs=10, label_a="2-way", label_b="4-way",
+    )
+    print(result.report())
+"""
+
+from repro.config import (
+    CacheConfig,
+    MemoryConfig,
+    OSConfig,
+    PerturbationConfig,
+    ProcessorConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.core import (
+    AnovaResult,
+    ComparisonResult,
+    ConfidenceInterval,
+    RunSample,
+    TTestResult,
+    VariabilitySummary,
+    compare_configurations,
+    confidence_interval,
+    estimate_sample_size,
+    intervals_overlap,
+    one_way_anova,
+    run_space,
+    runs_needed,
+    summarize,
+    two_sample_t_test,
+    wrong_conclusion_ratio,
+)
+from repro.core.experiment import compare_samples
+from repro.core.sampling import (
+    CheckpointStudy,
+    checkpoint_study,
+    systematic_checkpoint_counts,
+    windowed_cycles_per_transaction,
+)
+from repro.realsys import HardwareCounters, RealMeasurement, SunE5000
+from repro.system import (
+    Checkpoint,
+    Machine,
+    SimulationResult,
+    make_checkpoints,
+    run_simulation,
+)
+from repro.workloads import available_workloads, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "MemoryConfig",
+    "OSConfig",
+    "PerturbationConfig",
+    "ProcessorConfig",
+    "RunConfig",
+    "SystemConfig",
+    "AnovaResult",
+    "ComparisonResult",
+    "ConfidenceInterval",
+    "RunSample",
+    "TTestResult",
+    "VariabilitySummary",
+    "compare_configurations",
+    "compare_samples",
+    "confidence_interval",
+    "estimate_sample_size",
+    "intervals_overlap",
+    "one_way_anova",
+    "run_space",
+    "runs_needed",
+    "summarize",
+    "two_sample_t_test",
+    "wrong_conclusion_ratio",
+    "CheckpointStudy",
+    "checkpoint_study",
+    "systematic_checkpoint_counts",
+    "windowed_cycles_per_transaction",
+    "HardwareCounters",
+    "RealMeasurement",
+    "SunE5000",
+    "Checkpoint",
+    "Machine",
+    "SimulationResult",
+    "make_checkpoints",
+    "run_simulation",
+    "available_workloads",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Reporting helpers used by the benchmark harness.
+
+The harness prints the paper's tables and figure series as text;
+:mod:`repro.analysis.tables` renders aligned tables and
+:mod:`repro.analysis.series` holds figure data (x values plus per-series
+mean/min/max/error-bar columns) with a text renderer.
+"""
+
+from repro.analysis.ascii import bar_chart, error_bar_row, sample_chart
+from repro.analysis.series import FigureSeries, summary_series
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "bar_chart",
+    "error_bar_row",
+    "sample_chart",
+    "FigureSeries",
+    "summary_series",
+    "format_table",
+]

@@ -1,0 +1,90 @@
+"""Plain-text chart rendering for terminal reports.
+
+The paper communicates through figures; the bench harness and examples
+render the same data as text.  These helpers keep that rendering in one
+place: horizontal bar charts for series (Figure 8-style), and scatter
+rows with error bars for per-configuration samples (Figure 5/6-style).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.metrics import summarize
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    value_format: str = "{:,.0f}",
+) -> str:
+    """Render values as labelled horizontal bars scaled to ``width``."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("bar chart needs a positive maximum")
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(width * value / peak))
+        lines.append(
+            f"{str(label).rjust(label_width)}  {value_format.format(value).rjust(12)} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def error_bar_row(
+    label: object,
+    values: Sequence[float],
+    *,
+    low: float,
+    high: float,
+    width: int = 50,
+) -> str:
+    """One Figure-5-style row: min..max span with +/- sd box and mean.
+
+    ``low``/``high`` set the axis range shared by all rows of a chart.
+    Glyphs: ``-`` spans min..max, ``=`` spans mean +/- sd, ``|`` the mean.
+    """
+    if high <= low:
+        raise ValueError("axis range must be non-empty")
+    stats = summarize(list(values))
+
+    def column(value: float) -> int:
+        clamped = min(max(value, low), high)
+        return int((width - 1) * (clamped - low) / (high - low))
+
+    cells = [" "] * width
+    for position in range(column(stats.minimum), column(stats.maximum) + 1):
+        cells[position] = "-"
+    for position in range(
+        column(stats.mean - stats.stddev), column(stats.mean + stats.stddev) + 1
+    ):
+        cells[position] = "="
+    cells[column(stats.mean)] = "|"
+    return f"{label}  [{''.join(cells)}]"
+
+
+def sample_chart(
+    samples: dict[object, Sequence[float]], *, width: int = 50
+) -> str:
+    """A full Figure-5-style chart: one error-bar row per configuration,
+    sharing one axis spanning all samples."""
+    if not samples:
+        return ""
+    all_values = [v for values in samples.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1
+    label_width = max(len(str(label)) for label in samples)
+    rows = [
+        error_bar_row(str(label).rjust(label_width), values, low=low, high=high, width=width)
+        for label, values in samples.items()
+    ]
+    footer = f"{' ' * label_width}   {'%.3g' % low}{' ' * (width - len('%.3g' % low) - len('%.3g' % high))}{'%.3g' % high}"
+    return "\n".join(rows + [footer])

@@ -1,0 +1,68 @@
+"""Figure-series containers.
+
+A :class:`FigureSeries` holds the data behind one of the paper's figures:
+x values plus named y columns (typically avg/min/max and an error-bar
+half-width).  The text renderer prints it as a table so a bench run
+shows the figure's series numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.metrics import summarize
+
+
+@dataclass
+class FigureSeries:
+    """Data for one figure: x values and named y columns."""
+
+    name: str
+    x_label: str
+    x: list = field(default_factory=list)
+    columns: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_point(self, x_value, **ys: float) -> None:
+        """Append one x position with its column values."""
+        self.x.append(x_value)
+        for key, value in ys.items():
+            self.columns.setdefault(key, []).append(value)
+        for key, column in self.columns.items():
+            if len(column) != len(self.x):
+                raise ValueError(f"column {key!r} missing a value at x={x_value}")
+
+    def column(self, name: str) -> list[float]:
+        """One y column by name."""
+        return list(self.columns[name])
+
+    def render(self) -> str:
+        """Render the series as an aligned text table."""
+        headers = [self.x_label] + list(self.columns)
+        rows = [
+            [self.x[i]] + [self.columns[c][i] for c in self.columns]
+            for i in range(len(self.x))
+        ]
+        return format_table(headers, rows, title=self.name)
+
+
+def summary_series(name: str, x_label: str) -> FigureSeries:
+    """A series with the paper's standard avg/sd/min/max columns."""
+    return FigureSeries(name=name, x_label=x_label)
+
+
+def add_sample_point(series: FigureSeries, x_value, values: Sequence[float]) -> None:
+    """Add a point from a sample of runs: avg, error bar, extremes.
+
+    Matches the paper's figure convention (average with +/- one standard
+    deviation error bars, plus max and min markers).
+    """
+    stats = summarize(list(values))
+    series.add_point(
+        x_value,
+        avg=stats.mean,
+        sd=stats.stddev,
+        min=stats.minimum,
+        max=stats.maximum,
+    )

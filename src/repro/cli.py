@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro workloads
+    python -m repro run --workload oltp --txns 200 --warmup 300
+    python -m repro space --workload oltp --runs 10 --txns 200
+    python -m repro compare --vary l2-assoc --a 2 --b 4 --runs 10
+
+The CLI wraps the same public API the examples use; it exists so the
+methodology can be driven from shell scripts and sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.experiment import compare_configurations
+from repro.core.runner import run_space
+from repro.system.simulation import run_simulation
+from repro.workloads.registry import PAPER_TRANSACTIONS, available_workloads
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="oltp", choices=available_workloads())
+    parser.add_argument("--txns", type=int, default=200, help="measured transactions")
+    parser.add_argument("--warmup", type=int, default=300, help="warm-up transactions")
+    parser.add_argument("--seed", type=int, default=1, help="perturbation seed")
+    parser.add_argument("--cpus", type=int, default=16, help="processor count")
+    parser.add_argument(
+        "--perturbation", type=int, default=4, help="max perturbation ns (0 disables)"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="workload op-count scale factor"
+    )
+
+
+def _base_config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(n_cpus=args.cpus).with_perturbation(args.perturbation)
+
+
+def _run_config(args: argparse.Namespace, seed: int | None = None) -> RunConfig:
+    return RunConfig(
+        measured_transactions=args.txns,
+        warmup_transactions=args.warmup,
+        seed=seed if seed is not None else args.seed,
+    )
+
+
+def _vary(config: SystemConfig, dimension: str, value: int) -> SystemConfig:
+    if dimension == "l2-assoc":
+        return config.with_l2_associativity(value)
+    if dimension == "dram":
+        return config.with_dram_latency(value)
+    if dimension == "rob":
+        return config.with_rob_entries(value)
+    raise ValueError(f"unknown dimension {dimension!r}")
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    """List the available workloads with their paper transaction counts."""
+    print(f"{'workload':12s} {'paper #txns (Table 3)':>22s}")
+    for name in available_workloads():
+        print(f"{name:12s} {PAPER_TRANSACTIONS[name]:>22,d}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute one measured simulation run and print its metrics."""
+    result = run_simulation(
+        _base_config(args),
+        args.workload,
+        _run_config(args),
+        workload_scale=args.scale,
+    )
+    print(f"cycles per transaction : {result.cycles_per_transaction:,.0f}")
+    print(f"simulated time         : {result.elapsed_ns:,} ns")
+    print(f"throughput             : {result.transactions_per_second:,.0f} txn/s")
+    print(f"L2 miss rate           : {result.stats['l2_miss_rate']:.1%}")
+    print(f"schedule dispatches    : {result.stats['dispatches']}")
+    return 0
+
+
+def cmd_space(args: argparse.Namespace) -> int:
+    """Sample the space of perturbed runs and print the variability summary."""
+    sample = run_space(
+        _base_config(args),
+        args.workload,
+        _run_config(args),
+        args.runs,
+        n_jobs=args.jobs,
+    )
+    for result in sample.results:
+        print(f"seed {result.seed:4d}: {result.cycles_per_transaction:,.0f} cycles/txn")
+    print(sample.summary())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare two configurations with the full statistical methodology.
+
+    Exit code 0 when the conclusion is statistically safe, 1 otherwise.
+    """
+    base = _base_config(args)
+    result = compare_configurations(
+        _vary(base, args.vary, args.a),
+        _vary(base, args.vary, args.b),
+        args.workload,
+        _run_config(args),
+        args.runs,
+        label_a=f"{args.vary}={args.a}",
+        label_b=f"{args.vary}={args.b}",
+        confidence=args.confidence,
+        n_jobs=args.jobs,
+    )
+    print(result.report())
+    if result.conclusion_is_safe:
+        print(f"\nconclusion: {result.faster} is faster "
+              f"({result.speedup_percent:.1f}%)")
+        return 0
+    print("\nconclusion: not statistically significant; run more simulations")
+    return 1
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    """Survey workload space variability (the paper's Table 3 protocol)."""
+    from repro.core.survey import survey_workloads
+
+    names = args.workloads or None
+    survey = survey_workloads(names, n_runs=args.runs)
+    print(survey.render())
+    return 0
+
+
+def cmd_budget(args: argparse.Namespace) -> int:
+    """Plan a runs-x-length allocation under a simulation budget."""
+    from repro.core.budget import allocate_budget, fit_cov_model_from_samples
+    from repro.core.runner import run_space
+    from repro.system.checkpoint import Checkpoint
+    from repro.system.machine import Machine
+    from repro.workloads.registry import make_workload
+
+    config = _base_config(args)
+    workload = make_workload(args.workload)
+    machine = Machine(config, workload)
+    machine.hierarchy.seed_perturbation(8)
+    machine.run_until_transactions(args.warmup or 1000, max_time_ns=10**13)
+    checkpoint = Checkpoint.capture(machine)
+    pilots = {}
+    for length in (args.txns // 2, args.txns * 2):
+        sample = run_space(
+            config,
+            workload,
+            RunConfig(measured_transactions=max(20, length), seed=40),
+            n_runs=args.pilot_runs,
+            checkpoint=checkpoint,
+        )
+        pilots[max(20, length)] = sample.values
+    model = fit_cov_model_from_samples(pilots)
+    plan = allocate_budget(model, args.budget, args.difference / 100.0)
+    print(f"CoV model: {model.c:.3f} * L^-{model.gamma:.2f}")
+    print(plan)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Variability-aware multiprocessor simulation "
+            "(Alameldeen & Wood, HPCA 2003 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list available workloads").set_defaults(
+        func=cmd_workloads
+    )
+
+    run_parser = subparsers.add_parser("run", help="one measured simulation run")
+    _add_run_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    space_parser = subparsers.add_parser(
+        "space", help="sample the space of perturbed runs"
+    )
+    _add_run_arguments(space_parser)
+    space_parser.add_argument("--runs", type=int, default=10)
+    space_parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    space_parser.set_defaults(func=cmd_space)
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare two configurations with the full methodology"
+    )
+    _add_run_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--vary", required=True, choices=("l2-assoc", "dram", "rob"),
+        help="configuration dimension to vary",
+    )
+    compare_parser.add_argument("--a", type=int, required=True, help="value for config A")
+    compare_parser.add_argument("--b", type=int, required=True, help="value for config B")
+    compare_parser.add_argument("--runs", type=int, default=10)
+    compare_parser.add_argument("--confidence", type=float, default=0.95)
+    compare_parser.add_argument("--jobs", type=int, default=1)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    survey_parser = subparsers.add_parser(
+        "survey", help="survey workload space variability (Table 3 protocol)"
+    )
+    survey_parser.add_argument(
+        "--workloads", nargs="*", choices=available_workloads(),
+        help="workloads to survey (default: all seven)",
+    )
+    survey_parser.add_argument("--runs", type=int, default=10)
+    survey_parser.set_defaults(func=cmd_survey)
+
+    budget_parser = subparsers.add_parser(
+        "budget", help="plan runs x length under a simulation budget"
+    )
+    _add_run_arguments(budget_parser)
+    budget_parser.add_argument(
+        "--budget", type=int, required=True,
+        help="total simulated transactions across both configurations",
+    )
+    budget_parser.add_argument(
+        "--difference", type=float, default=4.0,
+        help="expected performance difference, percent",
+    )
+    budget_parser.add_argument("--pilot-runs", type=int, default=5)
+    budget_parser.set_defaults(func=cmd_budget)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

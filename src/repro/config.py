@@ -1,0 +1,238 @@
+"""Configuration dataclasses for the simulated target system.
+
+Defaults reproduce the paper's target (section 3.2.1): a 16-node system
+similar to the Sun E10000.  Each node has split 128 KB 4-way L1 caches, a
+4 MB 4-way unified L2, and a slice of 2 GB shared memory kept coherent by a
+MOSI snooping protocol over a two-level crossbar.  Latencies: 50 ns per
+network traversal, 80 ns DRAM access, 25 ns for a cache to provide data,
+80 ns for memory to provide data -- yielding 180 ns memory fetches and
+125 ns cache-to-cache transfers.  The system clock is 1 GHz, so 1 cycle ==
+1 ns.
+
+All configs are frozen dataclasses: a configuration is a value, and two
+runs with equal configs and seeds are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and hit latency of one cache."""
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int = 64
+    hit_latency_ns: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.block_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if self.size_bytes % (self.associativity * self.block_bytes) != 0:
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"{self.associativity} ways x {self.block_bytes}-byte blocks"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Latency parameters of the interconnect and DRAM (paper 3.2.1)."""
+
+    dram_latency_ns: int = 80
+    network_hop_ns: int = 50
+    cache_provide_ns: int = 25
+    memory_provide_ns: int = 80
+    l2_hit_latency_ns: int = 20
+
+    @property
+    def memory_fetch_ns(self) -> int:
+        """End-to-end latency to obtain a block from memory (180 ns)."""
+        return self.network_hop_ns + self.memory_provide_ns + self.network_hop_ns
+
+    @property
+    def cache_transfer_ns(self) -> int:
+        """End-to-end latency of a cache-to-cache transfer (125 ns)."""
+        return self.network_hop_ns + self.cache_provide_ns + self.network_hop_ns
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Processor core model selection and parameters.
+
+    ``model='simple'`` is the fast blocking model: one instruction per cycle
+    when the L1s are perfect, stalling for the full latency of every miss.
+    ``model='ooo'`` is the TFsim-like model: a 4-wide out-of-order core
+    whose reorder buffer overlaps miss latency (memory-level parallelism)
+    and whose branch predictors convert mispredictions into pipeline
+    refills.
+    """
+
+    model: Literal["simple", "ooo"] = "simple"
+    width: int = 4
+    rob_entries: int = 64
+    branch_predictor_entries: int = 4096
+    indirect_predictor_entries: int = 64
+    return_address_stack_entries: int = 64
+    pipeline_depth: int = 14
+
+    def __post_init__(self) -> None:
+        if self.model not in ("simple", "ooo"):
+            raise ValueError(f"unknown processor model {self.model!r}")
+        if self.rob_entries <= 0 or self.width <= 0:
+            raise ValueError("processor dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class OSConfig:
+    """Operating-system model parameters.
+
+    The quantum and costs are scaled to the synthetic workloads' op-stream
+    granularity (see DESIGN.md "Scale note"): transactions cost hundreds of
+    microseconds of simulated time, so a 100 us quantum produces the same
+    few-scheduling-decisions-per-transaction regime as Solaris' ~10 ms
+    quantum against millisecond-scale transactions.
+    """
+
+    quantum_ns: int = 200_000
+    context_switch_ns: int = 300
+    migration_penalty_ns: int = 1_000
+    spin_before_block_ns: int = 400
+    wakeup_latency_ns: int = 100
+    load_balance: bool = True
+    #: engine knob, not an OS property: the maximum uninterrupted
+    #: execution per core event.  Smaller slices interleave CPUs more
+    #: finely at higher event cost; results must be robust to this value
+    #: (bench_ablation_interleave verifies that they are).
+    interleave_ns: int = 2_000
+
+
+@dataclass(frozen=True)
+class PerturbationConfig:
+    """Random timing perturbation injected on L2 misses (paper 3.3).
+
+    A uniformly distributed pseudo-random integer in [0, max_ns] is added
+    to every L2-cache miss.  ``max_ns=0`` disables perturbation entirely
+    and the simulator becomes fully deterministic across seeds.
+    """
+
+    max_ns: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_ns < 0:
+            raise ValueError("perturbation magnitude cannot be negative")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The full target-system configuration.
+
+    The *default* cache geometry is the paper's target scaled down 16x
+    (8 KB L1s, 256 KB L2) to match the synthetic workloads' scaled-down
+    footprints: one simulated transaction here costs ~10^2-10^3 memory
+    operations rather than ~10^6 instructions, so paper-sized caches
+    would never see capacity or conflict pressure (and cache-design
+    experiments would be vacuous).  Latencies are unscaled.  The paper's
+    full-size geometry is available as :meth:`paper_scale` for runs with
+    correspondingly large workload scales.
+    """
+
+    n_cpus: int = 16
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=8 * 1024, associativity=4)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=8 * 1024, associativity=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, associativity=4, hit_latency_ns=20
+        )
+    )
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    os: OSConfig = field(default_factory=OSConfig)
+    perturbation: PerturbationConfig = field(default_factory=PerturbationConfig)
+    #: snooping coherence protocol: "mosi" (the paper's), "mesi", "moesi"
+    coherence_protocol: str = "mosi"
+
+    def __post_init__(self) -> None:
+        if self.n_cpus <= 0:
+            raise ValueError("n_cpus must be positive")
+        if self.coherence_protocol not in ("mosi", "mesi", "moesi"):
+            raise ValueError(
+                f"unknown coherence protocol {self.coherence_protocol!r}"
+            )
+
+    @classmethod
+    def paper_scale(cls, **overrides) -> "SystemConfig":
+        """The paper's unscaled target (3.2.1): 128 KB 4-way split L1s
+        and a 4 MB 4-way unified L2 per node."""
+        return cls(
+            l1i=CacheConfig(size_bytes=128 * 1024, associativity=4),
+            l1d=CacheConfig(size_bytes=128 * 1024, associativity=4),
+            l2=CacheConfig(
+                size_bytes=4 * 1024 * 1024, associativity=4, hit_latency_ns=20
+            ),
+            **overrides,
+        )
+
+    def with_l2_associativity(self, associativity: int) -> "SystemConfig":
+        """Return a copy with a different L2 associativity (Experiment 1).
+
+        The cache size and latencies are held constant, as in the paper.
+        """
+        return replace(self, l2=replace(self.l2, associativity=associativity))
+
+    def with_rob_entries(self, rob_entries: int) -> "SystemConfig":
+        """Return a copy with a different ROB size and the OOO core model
+        (Experiment 2)."""
+        return replace(
+            self,
+            processor=replace(self.processor, model="ooo", rob_entries=rob_entries),
+        )
+
+    def with_dram_latency(self, latency_ns: int) -> "SystemConfig":
+        """Return a copy with a different DRAM access latency (Figure 4)."""
+        return replace(
+            self, memory=replace(self.memory, dram_latency_ns=latency_ns)
+        )
+
+    def with_perturbation(self, max_ns: int) -> "SystemConfig":
+        """Return a copy with a different perturbation magnitude."""
+        return replace(self, perturbation=PerturbationConfig(max_ns=max_ns))
+
+    def with_protocol(self, protocol: str) -> "SystemConfig":
+        """Return a copy using a different coherence protocol."""
+        return replace(self, coherence_protocol=protocol)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Measurement protocol for a single simulation run (paper 3.1).
+
+    A run warms up for ``warmup_transactions`` and then measures the
+    simulated time to complete ``measured_transactions``.  The performance
+    metric is cycles per transaction: elapsed cycles x n_cpus /
+    transactions, i.e. aggregate processor cycles consumed per completed
+    transaction.
+    """
+
+    measured_transactions: int = 200
+    warmup_transactions: int = 0
+    seed: int = 1
+    max_time_ns: int = 30_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.measured_transactions <= 0:
+            raise ValueError("must measure at least one transaction")
+        if self.warmup_transactions < 0:
+            raise ValueError("warmup cannot be negative")

@@ -1,0 +1,74 @@
+"""The paper's contribution: a statistical simulation methodology.
+
+Workflow (paper section 5): inject pseudo-random perturbations to create a
+space of possible executions, run multiple simulations per configuration,
+and use standard statistics to decide when it is safe to draw
+conclusions:
+
+- :mod:`repro.core.runner` -- orchestrate N perturbed runs of one
+  configuration (optionally across processes: the paper notes the method
+  parallelizes trivially across simulation hosts).
+- :mod:`repro.core.metrics` -- cycles per transaction, coefficient of
+  variation, range of variability.
+- :mod:`repro.core.wcr` -- the wrong-conclusion ratio over all pairs of
+  single runs (section 4.1).
+- :mod:`repro.core.confidence` -- confidence intervals and sample-size
+  estimation (section 5.1.1).
+- :mod:`repro.core.hypothesis` -- two-sample hypothesis tests and
+  runs-needed tables (section 5.1.2).
+- :mod:`repro.core.anova` -- one-way ANOVA separating time from space
+  variability (section 5.2).
+- :mod:`repro.core.experiment` -- the end-to-end comparison experiment:
+  "is configuration B better than A, and how sure are we?"
+"""
+
+from repro.core.anova import AnovaResult, one_way_anova
+from repro.core.budget import (
+    BudgetPlan,
+    CovModel,
+    allocate_budget,
+    fit_cov_model,
+    fit_cov_model_from_samples,
+    wrong_conclusion_probability,
+)
+from repro.core.confidence import (
+    ConfidenceInterval,
+    confidence_interval,
+    estimate_sample_size,
+    intervals_overlap,
+)
+from repro.core.experiment import ComparisonResult, compare_configurations
+from repro.core.hypothesis import TTestResult, runs_needed, two_sample_t_test
+from repro.core.metrics import VariabilitySummary, summarize
+from repro.core.runner import RunSample, run_space
+from repro.core.survey import Survey, SurveyEntry, survey_workload, survey_workloads
+from repro.core.wcr import wrong_conclusion_ratio
+
+__all__ = [
+    "AnovaResult",
+    "one_way_anova",
+    "BudgetPlan",
+    "CovModel",
+    "allocate_budget",
+    "fit_cov_model",
+    "fit_cov_model_from_samples",
+    "wrong_conclusion_probability",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "estimate_sample_size",
+    "intervals_overlap",
+    "ComparisonResult",
+    "compare_configurations",
+    "TTestResult",
+    "runs_needed",
+    "two_sample_t_test",
+    "VariabilitySummary",
+    "summarize",
+    "RunSample",
+    "run_space",
+    "Survey",
+    "SurveyEntry",
+    "survey_workload",
+    "survey_workloads",
+    "wrong_conclusion_ratio",
+]

@@ -1,0 +1,154 @@
+"""End-to-end comparison experiments.
+
+``compare_configurations`` is the methodology as an API: run N perturbed
+simulations of two system configurations on one workload from the same
+initial conditions, then report every decision aid the paper develops --
+sample summaries, the single-run wrong-conclusion ratio, confidence
+intervals with the overlap criterion, and the hypothesis test with its
+tighter wrong-conclusion bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.confidence import (
+    ConfidenceInterval,
+    confidence_interval,
+    intervals_overlap,
+)
+from repro.core.hypothesis import TTestResult, two_sample_t_test
+from repro.core.metrics import VariabilitySummary
+from repro.core.runner import RunSample, run_space
+from repro.core.wcr import wrong_conclusion_ratio
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ComparisonResult:
+    """Everything the methodology says about "is B better than A?".
+
+    Metric is cycles per transaction, so *lower is better* throughout.
+    ``label_a``/``label_b`` are human-readable configuration names.
+    """
+
+    label_a: str
+    label_b: str
+    sample_a: RunSample
+    sample_b: RunSample
+    summary_a: VariabilitySummary
+    summary_b: VariabilitySummary
+    wcr_percent: float
+    interval_a: ConfidenceInterval
+    interval_b: ConfidenceInterval
+    intervals_separate: bool
+    t_test: TTestResult
+    confidence: float
+
+    @property
+    def faster(self) -> str:
+        """Label of the configuration with the lower mean."""
+        return self.label_a if self.summary_a.mean < self.summary_b.mean else self.label_b
+
+    @property
+    def speedup_percent(self) -> float:
+        """Mean improvement of the faster configuration (percent)."""
+        slower = max(self.summary_a.mean, self.summary_b.mean)
+        faster = min(self.summary_a.mean, self.summary_b.mean)
+        return 100.0 * (slower - faster) / slower
+
+    @property
+    def conclusion_is_safe(self) -> bool:
+        """Whether the CI-overlap criterion permits a conclusion."""
+        return self.intervals_separate
+
+    @property
+    def wrong_conclusion_bound(self) -> float:
+        """The tighter (hypothesis-test) wrong-conclusion bound."""
+        return self.t_test.wrong_conclusion_bound
+
+    def report(self) -> str:
+        """A compact human-readable report."""
+        lines = [
+            f"{self.label_a}: {self.summary_a}",
+            f"{self.label_b}: {self.summary_b}",
+            f"single-run WCR: {self.wcr_percent:.1f}%",
+            f"{100 * self.confidence:.0f}% CI {self.label_a}: {self.interval_a}",
+            f"{100 * self.confidence:.0f}% CI {self.label_b}: {self.interval_b}",
+        ]
+        if self.intervals_separate:
+            lines.append(
+                f"intervals separate: concluding '{self.faster} is faster' has "
+                f"wrong-conclusion probability < {1 - self.confidence:.3g}"
+            )
+        else:
+            lines.append("intervals overlap: not significant at this confidence")
+        lines.append(
+            f"t-test: t={self.t_test.statistic:.2f}, one-sided "
+            f"p={self.t_test.p_value:.4f} (tighter wrong-conclusion bound)"
+        )
+        return "\n".join(lines)
+
+
+def compare_configurations(
+    config_a: SystemConfig,
+    config_b: SystemConfig,
+    workload: Workload | str,
+    run: RunConfig,
+    n_runs: int,
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+    confidence: float = 0.95,
+    checkpoint=None,
+    n_jobs: int = 1,
+) -> ComparisonResult:
+    """Run the full comparison methodology between two configurations."""
+    sample_a = run_space(
+        config_a, workload, run, n_runs, checkpoint=checkpoint, n_jobs=n_jobs
+    )
+    sample_b = run_space(
+        config_b, workload, run, n_runs, checkpoint=checkpoint, n_jobs=n_jobs
+    )
+    return compare_samples(
+        sample_a,
+        sample_b,
+        label_a=label_a,
+        label_b=label_b,
+        confidence=confidence,
+    )
+
+
+def compare_samples(
+    sample_a: RunSample,
+    sample_b: RunSample,
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+    confidence: float = 0.95,
+) -> ComparisonResult:
+    """Apply the methodology to two already-collected samples."""
+    values_a, values_b = sample_a.values, sample_b.values
+    interval_a = confidence_interval(values_a, confidence)
+    interval_b = confidence_interval(values_b, confidence)
+    # Orient the one-sided test so H1 is "the slower-looking config is
+    # genuinely slower".
+    if interval_a.mean >= interval_b.mean:
+        t_test = two_sample_t_test(values_a, values_b)
+    else:
+        t_test = two_sample_t_test(values_b, values_a)
+    return ComparisonResult(
+        label_a=label_a,
+        label_b=label_b,
+        sample_a=sample_a,
+        sample_b=sample_b,
+        summary_a=sample_a.summary(),
+        summary_b=sample_b.summary(),
+        wcr_percent=wrong_conclusion_ratio(values_a, values_b),
+        interval_a=interval_a,
+        interval_b=interval_b,
+        intervals_separate=not intervals_overlap(interval_a, interval_b),
+        t_test=t_test,
+        confidence=confidence,
+    )

@@ -1,0 +1,83 @@
+"""Variability metrics.
+
+Paper definitions:
+
+- **coefficient of variation** (section 3.3): 100 x (sample standard
+  deviation / mean) -- the paper's estimate of space-variability
+  magnitude;
+- **range of variability** (section 4.2): (max - min) as a percentage of
+  the mean -- "the higher the range of variability, the more likely one
+  is to make an incorrect conclusion".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """100 x stddev / mean (percent)."""
+    m = mean(values)
+    if m == 0:
+        raise ValueError("coefficient of variation undefined for zero mean")
+    return 100.0 * sample_stddev(values) / m
+
+def range_of_variability(values: Sequence[float]) -> float:
+    """100 x (max - min) / mean (percent)."""
+    m = mean(values)
+    if m == 0:
+        raise ValueError("range of variability undefined for zero mean")
+    return 100.0 * (max(values) - min(values)) / m
+
+
+@dataclass(frozen=True)
+class VariabilitySummary:
+    """Summary statistics for one sample of runs."""
+
+    n: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    coefficient_of_variation: float
+    range_of_variability: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} sd={self.stddev:.3g} "
+            f"CoV={self.coefficient_of_variation:.2f}% "
+            f"range={self.range_of_variability:.2f}%"
+        )
+
+
+def summarize(values: Sequence[float]) -> VariabilitySummary:
+    """Build the full variability summary of a sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    return VariabilitySummary(
+        n=len(values),
+        mean=mean(values),
+        stddev=sample_stddev(values),
+        minimum=min(values),
+        maximum=max(values),
+        coefficient_of_variation=coefficient_of_variation(values),
+        range_of_variability=range_of_variability(values),
+    )

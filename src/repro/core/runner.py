@@ -1,0 +1,125 @@
+"""Multi-run orchestration: sampling the space of executions.
+
+``run_space`` executes N simulations of one (configuration, workload,
+run-length) triple, each with a distinct perturbation seed, from the same
+initial conditions -- producing the paper's "space of possible runs"
+(section 3.3).  The mean of these runs is the methodology's performance
+estimate.
+
+The paper notes the approach "permits reasonable simulation times using
+coarse-grain parallelism, provided that multiple simulation hosts are
+available"; ``n_jobs`` runs the sample across processes, one simulation
+per worker, with results returned in seed order regardless of completion
+order (determinism is preserved).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.metrics import VariabilitySummary, summarize
+from repro.system.simulation import SimulationResult, run_simulation
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+
+@dataclass
+class RunSample:
+    """The results of N runs of one configuration."""
+
+    config: SystemConfig
+    workload_name: str
+    results: list[SimulationResult] = field(default_factory=list)
+
+    @property
+    def values(self) -> list[float]:
+        """Cycles per transaction of each run, in seed order."""
+        return [r.cycles_per_transaction for r in self.results]
+
+    def summary(self) -> VariabilitySummary:
+        """Variability summary of the sample."""
+        return summarize(self.values)
+
+    def subsample(self, n: int) -> "RunSample":
+        """The first ``n`` runs (for sample-size sweeps)."""
+        if n > len(self.results):
+            raise ValueError(f"asked for {n} runs, sample has {len(self.results)}")
+        return RunSample(
+            config=self.config,
+            workload_name=self.workload_name,
+            results=self.results[:n],
+        )
+
+
+def _one_run(args) -> SimulationResult:
+    """Worker body (module-level for pickling)."""
+    config, workload_name, workload_seed, workload_scale, workload_params, run, checkpoint = args
+    workload = make_workload(
+        workload_name, seed=workload_seed, scale=workload_scale, **workload_params
+    )
+    return run_simulation(config, workload, run, checkpoint=checkpoint)
+
+
+def run_space(
+    config: SystemConfig,
+    workload: Workload | str,
+    run: RunConfig,
+    n_runs: int,
+    *,
+    seeds: list[int] | None = None,
+    checkpoint=None,
+    n_jobs: int = 1,
+    workload_params: dict | None = None,
+) -> RunSample:
+    """Run ``n_runs`` perturbed simulations and collect the sample.
+
+    Each run differs only in its perturbation seed (``seeds`` defaults to
+    ``run.seed + 0..n_runs-1``); workload content and initial conditions
+    are identical across runs, as in the paper's methodology.
+    """
+    if n_runs <= 0:
+        raise ValueError("n_runs must be positive")
+    if isinstance(workload, Workload):
+        workload_name = workload.name
+        workload_seed = workload.seed
+        workload_scale = workload.scale
+        # Instance-level parameter overrides travel with the job so worker
+        # processes rebuild the exact same workload.
+        instance_params = {
+            key: value
+            for key, value in vars(workload).items()
+            if key not in ("seed", "scale") and hasattr(type(workload), key)
+        }
+    else:
+        workload_name = workload
+        workload_seed = 12345
+        workload_scale = 1.0
+        instance_params = {}
+    params = {**instance_params, **(workload_params or {})}
+    if seeds is None:
+        seeds = [run.seed + i for i in range(n_runs)]
+    if len(seeds) != n_runs:
+        raise ValueError(f"need {n_runs} seeds, got {len(seeds)}")
+
+    from dataclasses import replace
+
+    jobs = [
+        (
+            config,
+            workload_name,
+            workload_seed,
+            workload_scale,
+            params,
+            replace(run, seed=seed),
+            checkpoint,
+        )
+        for seed in seeds
+    ]
+    if n_jobs > 1:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            results = list(pool.map(_one_run, jobs))
+    else:
+        results = [_one_run(job) for job in jobs]
+    return RunSample(config=config, workload_name=workload_name, results=results)

@@ -1,0 +1,176 @@
+"""Time-variability sampling (paper sections 4.3 and 5.2).
+
+Tools for studying how performance varies across a workload's lifetime:
+
+- :func:`windowed_cycles_per_transaction` -- partial results every W
+  transactions within one long run (the paper's Figure 8 series);
+- :func:`systematic_checkpoint_counts` -- evenly spaced starting points
+  across the lifetime (the paper's systematic sampling, section 5.2);
+- :func:`checkpoint_study` -- N perturbed runs from each of several
+  checkpoints (the paper's Figure 9 data), whose groups feed directly
+  into :func:`repro.core.anova.one_way_anova`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.metrics import VariabilitySummary, summarize
+from repro.core.runner import RunSample, run_space
+from repro.system.checkpoint import Checkpoint, make_checkpoints
+from repro.system.simulation import SimulationResult
+from repro.workloads.base import Workload
+
+
+def windowed_cycles_per_transaction(
+    result: SimulationResult, window: int
+) -> list[float]:
+    """Per-window cycles-per-transaction series from one run.
+
+    Requires the run to have been collected with
+    ``collect_transaction_times=True``.  Each value covers ``window``
+    consecutive transaction completions; a trailing partial window is
+    dropped (it would be quantization-biased).
+    """
+    if result.transaction_times is None:
+        raise ValueError("run was not collected with transaction times")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    times = [t for t, _kind in result.transaction_times]
+    series: list[float] = []
+    previous = result.start_ns
+    for i in range(window, len(times) + 1, window):
+        end = times[i - 1]
+        series.append((end - previous) * result.n_cpus / window)
+        previous = end
+    return series
+
+
+def systematic_checkpoint_counts(
+    lifetime_transactions: int, n_points: int, *, skip_initial: int | None = None
+) -> list[int]:
+    """Evenly spaced checkpoint positions over a workload lifetime.
+
+    Systematic sampling (paper 5.2): starting points at fixed intervals.
+    ``skip_initial`` skips the cold-start region (defaults to one
+    interval).
+    """
+    if n_points <= 0 or lifetime_transactions <= 0:
+        raise ValueError("need positive lifetime and point count")
+    interval = lifetime_transactions // n_points
+    if interval == 0:
+        raise ValueError("more points than transactions")
+    first = skip_initial if skip_initial is not None else interval
+    return [first + i * interval for i in range(n_points)]
+
+
+def random_checkpoint_counts(
+    lifetime_transactions: int, n_points: int, *, seed: int = 1, skip_initial: int = 0
+) -> list[int]:
+    """Uniformly random starting points (paper 5.2 lists alternatives to
+    systematic sampling as future work).
+
+    Deterministic given ``seed``; returned sorted and de-duplicated by
+    small nudges, so a forward pass can record all checkpoints.
+    """
+    from repro.sim.rng import RandomStream
+
+    if n_points <= 0 or lifetime_transactions <= skip_initial:
+        raise ValueError("need positive point count and room after skip_initial")
+    stream = RandomStream(seed=seed)
+    points = sorted(
+        skip_initial + 1 + stream.randint(0, lifetime_transactions - skip_initial - 1)
+        for _ in range(n_points)
+    )
+    # make_checkpoints requires strictly increasing counts
+    for i in range(1, len(points)):
+        if points[i] <= points[i - 1]:
+            points[i] = points[i - 1] + 1
+    return points
+
+
+def stratified_checkpoint_counts(
+    lifetime_transactions: int, n_points: int, *, seed: int = 1
+) -> list[int]:
+    """Stratified sampling: one uniformly random point per equal stratum.
+
+    Combines systematic sampling's coverage guarantee with random
+    sampling's phase-alignment immunity (a periodic workload phase cannot
+    alias against a fixed sampling interval).
+    """
+    from repro.sim.rng import RandomStream
+
+    if n_points <= 0 or lifetime_transactions < n_points:
+        raise ValueError("need positive point count within the lifetime")
+    stream = RandomStream(seed=seed)
+    stratum = lifetime_transactions // n_points
+    points = []
+    for i in range(n_points):
+        low = i * stratum
+        point = low + 1 + stream.randint(0, stratum - 1) if stratum > 1 else low + 1
+        if points and point <= points[-1]:
+            point = points[-1] + 1
+        points.append(point)
+    return points
+
+
+@dataclass
+class CheckpointStudy:
+    """Runs-from-multiple-starting-points data (Figure 9)."""
+
+    checkpoint_transactions: list[int]
+    samples: list[RunSample]
+
+    @property
+    def groups(self) -> list[list[float]]:
+        """Per-checkpoint metric groups (ANOVA input)."""
+        return [sample.values for sample in self.samples]
+
+    def summaries(self) -> list[VariabilitySummary]:
+        """Per-checkpoint variability summaries."""
+        return [summarize(group) for group in self.groups]
+
+    def between_checkpoint_spread_percent(self) -> float:
+        """Max relative difference between checkpoint means (percent).
+
+        The paper quotes >16 % for OLTP (30K vs 40K checkpoints) and
+        >36 % for SPECjbb (100K vs 400K).
+        """
+        means = [s.mean for s in self.summaries()]
+        return 100.0 * (max(means) - min(means)) / min(means)
+
+
+def checkpoint_study(
+    config: SystemConfig,
+    workload: Workload,
+    checkpoint_transactions: list[int],
+    run: RunConfig,
+    n_runs: int,
+    *,
+    checkpoints: list[Checkpoint] | None = None,
+    n_jobs: int = 1,
+) -> CheckpointStudy:
+    """Run ``n_runs`` perturbed simulations from each starting point.
+
+    ``checkpoints`` may be supplied (e.g. loaded from disk); otherwise one
+    forward execution records them at the requested transaction counts.
+    """
+    if checkpoints is None:
+        checkpoints = make_checkpoints(config, workload, checkpoint_transactions)
+    if len(checkpoints) != len(checkpoint_transactions):
+        raise ValueError("checkpoint list does not match transaction counts")
+    samples = [
+        run_space(
+            config,
+            workload,
+            run,
+            n_runs,
+            checkpoint=checkpoint,
+            n_jobs=n_jobs,
+        )
+        for checkpoint in checkpoints
+    ]
+    return CheckpointStudy(
+        checkpoint_transactions=list(checkpoint_transactions), samples=samples
+    )

@@ -1,0 +1,47 @@
+"""Wrong Conclusion Ratio (paper section 4.1).
+
+When comparing systems A and B with N runs each, the correct conclusion
+is the relationship between the two sample means.  The WCR is the
+percentage of the N^2 single-run comparison pairs whose relationship is
+the *opposite* -- an estimate of the probability that a researcher using
+single simulations draws the wrong conclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.metrics import mean
+
+
+def wrong_conclusion_ratio(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    *,
+    lower_is_better: bool = True,
+) -> float:
+    """WCR (percent) between two samples of run metrics.
+
+    The "correct" conclusion is taken from the sample means (e.g. A's
+    mean cycles-per-transaction below B's means A is superior).  Every
+    (a, b) pair that orders the other way counts as a wrong conclusion;
+    exact ties count as half (either conclusion could be drawn).
+    """
+    if not sample_a or not sample_b:
+        raise ValueError("both samples must be non-empty")
+    mean_a = mean(sample_a)
+    mean_b = mean(sample_b)
+    if mean_a == mean_b:
+        raise ValueError("samples have equal means; no correct conclusion exists")
+    a_better = mean_a < mean_b if lower_is_better else mean_a > mean_b
+
+    wrong = 0.0
+    for a in sample_a:
+        for b in sample_b:
+            if a == b:
+                wrong += 0.5
+                continue
+            pair_a_better = a < b if lower_is_better else a > b
+            if pair_a_better != a_better:
+                wrong += 1.0
+    return 100.0 * wrong / (len(sample_a) * len(sample_b))

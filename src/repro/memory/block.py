@@ -1,0 +1,25 @@
+"""Address arithmetic for cache blocks.
+
+The simulator works with byte addresses; caches work with block addresses
+(the byte address with the block-offset bits stripped).  Keeping these two
+helpers in one place avoids scattering shift arithmetic through the
+hierarchy.
+"""
+
+from __future__ import annotations
+
+DEFAULT_BLOCK_BYTES = 64
+
+
+def block_of(address: int, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+    """Return the block number containing a byte ``address``."""
+    if address < 0:
+        raise ValueError(f"negative address {address}")
+    return address // block_bytes
+
+
+def block_address(block: int, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+    """Return the first byte address of block number ``block``."""
+    if block < 0:
+        raise ValueError(f"negative block number {block}")
+    return block * block_bytes

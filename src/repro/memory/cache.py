@@ -1,0 +1,157 @@
+"""Set-associative cache with true LRU replacement.
+
+One :class:`SetAssociativeCache` instance models one physical cache array:
+tag lookup, LRU victim selection, and per-line coherence state.  Timing and
+coherence *protocol* live elsewhere (:mod:`repro.memory.hierarchy` and
+:mod:`repro.memory.coherence`); this module is pure bookkeeping, which
+keeps it easy to test exhaustively.
+
+Sets are stored sparsely (created on first touch) as ordered dicts mapping
+block number to :class:`CacheLine`; dict order is recency order with the
+most recently used line last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class CacheLine:
+    """State of one resident cache block."""
+
+    block: int
+    state: str
+    dirty: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed (0 if never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class SetAssociativeCache:
+    """A set-associative cache array with LRU replacement."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.n_sets = config.n_sets
+        self.associativity = config.associativity
+        self.stats = CacheStats()
+        # set index -> {block: CacheLine}, dict order == LRU order (MRU last)
+        self._sets: dict[int, dict[int, CacheLine]] = {}
+
+    def set_index(self, block: int) -> int:
+        """Return the set a block maps to."""
+        return block % self.n_sets
+
+    def lookup(self, block: int, *, update_lru: bool = True, count: bool = True) -> CacheLine | None:
+        """Find a resident line for ``block``.
+
+        Updates the LRU order and the hit/miss counters unless suppressed
+        (coherence snoops probe with ``count=False`` so remote traffic does
+        not pollute local demand statistics).
+        """
+        lines = self._sets.get(self.set_index(block))
+        if lines is None or block not in lines:
+            if count:
+                self.stats.misses += 1
+            return None
+        line = lines[block]
+        if update_lru:
+            # Re-insert to move the block to MRU position.
+            del lines[block]
+            lines[block] = line
+        if count:
+            self.stats.hits += 1
+        return line
+
+    def peek(self, block: int) -> CacheLine | None:
+        """Probe for a line without touching LRU order or counters."""
+        return self.lookup(block, update_lru=False, count=False)
+
+    def insert(self, block: int, state: str, dirty: bool = False) -> CacheLine | None:
+        """Install a block, returning the evicted victim line if any.
+
+        The caller is responsible for having handled any previous copy of
+        the block (inserting a block that is already resident is a protocol
+        bug and raises).
+        """
+        index = self.set_index(block)
+        lines = self._sets.setdefault(index, {})
+        if block in lines:
+            raise ValueError(f"{self.name}: block {block} already resident")
+        victim = None
+        if len(lines) >= self.associativity:
+            # LRU victim is the first (oldest) entry.
+            victim_block = next(iter(lines))
+            victim = lines.pop(victim_block)
+            self.stats.evictions += 1
+        lines[block] = CacheLine(block=block, state=state, dirty=dirty)
+        return victim
+
+    def evict(self, block: int) -> CacheLine | None:
+        """Remove a block (coherence invalidation or recall), if resident."""
+        lines = self._sets.get(self.set_index(block))
+        if lines is None:
+            return None
+        return lines.pop(block, None)
+
+    def resident_blocks(self) -> list[int]:
+        """Return every resident block number (test/diagnostic helper)."""
+        blocks: list[int] = []
+        for lines in self._sets.values():
+            blocks.extend(lines.keys())
+        return blocks
+
+    def occupancy(self) -> int:
+        """Return the number of resident lines."""
+        return sum(len(lines) for lines in self._sets.values())
+
+    def clear(self) -> None:
+        """Drop all contents and reset statistics (used on restore)."""
+        self._sets.clear()
+        self.stats = CacheStats()
+
+    def snapshot(self) -> dict:
+        """Return a checkpointable copy of the array contents."""
+        return {
+            "sets": {
+                index: [(line.block, line.state, line.dirty) for line in lines.values()]
+                for index, lines in self._sets.items()
+                if lines
+            },
+            "stats": (self.stats.hits, self.stats.misses, self.stats.evictions),
+        }
+
+    @classmethod
+    def restore(cls, config: CacheConfig, state: dict, name: str = "cache") -> "SetAssociativeCache":
+        """Rebuild a cache array from a :meth:`snapshot` value."""
+        cache = cls(config, name=name)
+        for index, lines in state["sets"].items():
+            cache._sets[index] = {
+                block: CacheLine(block=block, state=line_state, dirty=dirty)
+                for block, line_state, dirty in lines
+            }
+        hits, misses, evictions = state["stats"]
+        cache.stats = CacheStats(hits=hits, misses=misses, evictions=evictions)
+        return cache

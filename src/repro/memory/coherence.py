@@ -1,0 +1,289 @@
+"""Table-driven MOSI snooping coherence protocol.
+
+The paper's memory simulator (Martin et al. [23, 24]) specifies coherence
+protocols with transition tables including transient states.  This module
+reproduces that style: the whole protocol is the :data:`TRANSITIONS` table,
+a pure mapping from ``(state, event)`` to ``(next_state, actions)``.
+Illegal combinations are absent from the table and raise
+:class:`CoherenceError` when applied, so protocol bugs fail loudly.
+
+States
+------
+Stable: **M** (modified, owned, exclusive), **O** (owned, shared, dirty),
+**S** (shared, clean), **I** (invalid).
+
+Transient: ``IS_D`` (load miss issued GetS, waiting for data), ``IM_D``
+(store miss issued GetM, waiting for data), ``SM_D`` / ``OM_D`` (upgrade
+issued GetM from S / O, waiting for acknowledgements), ``MI_A`` / ``OI_A``
+(replacement issued PutM, waiting for writeback acknowledgement).
+
+Events
+------
+Processor-side: ``LOAD``, ``STORE``, ``REPLACEMENT``.
+Network-side: ``OWN_DATA`` (response to our request), ``OWN_ACK``
+(invalidation acks complete), ``WB_ACK`` (writeback accepted),
+``OTHER_GETS`` / ``OTHER_GETM`` (remote requests observed on the bus),
+``OTHER_PUTM`` (remote writeback observed).
+
+The timing engine (:mod:`repro.memory.hierarchy`) resolves a miss
+atomically, but it drives every copy of the block through this table, so
+the protocol logic itself is exactly what a fully-timed implementation
+would execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MOSIState(str, Enum):
+    """Stable and transient coherence states.
+
+    The enum carries the union of states across the supported protocols
+    (MOSI, MESI, MOESI); each protocol's transition table uses its own
+    subset.  The name is historical -- MOSI is the paper's protocol and
+    the default.
+    """
+
+    M = "M"
+    O = "O"  # noqa: E741 - standard protocol state name
+    E = "E"
+    S = "S"
+    I = "I"  # noqa: E741 - standard protocol state name
+    IS_D = "IS_D"
+    IM_D = "IM_D"
+    SM_D = "SM_D"
+    OM_D = "OM_D"
+    MI_A = "MI_A"
+    OI_A = "OI_A"
+
+
+#: alias: the enum covers every supported protocol, not only MOSI
+ProtocolState = MOSIState
+
+
+class ProtocolEvent(str, Enum):
+    """Events a cache controller can observe for a block."""
+
+    LOAD = "LOAD"
+    STORE = "STORE"
+    REPLACEMENT = "REPLACEMENT"
+    OWN_DATA = "OWN_DATA"
+    OWN_DATA_EXCL = "OWN_DATA_EXCL"
+    OWN_ACK = "OWN_ACK"
+    WB_ACK = "WB_ACK"
+    OTHER_GETS = "OTHER_GETS"
+    OTHER_GETM = "OTHER_GETM"
+    OTHER_PUTM = "OTHER_PUTM"
+
+
+class CoherenceError(Exception):
+    """Raised when an event is applied in a state that cannot handle it."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One protocol transition: the next state plus controller actions.
+
+    Actions are symbolic strings interpreted by the timing engine:
+
+    - ``hit``: complete the processor request locally.
+    - ``issue_gets`` / ``issue_getm`` / ``issue_putm``: put a request on
+      the interconnect.
+    - ``send_data``: supply the block to the requestor (cache-to-cache).
+    - ``send_data_to_memory``: supply data and fall back to memory
+      ownership (final writeback on OTHER_GETM from O/M is folded into the
+      data transfer).
+    - ``writeback``: write the dirty block to memory.
+    - ``fill``: install the arriving data and complete the request.
+    - ``deallocate``: drop the line from the cache array.
+    """
+
+    next_state: MOSIState
+    actions: tuple[str, ...] = ()
+
+
+_S = MOSIState
+_E = ProtocolEvent
+
+# The protocol table.  Absent (state, event) pairs are illegal.
+TRANSITIONS: dict[tuple[MOSIState, ProtocolEvent], Transition] = {
+    # ---- Invalid -------------------------------------------------------
+    (_S.I, _E.LOAD): Transition(_S.IS_D, ("issue_gets",)),
+    (_S.I, _E.STORE): Transition(_S.IM_D, ("issue_getm",)),
+    (_S.I, _E.OTHER_GETS): Transition(_S.I),
+    (_S.I, _E.OTHER_GETM): Transition(_S.I),
+    (_S.I, _E.OTHER_PUTM): Transition(_S.I),
+    # ---- Shared --------------------------------------------------------
+    (_S.S, _E.LOAD): Transition(_S.S, ("hit",)),
+    (_S.S, _E.STORE): Transition(_S.SM_D, ("issue_getm",)),
+    (_S.S, _E.REPLACEMENT): Transition(_S.I, ("deallocate",)),
+    (_S.S, _E.OTHER_GETS): Transition(_S.S),
+    (_S.S, _E.OTHER_GETM): Transition(_S.I, ("deallocate",)),
+    (_S.S, _E.OTHER_PUTM): Transition(_S.S),
+    # ---- Owned ---------------------------------------------------------
+    (_S.O, _E.LOAD): Transition(_S.O, ("hit",)),
+    (_S.O, _E.STORE): Transition(_S.OM_D, ("issue_getm",)),
+    (_S.O, _E.REPLACEMENT): Transition(_S.OI_A, ("issue_putm",)),
+    (_S.O, _E.OTHER_GETS): Transition(_S.O, ("send_data",)),
+    (_S.O, _E.OTHER_GETM): Transition(_S.I, ("send_data", "deallocate")),
+    # ---- Modified ------------------------------------------------------
+    (_S.M, _E.LOAD): Transition(_S.M, ("hit",)),
+    (_S.M, _E.STORE): Transition(_S.M, ("hit",)),
+    (_S.M, _E.REPLACEMENT): Transition(_S.MI_A, ("issue_putm",)),
+    (_S.M, _E.OTHER_GETS): Transition(_S.O, ("send_data",)),
+    (_S.M, _E.OTHER_GETM): Transition(_S.I, ("send_data", "deallocate")),
+    # ---- Transient: waiting for data -----------------------------------
+    (_S.IS_D, _E.OWN_DATA): Transition(_S.S, ("fill", "hit")),
+    (_S.IM_D, _E.OWN_DATA): Transition(_S.M, ("fill", "hit")),
+    (_S.SM_D, _E.OWN_ACK): Transition(_S.M, ("hit",)),
+    (_S.OM_D, _E.OWN_ACK): Transition(_S.M, ("hit",)),
+    # A racing remote GetM can strip an upgrader back to a full miss.
+    (_S.SM_D, _E.OTHER_GETM): Transition(_S.IM_D),
+    (_S.OM_D, _E.OTHER_GETM): Transition(_S.IM_D, ("send_data",)),
+    (_S.OM_D, _E.OTHER_GETS): Transition(_S.OM_D, ("send_data",)),
+    # ---- Transient: waiting for writeback acknowledgement ---------------
+    (_S.MI_A, _E.WB_ACK): Transition(_S.I, ("writeback", "deallocate")),
+    (_S.OI_A, _E.WB_ACK): Transition(_S.I, ("writeback", "deallocate")),
+    (_S.MI_A, _E.OTHER_GETS): Transition(_S.OI_A, ("send_data",)),
+    (_S.MI_A, _E.OTHER_GETM): Transition(_S.OI_A, ("send_data",)),
+    (_S.OI_A, _E.OTHER_GETS): Transition(_S.OI_A, ("send_data",)),
+    (_S.OI_A, _E.OTHER_GETM): Transition(_S.OI_A, ("send_data",)),
+}
+
+STABLE_STATES = (MOSIState.M, MOSIState.O, MOSIState.S, MOSIState.I)
+OWNER_STATES = (MOSIState.M, MOSIState.O)
+
+# ---------------------------------------------------------------------------
+# Protocol variants (the Multifacet-style table-driven methodology: a
+# protocol IS its table).  MESI replaces the Owned state with an
+# Exclusive state: a read miss with no other sharers installs E, a store
+# to E upgrades silently (no bus traffic), and a demoted M writes back to
+# memory because nobody retains ownership.  MOESI has both E and O.
+# ---------------------------------------------------------------------------
+
+_E_TRANSITIONS: dict[tuple[MOSIState, ProtocolEvent], Transition] = {
+    # Exclusive: clean, sole copy.  Stores upgrade silently.
+    (_S.E, _E.LOAD): Transition(_S.E, ("hit",)),
+    (_S.E, _E.STORE): Transition(_S.M, ("hit",)),
+    (_S.E, _E.REPLACEMENT): Transition(_S.I, ("deallocate",)),
+    (_S.E, _E.OTHER_GETS): Transition(_S.S, ("send_data",)),
+    (_S.E, _E.OTHER_GETM): Transition(_S.I, ("send_data", "deallocate")),
+    (_S.E, _E.OTHER_PUTM): Transition(_S.E),
+    # A load miss answered with exclusive data installs E.
+    (_S.IS_D, _E.OWN_DATA_EXCL): Transition(_S.E, ("fill", "hit")),
+}
+
+MESI_TRANSITIONS: dict[tuple[MOSIState, ProtocolEvent], Transition] = {
+    **{
+        key: transition
+        for key, transition in TRANSITIONS.items()
+        if key[0] not in (_S.O, _S.OM_D, _S.OI_A)
+        and transition.next_state not in (_S.O, _S.OM_D, _S.OI_A)
+    },
+    **_E_TRANSITIONS,
+    # Without an Owned state, a read-shared M copy must write back: the
+    # data's home reverts to memory.
+    (_S.M, _E.OTHER_GETS): Transition(_S.S, ("send_data", "writeback")),
+    # During a writeback race the MI_A line still supplies data.
+    (_S.MI_A, _E.OTHER_GETS): Transition(_S.MI_A, ("send_data",)),
+    (_S.MI_A, _E.OTHER_GETM): Transition(_S.MI_A, ("send_data",)),
+}
+
+MOESI_TRANSITIONS: dict[tuple[MOSIState, ProtocolEvent], Transition] = {
+    **TRANSITIONS,
+    **_E_TRANSITIONS,
+}
+
+_PROTOCOLS: dict[str, dict[tuple[MOSIState, ProtocolEvent], Transition]] = {
+    "mosi": TRANSITIONS,
+    "mesi": MESI_TRANSITIONS,
+    "moesi": MOESI_TRANSITIONS,
+}
+
+#: states whose holder supplies data on a remote request, per protocol
+PROTOCOL_OWNER_STATES: dict[str, tuple[MOSIState, ...]] = {
+    "mosi": (MOSIState.M, MOSIState.O),
+    "mesi": (MOSIState.M, MOSIState.E),
+    "moesi": (MOSIState.M, MOSIState.O, MOSIState.E),
+}
+
+#: whether a read miss with no sharers installs Exclusive
+PROTOCOL_HAS_E: dict[str, bool] = {"mosi": False, "mesi": True, "moesi": True}
+
+
+def available_protocols() -> list[str]:
+    """Names of the supported coherence protocols."""
+    return sorted(_PROTOCOLS)
+
+
+def transitions_for(protocol: str) -> dict[tuple[MOSIState, ProtocolEvent], Transition]:
+    """The transition table of a protocol by name."""
+    table = _PROTOCOLS.get(protocol)
+    if table is None:
+        raise ValueError(
+            f"unknown coherence protocol {protocol!r}; "
+            f"available: {', '.join(available_protocols())}"
+        )
+    return table
+
+
+def apply_event(
+    state: MOSIState,
+    event: ProtocolEvent,
+    table: dict[tuple[MOSIState, ProtocolEvent], Transition] | None = None,
+) -> Transition:
+    """Look up the transition for (state, event) or raise CoherenceError."""
+    transition = (table if table is not None else TRANSITIONS).get((state, event))
+    if transition is None:
+        raise CoherenceError(f"illegal event {event.value} in state {state.value}")
+    return transition
+
+
+def is_writable(state: MOSIState) -> bool:
+    """Whether a store can complete locally without a coherence request.
+
+    E is writable in the silent-upgrade sense: the store completes with a
+    local state change and no interconnect transaction.
+    """
+    return state in (MOSIState.M, MOSIState.E)
+
+
+def is_readable(state: MOSIState) -> bool:
+    """Whether a load can complete locally without a coherence request."""
+    return state in (MOSIState.M, MOSIState.O, MOSIState.E, MOSIState.S)
+
+
+def validate_table(
+    table: dict[tuple[MOSIState, ProtocolEvent], Transition] | None = None,
+) -> list[str]:
+    """Check structural invariants of a protocol table.
+
+    Returns a list of human-readable problems (empty when the table is
+    sound).  Used by unit tests; keeping it here documents the invariants
+    next to the tables themselves.
+    """
+    table = table if table is not None else TRANSITIONS
+    all_stable = STABLE_STATES + (MOSIState.E,)
+    stable_states = tuple(
+        state for state in all_stable if any(key[0] is state for key in table)
+    )
+    problems: list[str] = []
+    for (state, event), transition in table.items():
+        if "hit" in transition.actions and transition.next_state not in all_stable:
+            problems.append(
+                f"({state.value}, {event.value}) completes a request but lands in "
+                f"transient state {transition.next_state.value}"
+            )
+        if "deallocate" in transition.actions and transition.next_state is not MOSIState.I:
+            problems.append(
+                f"({state.value}, {event.value}) deallocates but next state is "
+                f"{transition.next_state.value}"
+            )
+    # Every stable state must handle all remote events it can observe.
+    for state in stable_states:
+        for event in (ProtocolEvent.OTHER_GETS, ProtocolEvent.OTHER_GETM):
+            if (state, event) not in table:
+                problems.append(f"stable state {state.value} ignores {event.value}")
+    return problems

@@ -1,0 +1,89 @@
+"""DRAM / memory-controller model.
+
+The target distributes 2 GB of shared memory across the nodes, each node's
+integrated memory controller owning a slice (paper 3.2.1).  A block's home
+controller is determined by address interleaving.  Access latency is the
+configured DRAM latency (80 ns by default; Figure 4 sweeps 80-90 ns) plus
+queueing when a controller receives back-to-back requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemoryConfig
+
+
+@dataclass
+class DramStats:
+    """Request counters for all memory controllers."""
+
+    reads: int = 0
+    writebacks: int = 0
+    total_queue_ns: int = 0
+
+
+class MemoryController:
+    """All per-node memory controllers, indexed by block home.
+
+    Queueing uses the same windowed-occupancy model as the crossbar (see
+    :class:`repro.memory.interconnect.Crossbar`): requests to one
+    controller within the same window queue behind each other, which is
+    insensitive to slice-granularity timestamp skew between CPUs.
+    """
+
+    #: time one request occupies a controller (bank busy time)
+    OCCUPANCY_NS = 10
+    #: contention accounting window
+    WINDOW_NS = 400
+
+    def __init__(self, config: MemoryConfig, n_nodes: int) -> None:
+        self.config = config
+        self.n_nodes = n_nodes
+        self.stats = DramStats()
+        self._window_start = [0] * n_nodes
+        self._window_count = [0] * n_nodes
+
+    def home_of(self, block: int) -> int:
+        """Return the node whose controller owns ``block``."""
+        return block % self.n_nodes
+
+    def _queue_ns(self, home: int, now: int) -> int:
+        window = now // self.WINDOW_NS
+        if window != self._window_start[home]:
+            self._window_start[home] = window
+            self._window_count[home] = 0
+        queue_ns = self._window_count[home] * self.OCCUPANCY_NS
+        self._window_count[home] += 1
+        return queue_ns
+
+    def read(self, block: int, now: int) -> int:
+        """Latency for the home controller to provide ``block`` at ``now``."""
+        queue_ns = self._queue_ns(self.home_of(block), now)
+        self.stats.reads += 1
+        self.stats.total_queue_ns += queue_ns
+        return queue_ns + self.config.dram_latency_ns
+
+    def writeback(self, block: int, now: int) -> None:
+        """Accept a writeback; occupies the controller but is off the
+        critical path (the evicting cache does not wait for DRAM)."""
+        self._queue_ns(self.home_of(block), now)
+        self.stats.writebacks += 1
+
+    def snapshot(self) -> dict:
+        """Return the checkpointable controller state."""
+        return {
+            "window": (list(self._window_start), list(self._window_count)),
+            "stats": (self.stats.reads, self.stats.writebacks, self.stats.total_queue_ns),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from a :meth:`snapshot` value."""
+        self._window_start, self._window_count = (
+            list(state["window"][0]),
+            list(state["window"][1]),
+        )
+        reads, writebacks, total_queue = state["stats"]
+        self.stats = DramStats(
+            reads=reads, writebacks=writebacks, total_queue_ns=total_queue
+        )

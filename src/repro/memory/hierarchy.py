@@ -1,0 +1,461 @@
+"""The assembled memory hierarchy.
+
+:class:`MemoryHierarchy` owns, for each of the 16 nodes, split L1
+instruction/data caches and a unified L2, plus the shared crossbar and the
+distributed memory controllers.  Processor models call :meth:`access` for
+every memory reference and receive the reference's latency in nanoseconds.
+
+Coherence is the table-driven MOSI protocol from
+:mod:`repro.memory.coherence`.  Each L2 miss is resolved atomically in
+time: the requesting controller is stepped through its transient states
+(IS_D / IM_D / SM_D / OM_D) while every remote copy observes the
+corresponding OTHER_* event, exactly as the protocol table dictates.  A
+directory (owner + sharer sets derived from L2 states) accelerates the
+snoop lookup; semantics are identical to broadcasting to all nodes.
+
+Two timing couplings make the hierarchy sensitive to small perturbations,
+which is the paper's central mechanism:
+
+- **per-block busy windows**: two racing requests to one block serialize,
+  so whichever arrives second -- a timing-dependent outcome -- pays extra
+  latency (this is how lock hand-offs become order-dependent); and
+- **interconnect / DRAM occupancy**: bursts of misses queue.
+
+Finally, the **perturbation hook** (paper section 3.3) adds a uniformly
+distributed pseudo-random 0..max_ns to every L2 miss.  With a fresh seed
+per run this creates the space of possible executions the methodology
+samples from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.coherence import (
+    MOSIState,
+    PROTOCOL_HAS_E,
+    PROTOCOL_OWNER_STATES,
+    ProtocolEvent,
+    apply_event,
+    is_readable,
+    is_writable,
+    transitions_for,
+)
+from repro.memory.dram import MemoryController
+from repro.memory.interconnect import Crossbar
+from repro.sim.rng import RandomStream
+
+#: L1 line permission tags (the L1s are not coherence points; they mirror
+#: a subset of the local L2 state under inclusion).
+L1_READ_ONLY = "RO"
+L1_READ_WRITE = "RW"
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one memory reference."""
+
+    latency_ns: int
+    source: str  # "l1" | "l2" | "cache" | "memory" | "upgrade"
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate counters across the whole hierarchy."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    cache_to_cache: int = 0
+    memory_fetches: int = 0
+    upgrades: int = 0
+    writebacks: int = 0
+    perturbation_total_ns: int = 0
+    block_race_stalls: int = 0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses per L2 access."""
+        l2_accesses = self.l2_hits + self.l2_misses
+        if l2_accesses == 0:
+            return 0.0
+        return self.l2_misses / l2_accesses
+
+
+class MemoryHierarchy:
+    """Caches, coherence, interconnect and DRAM for the whole machine."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        n = config.n_cpus
+        self.l1i = [SetAssociativeCache(config.l1i, name=f"l1i{i}") for i in range(n)]
+        self.l1d = [SetAssociativeCache(config.l1d, name=f"l1d{i}") for i in range(n)]
+        self.l2 = [SetAssociativeCache(config.l2, name=f"l2_{i}") for i in range(n)]
+        self.crossbar = Crossbar(config.memory, n)
+        self.dram = MemoryController(config.memory, n)
+        self.stats = HierarchyStats()
+        # Table-driven protocol selection (paper 3.2.3: the memory
+        # simulator supports a range of protocols as transition tables).
+        self.protocol = config.coherence_protocol
+        self._table = transitions_for(self.protocol)
+        self._owner_states = PROTOCOL_OWNER_STATES[self.protocol]
+        self._has_exclusive = PROTOCOL_HAS_E[self.protocol]
+        # Directory derived from L2 states: block -> owner node (M or O
+        # copy), block -> set of nodes with any readable copy.
+        self._owner: dict[int, int] = {}
+        self._sharers: dict[int, set[int]] = {}
+        # Per-block transaction busy windows (timing-dependent races).
+        self._block_busy: dict[int, int] = {}
+        # Perturbation stream; reseeded per run by the runner.
+        self._perturb = RandomStream(seed=0)
+        self._perturb_max = config.perturbation.max_ns
+
+    # ------------------------------------------------------------------
+    # Run setup
+    # ------------------------------------------------------------------
+    def seed_perturbation(self, seed: int) -> None:
+        """Install the per-run perturbation stream (paper 3.3)."""
+        self._perturb = RandomStream(seed=seed)
+
+    # ------------------------------------------------------------------
+    # The access path
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        node: int,
+        address: int,
+        is_write: bool,
+        now: int,
+        *,
+        is_instruction: bool = False,
+    ) -> AccessResult:
+        """Perform one memory reference and return its latency."""
+        self.stats.accesses += 1
+        block = address // self.config.l1d.block_bytes
+        l1 = self.l1i[node] if is_instruction else self.l1d[node]
+
+        line = l1.lookup(block)
+        if line is not None and (not is_write or line.state == L1_READ_WRITE):
+            if is_write:
+                line.dirty = True
+            self.stats.l1_hits += 1
+            return AccessResult(latency_ns=l1.config.hit_latency_ns, source="l1")
+
+        # L1 miss (or write to a read-only L1 line): go to the local L2.
+        latency = l1.config.hit_latency_ns + self.config.l2.hit_latency_ns
+        result = self._l2_access(node, block, is_write, now + latency)
+        latency += result.latency_ns
+
+        # Fill the L1 under inclusion.  A write-permission change replaces
+        # any stale read-only copy.  L1 write permission requires the L2
+        # copy to be M specifically: an E copy is *upgradable* without bus
+        # traffic, but the upgrade must pass through the L2 so its state
+        # (and dirtiness) tracks the modification.
+        l1.evict(block)
+        l2_line = self.l2[node].peek(block)
+        writable = l2_line is not None and MOSIState(l2_line.state) is MOSIState.M
+        victim = l1.insert(
+            block,
+            L1_READ_WRITE if writable else L1_READ_ONLY,
+            dirty=is_write,
+        )
+        # A dirty L1 victim folds into the L2 copy (inclusion guarantees the
+        # L2 holds the block in M, which is already dirty).
+        del victim
+        return AccessResult(latency_ns=latency, source=result.source)
+
+    def _l2_access(self, node: int, block: int, is_write: bool, now: int) -> AccessResult:
+        """Handle a reference that reached the node's L2."""
+        cache = self.l2[node]
+        line = cache.lookup(block)
+        event = ProtocolEvent.STORE if is_write else ProtocolEvent.LOAD
+        if line is not None:
+            state = MOSIState(line.state)
+            transition = apply_event(state, event, self._table)
+            if "hit" in transition.actions:
+                line.state = transition.next_state.value
+                if is_write:
+                    line.dirty = True
+                self.stats.l2_hits += 1
+                return AccessResult(latency_ns=0, source="l2")
+            # Upgrade path: the line stays resident in a transient state
+            # while the GetM is outstanding.
+            line.state = transition.next_state.value
+            return self._global_transaction(node, block, is_write, now, upgrading=line)
+        # Full miss from I.
+        transition = apply_event(MOSIState.I, event, self._table)
+        assert transition.next_state in (MOSIState.IS_D, MOSIState.IM_D)
+        return self._global_transaction(node, block, is_write, now, upgrading=None)
+
+    def _global_transaction(
+        self,
+        node: int,
+        block: int,
+        is_write: bool,
+        now: int,
+        upgrading,
+    ) -> AccessResult:
+        """Resolve a GetS/GetM on the interconnect.
+
+        ``upgrading`` is the requestor's resident L2 line when the request
+        is an upgrade (SM_D/OM_D), else None.
+        """
+        self.stats.l2_misses += 1
+        latency = 0
+
+        # Serialize racing transactions to the same block.  The stall is
+        # capped at one transaction length: CPUs are interleaved at slice
+        # granularity, so an uncapped wait could charge cross-slice
+        # timestamp skew as contention.
+        busy_until = self._block_busy.get(block, 0)
+        if busy_until > now:
+            stall = min(busy_until - now, self.config.memory.memory_fetch_ns)
+            latency += stall
+            now += stall
+            self.stats.block_race_stalls += 1
+
+        # Paper 3.3: uniformly distributed pseudo-random 0..max on every
+        # L2 miss.  This is the injected variability.
+        if self._perturb_max > 0:
+            jitter = self._perturb.randint(0, self._perturb_max)
+            latency += jitter
+            self.stats.perturbation_total_ns += jitter
+
+        owner = self._owner.get(block)
+        sharers = self._sharers.get(block, set())
+
+        if is_write:
+            result = self._resolve_getm(node, block, now + latency, owner, sharers, upgrading)
+        else:
+            result = self._resolve_gets(node, block, now + latency, owner, sharers)
+        latency += result.latency_ns
+
+        self._block_busy[block] = now + latency
+        return AccessResult(latency_ns=latency, source=result.source)
+
+    def _resolve_gets(
+        self, node: int, block: int, now: int, owner: int | None, sharers: set[int]
+    ) -> AccessResult:
+        """Resolve a load miss: data from the owner cache or from memory."""
+        if owner is not None and owner != node:
+            # Owner observes OTHER_GETS: M -> O (MOSI/MOESI) or M -> S
+            # with writeback (MESI); E -> S.  It supplies the data.
+            self._apply_remote(owner, block, ProtocolEvent.OTHER_GETS)
+            latency = self.crossbar.round_trip(now) + self.config.memory.cache_provide_ns
+            source = "cache"
+            self.stats.cache_to_cache += 1
+            # The supplier may have dropped out of the owner states
+            # (MESI M->S): ownership reverts to memory.
+            supplier = self.l2[owner].peek(block)
+            if supplier is None or MOSIState(supplier.state) not in self._owner_states:
+                self._owner.pop(block, None)
+        else:
+            latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
+            source = "memory"
+            self.stats.memory_fetches += 1
+        # Requestor: IS_D + OWN_DATA -> S; with no other copy and an
+        # E-capable protocol, IS_D + OWN_DATA_EXCL -> E.
+        exclusive = self._has_exclusive and owner is None and not (sharers - {node})
+        fill_state = MOSIState.E if exclusive else MOSIState.S
+        self._fill(node, block, fill_state, dirty=False)
+        self._sharers.setdefault(block, set()).add(node)
+        if exclusive:
+            self._owner[block] = node
+        return AccessResult(latency_ns=latency, source=source)
+
+    def _resolve_getm(
+        self,
+        node: int,
+        block: int,
+        now: int,
+        owner: int | None,
+        sharers: set[int],
+        upgrading,
+    ) -> AccessResult:
+        """Resolve a store miss/upgrade: invalidate all other copies."""
+        # Remote copies observe OTHER_GETM.
+        data_from_cache = False
+        for sharer in sorted(sharers - {node}):
+            self._apply_remote(sharer, block, ProtocolEvent.OTHER_GETM)
+        if owner is not None and owner != node:
+            data_from_cache = True
+
+        if upgrading is not None:
+            # SM_D/OM_D + OWN_ACK -> M.  Invalidation round trip only; the
+            # requestor already holds the data.
+            transition = apply_event(MOSIState(upgrading.state), ProtocolEvent.OWN_ACK, self._table)
+            upgrading.state = transition.next_state.value
+            upgrading.dirty = True
+            latency = self.crossbar.round_trip(now)
+            source = "upgrade"
+            self.stats.upgrades += 1
+        elif data_from_cache:
+            latency = self.crossbar.round_trip(now) + self.config.memory.cache_provide_ns
+            source = "cache"
+            self.stats.cache_to_cache += 1
+            self._fill(node, block, MOSIState.M, dirty=True)
+        else:
+            latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
+            source = "memory"
+            self.stats.memory_fetches += 1
+            self._fill(node, block, MOSIState.M, dirty=True)
+
+        # Directory: the requestor is now the sole owner.
+        self._owner[block] = node
+        self._sharers[block] = {node}
+        return AccessResult(latency_ns=latency, source=source)
+
+    # ------------------------------------------------------------------
+    # Protocol plumbing
+    # ------------------------------------------------------------------
+    def _apply_remote(self, node: int, block: int, event: ProtocolEvent) -> None:
+        """Apply a remote-observed event at one node's L2 (and L1s)."""
+        line = self.l2[node].peek(block)
+        if line is None:
+            return
+        transition = apply_event(MOSIState(line.state), event, self._table)
+        if "writeback" in transition.actions:
+            # MESI: a read-shared M copy flushes to memory (no O state).
+            self.dram.writeback(block, self._block_busy.get(block, 0))
+            self.stats.writebacks += 1
+            line.dirty = False
+        if "deallocate" in transition.actions:
+            self.l2[node].evict(block)
+            self._drop_l1(node, block)
+            self._directory_remove(node, block)
+        else:
+            line.state = transition.next_state.value
+            if transition.next_state is MOSIState.O:
+                # Ownership retained; nothing else to do (data transfer is
+                # accounted by the requestor's latency).
+                pass
+            # Losing write permission demotes any RW L1 copy.
+            self._demote_l1(node, block)
+
+    def _fill(self, node: int, block: int, state: MOSIState, dirty: bool) -> None:
+        """Install an arriving block in a node's L2, handling the victim."""
+        cache = self.l2[node]
+        existing = cache.peek(block)
+        if existing is not None:
+            # IM_D after a racing OTHER_GETM stripped us while upgrading:
+            # the line object is still resident; just overwrite its state.
+            existing.state = state.value
+            existing.dirty = dirty
+            return
+        victim = cache.insert(block, state.value, dirty=dirty)
+        if victim is not None:
+            self._handle_l2_eviction(node, victim)
+
+    def _handle_l2_eviction(self, node: int, victim) -> None:
+        """Run the replacement leg of the protocol for an evicted line."""
+        state = MOSIState(victim.state)
+        transition = apply_event(state, ProtocolEvent.REPLACEMENT, self._table)
+        if "issue_putm" in transition.actions:
+            # MI_A/OI_A + WB_ACK -> writeback to the home controller, off
+            # the requestor's critical path.
+            apply_event(transition.next_state, ProtocolEvent.WB_ACK, self._table)
+            self.dram.writeback(victim.block, self._block_busy.get(victim.block, 0))
+            self.stats.writebacks += 1
+        self._drop_l1(node, victim.block)
+        self._directory_remove(node, victim.block)
+
+    def _directory_remove(self, node: int, block: int) -> None:
+        """Remove a node's copy from the directory."""
+        sharers = self._sharers.get(block)
+        if sharers is not None:
+            sharers.discard(node)
+            if not sharers:
+                self._sharers.pop(block, None)
+        if self._owner.get(block) == node:
+            self._owner.pop(block, None)
+
+    def _drop_l1(self, node: int, block: int) -> None:
+        """Invalidate a block in both L1s of a node (inclusion)."""
+        self.l1i[node].evict(block)
+        self.l1d[node].evict(block)
+
+    def _demote_l1(self, node: int, block: int) -> None:
+        """Strip write permission from an L1 copy after an L2 demotion."""
+        line = self.l1d[node].peek(block)
+        if line is not None:
+            line.state = L1_READ_ONLY
+
+    # ------------------------------------------------------------------
+    # Invariant checking (tests + debugging)
+    # ------------------------------------------------------------------
+    def check_coherence_invariants(self) -> list[str]:
+        """Verify the single-writer / directory-consistency invariants.
+
+        Returns a list of violations (empty when coherent).  O(total
+        resident lines); intended for tests, not the hot path.
+        """
+        problems: list[str] = []
+        by_block: dict[int, list[tuple[int, MOSIState]]] = {}
+        for node in range(self.config.n_cpus):
+            for block in self.l2[node].resident_blocks():
+                line = self.l2[node].peek(block)
+                by_block.setdefault(block, []).append((node, MOSIState(line.state)))
+        for block, copies in by_block.items():
+            m_holders = [n for n, s in copies if s in (MOSIState.M, MOSIState.E)]
+            owners = [n for n, s in copies if s in self._owner_states]
+            readable = {n for n, s in copies if is_readable(s)}
+            if len(m_holders) > 1:
+                problems.append(f"block {block}: multiple M copies {m_holders}")
+            if m_holders and len(readable) > 1:
+                problems.append(f"block {block}: M copy coexists with sharers")
+            if len(owners) > 1:
+                problems.append(f"block {block}: multiple owners {owners}")
+            dir_owner = self._owner.get(block)
+            if owners and dir_owner != owners[0]:
+                problems.append(
+                    f"block {block}: directory owner {dir_owner} != actual {owners[0]}"
+                )
+            dir_sharers = self._sharers.get(block, set())
+            if readable != dir_sharers:
+                problems.append(
+                    f"block {block}: directory sharers {sorted(dir_sharers)} != "
+                    f"actual {sorted(readable)}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Return the full checkpointable memory-system state."""
+        return {
+            "l1i": [c.snapshot() for c in self.l1i],
+            "l1d": [c.snapshot() for c in self.l1d],
+            "l2": [c.snapshot() for c in self.l2],
+            "owner": dict(self._owner),
+            "sharers": {b: set(s) for b, s in self._sharers.items()},
+            "block_busy": dict(self._block_busy),
+            "crossbar": self.crossbar.snapshot(),
+            "dram": self.dram.snapshot(),
+            "perturb": self._perturb.snapshot(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from a :meth:`snapshot` value."""
+        self.l1i = [
+            SetAssociativeCache.restore(self.config.l1i, s, name=f"l1i{i}")
+            for i, s in enumerate(state["l1i"])
+        ]
+        self.l1d = [
+            SetAssociativeCache.restore(self.config.l1d, s, name=f"l1d{i}")
+            for i, s in enumerate(state["l1d"])
+        ]
+        self.l2 = [
+            SetAssociativeCache.restore(self.config.l2, s, name=f"l2_{i}")
+            for i, s in enumerate(state["l2"])
+        ]
+        self._owner = dict(state["owner"])
+        self._sharers = {b: set(s) for b, s in state["sharers"].items()}
+        self._block_busy = dict(state["block_busy"])
+        self.crossbar.restore_state(state["crossbar"])
+        self.dram.restore_state(state["dram"])
+        self._perturb = RandomStream.restore(state["perturb"])
+        self.stats = HierarchyStats()

@@ -1,0 +1,101 @@
+"""Two-level crossbar interconnect model.
+
+The target (paper 3.2.1) connects 16 nodes through a two-level hierarchy of
+crossbar switches with a 50 ns delay per network traversal (wire
+propagation, synchronization and routing combined).
+
+Beyond the fixed traversal latency we model *occupancy*: each transaction
+holds its path for a few nanoseconds, so bursts of coherence traffic queue
+behind one another.  This contention term matters for the paper's
+phenomenon -- it couples the timing of otherwise independent processors, so
+an injected perturbation on one node shifts latencies seen by others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemoryConfig
+
+
+@dataclass
+class InterconnectStats:
+    """Traffic counters for the crossbar."""
+
+    transactions: int = 0
+    total_queue_ns: int = 0
+
+    @property
+    def mean_queue_ns(self) -> float:
+        """Average queueing delay per transaction."""
+        if self.transactions == 0:
+            return 0.0
+        return self.total_queue_ns / self.transactions
+
+
+class Crossbar:
+    """The two-level crossbar switch hierarchy.
+
+    ``traverse`` computes the delay for one network traversal issued at
+    ``now``: the fixed hop latency plus queueing at the shared root switch
+    of the two-level hierarchy, which is where contention concentrates in
+    a snooping system (every coherence request is broadcast through it).
+
+    Queueing is modelled with a *windowed* occupancy count: transactions
+    issued within the same short window queue behind each other, each
+    paying one switch-occupancy per earlier arrival.  A windowed model
+    (rather than a single busy-until horizon) is required because the
+    execution loop interleaves CPUs at slice granularity, so timestamps
+    from different CPUs arrive slightly out of order; the window makes
+    the delay insensitive to that processing order while preserving the
+    burst-contention coupling that amplifies timing perturbations.
+    """
+
+    #: time one transaction occupies the shared switch (address + data beats)
+    OCCUPANCY_NS = 4
+    #: contention accounting window
+    WINDOW_NS = 200
+
+    def __init__(self, config: MemoryConfig, n_nodes: int) -> None:
+        self.config = config
+        self.n_nodes = n_nodes
+        self.stats = InterconnectStats()
+        self._window_start = 0
+        self._window_count = 0
+
+    def traverse(self, now: int) -> int:
+        """Return the latency of one network traversal starting at ``now``."""
+        window = now // self.WINDOW_NS
+        if window != self._window_start:
+            self._window_start = window
+            self._window_count = 0
+        queue_ns = self._window_count * self.OCCUPANCY_NS
+        self._window_count += 1
+        self.stats.transactions += 1
+        self.stats.total_queue_ns += queue_ns
+        return queue_ns + self.config.network_hop_ns
+
+    def round_trip(self, now: int) -> int:
+        """Latency of a request/response pair (two traversals).
+
+        The response traversal begins after the request completes; queueing
+        is assessed once because the response path is reserved with the
+        request in a circuit-switched crossbar.
+        """
+        first = self.traverse(now)
+        return first + self.config.network_hop_ns
+
+    def snapshot(self) -> dict:
+        """Return the checkpointable interconnect state."""
+        return {
+            "window": (self._window_start, self._window_count),
+            "stats": (self.stats.transactions, self.stats.total_queue_ns),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from a :meth:`snapshot` value."""
+        self._window_start, self._window_count = state["window"]
+        transactions, total_queue = state["stats"]
+        self.stats = InterconnectStats(
+            transactions=transactions, total_queue_ns=total_queue
+        )

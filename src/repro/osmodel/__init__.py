@@ -1,0 +1,29 @@
+"""Operating-system model.
+
+The paper identifies OS scheduling decisions as a principal source of
+space variability (section 2.1): a scheduling quantum may end before an
+event in one run but not another, and locks may be acquired in different
+orders.  This package models exactly those mechanisms:
+
+- :mod:`repro.osmodel.thread` -- kernel-visible threads and their states;
+- :mod:`repro.osmodel.scheduler` -- per-CPU run queues with a scheduling
+  quantum, affinity, and idle-time work stealing; records the
+  scheduling-event trace plotted in Figure 1;
+- :mod:`repro.osmodel.locks` -- adaptive mutexes (Solaris-style
+  spin-then-block) whose lock words live in coherent shared memory, and
+  barriers for the scientific workloads.
+"""
+
+from repro.osmodel.locks import Barrier, LockTable, Mutex
+from repro.osmodel.scheduler import ScheduleEvent, Scheduler
+from repro.osmodel.thread import SimThread, ThreadState
+
+__all__ = [
+    "Barrier",
+    "LockTable",
+    "Mutex",
+    "ScheduleEvent",
+    "Scheduler",
+    "SimThread",
+    "ThreadState",
+]

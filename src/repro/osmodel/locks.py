@@ -1,0 +1,173 @@
+"""Locks and barriers.
+
+Locks are the second variability mechanism the paper names: "locks may be
+acquired in different orders, resulting in significant contention in one
+run, but not another" (section 2.1).  A :class:`Mutex` here has a FIFO
+waiter queue whose order is determined by arrival *times*; since arrival
+times shift with injected perturbations, lock hand-off order -- and hence
+the execution path -- differs between runs.
+
+Every mutex owns a lock-word address in coherent shared memory.  The
+execution loop issues a store to that address on acquire/release, so lock
+ping-pong generates genuine coherence traffic (GetM upgrades bouncing
+between L2s), coupling lock behaviour to memory-system timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Mutex:
+    """An adaptive mutex (Solaris-style spin-then-block semantics).
+
+    The spin phase is charged as time by the execution loop; this object
+    tracks only ownership and the blocked-waiter FIFO.
+    """
+
+    lock_id: int
+    address: int
+    holder: int | None = None  # tid
+    waiters: list[int] = field(default_factory=list)
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+
+    def try_acquire(self, tid: int) -> bool:
+        """Attempt to take the lock; returns True on success."""
+        if self.holder is None:
+            self.holder = tid
+            self.acquisitions += 1
+            return True
+        return False
+
+    def enqueue_waiter(self, tid: int) -> None:
+        """Add a thread to the blocked-waiter FIFO."""
+        if tid in self.waiters:
+            raise ValueError(f"thread {tid} already waiting on lock {self.lock_id}")
+        self.waiters.append(tid)
+        self.contended_acquisitions += 1
+
+    def release(self, tid: int) -> int | None:
+        """Release the lock; returns the waiter tid to wake, if any.
+
+        Solaris-style *barging* semantics: the lock becomes free and the
+        head waiter is woken, but ownership is NOT handed off -- any
+        thread that tries the lock before the woken waiter arrives (the
+        wake-up latency window) can steal it, sending the waiter back to
+        the queue.  This unfairness window makes every contended grant a
+        nanosecond-scale race, which is precisely the amplification that
+        turns timing perturbations into divergent lock orders
+        (paper section 2.1).
+        """
+        if self.holder != tid:
+            raise ValueError(
+                f"thread {tid} released lock {self.lock_id} held by {self.holder}"
+            )
+        self.holder = None
+        if self.waiters:
+            return self.waiters.pop(0)
+        return None
+
+    @property
+    def contention_rate(self) -> float:
+        """Fraction of acquisitions that had to wait."""
+        if self.acquisitions == 0:
+            return 0.0
+        return self.contended_acquisitions / self.acquisitions
+
+
+@dataclass
+class Barrier:
+    """A generation-counted barrier for the scientific workloads."""
+
+    barrier_id: int
+    participants: int
+    arrived: list[int] = field(default_factory=list)
+    generation: int = 0
+
+    def arrive(self, tid: int) -> list[int] | None:
+        """Record arrival; returns the full release list when complete."""
+        if tid in self.arrived:
+            raise ValueError(f"thread {tid} arrived twice at barrier {self.barrier_id}")
+        self.arrived.append(tid)
+        if len(self.arrived) < self.participants:
+            return None
+        released = list(self.arrived)
+        self.arrived.clear()
+        self.generation += 1
+        return released
+
+
+#: base of the address region where lock words live (above all workload
+#: data regions; see repro.workloads.address_space)
+LOCK_REGION_BASE = 0x7000_0000
+
+
+class LockTable:
+    """All mutexes and barriers in the system, created on first use."""
+
+    def __init__(self) -> None:
+        self._mutexes: dict[int, Mutex] = {}
+        self._barriers: dict[int, Barrier] = {}
+
+    def mutex(self, lock_id: int) -> Mutex:
+        """Return (creating if needed) the mutex with this id."""
+        mutex = self._mutexes.get(lock_id)
+        if mutex is None:
+            # Spread lock words across distinct cache blocks.
+            mutex = Mutex(lock_id=lock_id, address=LOCK_REGION_BASE + lock_id * 64)
+            self._mutexes[lock_id] = mutex
+        return mutex
+
+    def barrier(self, barrier_id: int, participants: int) -> Barrier:
+        """Return (creating if needed) the barrier with this id."""
+        barrier = self._barriers.get(barrier_id)
+        if barrier is None:
+            barrier = Barrier(barrier_id=barrier_id, participants=participants)
+            self._barriers[barrier_id] = barrier
+        if barrier.participants != participants:
+            raise ValueError(
+                f"barrier {barrier_id} participant count changed "
+                f"({barrier.participants} -> {participants})"
+            )
+        return barrier
+
+    def all_mutexes(self) -> list[Mutex]:
+        """Every mutex created so far (stats/diagnostics)."""
+        return list(self._mutexes.values())
+
+    def snapshot(self) -> dict:
+        """Checkpointable lock-subsystem state."""
+        return {
+            "mutexes": {
+                lock_id: (m.address, m.holder, list(m.waiters), m.acquisitions,
+                          m.contended_acquisitions)
+                for lock_id, m in self._mutexes.items()
+            },
+            "barriers": {
+                bid: (b.participants, list(b.arrived), b.generation)
+                for bid, b in self._barriers.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from a :meth:`snapshot` value."""
+        self._mutexes = {}
+        for lock_id, (address, holder, waiters, acqs, contended) in state["mutexes"].items():
+            self._mutexes[lock_id] = Mutex(
+                lock_id=lock_id,
+                address=address,
+                holder=holder,
+                waiters=list(waiters),
+                acquisitions=acqs,
+                contended_acquisitions=contended,
+            )
+        self._barriers = {}
+        for bid, (participants, arrived, generation) in state["barriers"].items():
+            self._barriers[bid] = Barrier(
+                barrier_id=bid,
+                participants=participants,
+                arrived=list(arrived),
+                generation=generation,
+            )

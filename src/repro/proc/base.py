@@ -1,0 +1,117 @@
+"""Core-model interface and the deterministic branch-outcome stream.
+
+The machine's execution loop is model-agnostic: it asks the core how long
+a batch of instructions takes (``instruction_time``), and how much of a
+memory reference's latency the core actually stalls for (``load_stall`` /
+``store_stall``).  The simple blocking core stalls for everything; the
+out-of-order core hides latency behind its reorder buffer.
+
+Branch outcomes are *counter-based deterministic*: the direction of the
+n-th branch of a given static branch is a pure function of (workload seed,
+branch PC, occurrence counter).  Each static branch has a fixed bias with
+occasional hash-derived flips, so real predictors can learn it -- exactly
+the property that makes predictor accuracy meaningful -- while the stream
+remains reproducible and checkpointable (the state is one counter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.sim.rng import hash_u64
+
+
+@dataclass
+class BranchContext:
+    """Per-thread branch-stream state, owned by the workload thread.
+
+    ``code_seed`` identifies the thread's code (shared by threads of the
+    same workload, so predictor tables warm across same-process threads);
+    ``counter`` advances as branches execute; the *_milli fields are
+    per-workload behaviour knobs in thousandths.
+    """
+
+    code_seed: int
+    counter: int = 0
+    static_branches: int = 256
+    taken_bias_milli: int = 700
+    flip_noise_milli: int = 40
+    indirect_milli: int = 30
+    return_milli: int = 60
+
+    def snapshot(self) -> tuple:
+        """Checkpointable state (everything is plain data)."""
+        return (
+            self.code_seed,
+            self.counter,
+            self.static_branches,
+            self.taken_bias_milli,
+            self.flip_noise_milli,
+            self.indirect_milli,
+            self.return_milli,
+        )
+
+    @classmethod
+    def restore(cls, state: tuple) -> "BranchContext":
+        """Rebuild from a :meth:`snapshot` value."""
+        return cls(*state)
+
+
+def branch_outcome(ctx: BranchContext, counter: int) -> tuple[int, bool, str, int]:
+    """Return (pc, taken, kind, target) for the ``counter``-th branch.
+
+    Pure function of the context's static parameters and the counter, so
+    the stream is identical across runs and machine configurations.
+    """
+    slot = hash_u64(ctx.code_seed, counter, 11) % ctx.static_branches
+    pc = ((ctx.code_seed & 0xFFFF) << 20) | (slot << 4)
+    kind_draw = hash_u64(ctx.code_seed, counter, 13) % 1000
+    if kind_draw < ctx.indirect_milli:
+        kind = "indirect"
+    elif kind_draw < ctx.indirect_milli + ctx.return_milli:
+        kind = "return"
+    else:
+        kind = "cond"
+    # Fixed per-branch bias, flipped with small per-occurrence noise.
+    base_taken = hash_u64(ctx.code_seed, slot, 17) % 1000 < ctx.taken_bias_milli
+    flip = hash_u64(ctx.code_seed, slot, counter, 19) % 1000 < ctx.flip_noise_milli
+    taken = base_taken != flip
+    # Indirect targets: a small per-branch target set selected by phase.
+    target = pc + 64 + (hash_u64(ctx.code_seed, slot, counter // 32, 23) % 4) * 64
+    return pc, taken, kind, target
+
+
+class CoreModel:
+    """Base class for processor timing models."""
+
+    name = "base"
+
+    def __init__(self, config: SystemConfig, node: int) -> None:
+        self.config = config
+        self.node = node
+        self.instructions_retired = 0
+
+    def instruction_time(self, n_instructions: int, branch_ctx: BranchContext) -> int:
+        """Time (ns) to execute ``n_instructions`` with perfect caches."""
+        raise NotImplementedError
+
+    def fetch_stall(self, latency_ns: int, source: str) -> int:
+        """Frontend stall for an instruction fetch with given latency."""
+        raise NotImplementedError
+
+    def load_stall(self, latency_ns: int, source: str) -> int:
+        """Stall charged for a load that took ``latency_ns`` to service."""
+        raise NotImplementedError
+
+    def store_stall(self, latency_ns: int, source: str) -> int:
+        """Stall charged for a store that took ``latency_ns`` to service."""
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        """Checkpointable core state (predictors etc.)."""
+        return {"instructions_retired": self.instructions_retired}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from a :meth:`snapshot` value."""
+        self.instructions_retired = state["instructions_retired"]

@@ -1,0 +1,20 @@
+"""Real-system measurement emulation.
+
+The paper's Section 2.2 measures OLTP on a real Sun E5000 (twelve 167 MHz
+UltraSPARC-II processors) using hardware performance counters, showing
+time variability within one run (Figure 2) and space variability across
+five runs (Figure 3) at 1/10/60-second observation intervals.
+
+We have no E5000, so :mod:`repro.realsys.e5000` provides a coarse
+measurement emulator: a per-second throughput process with the phase
+structure of a loaded database server (buffer-pool waves, log-flush
+stalls, background daemons) and *inherent* run-to-run randomness -- real
+machines need no injected perturbation.  :mod:`repro.realsys.counters`
+exposes the hardware-counter view used to compute cycles per transaction
+per interval.
+"""
+
+from repro.realsys.counters import HardwareCounters
+from repro.realsys.e5000 import RealMeasurement, SunE5000
+
+__all__ = ["HardwareCounters", "RealMeasurement", "SunE5000"]

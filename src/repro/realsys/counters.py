@@ -1,0 +1,76 @@
+"""Hardware performance counters.
+
+UltraSPARC processors expose per-processor event counters (paper 2.2);
+:class:`HardwareCounters` is the thin measurement harness a tool like
+``cpustat`` provides over them: start/stop windows and per-processor
+cycle/event totals, from which interval metrics such as cycles per
+transaction are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.realsys.e5000 import RealMeasurement
+
+
+@dataclass
+class CounterWindow:
+    """One start/stop measurement window."""
+
+    start_s: int
+    end_s: int
+    cycles: float
+    transactions: int
+
+    @property
+    def cycles_per_transaction(self) -> float:
+        """Aggregate cycles per completed transaction in the window."""
+        if self.transactions == 0:
+            raise ValueError("no transactions completed in the window")
+        return self.cycles / self.transactions
+
+
+@dataclass
+class HardwareCounters:
+    """Per-processor cycle counters over one measured run."""
+
+    measurement: RealMeasurement
+    windows: list[CounterWindow] = field(default_factory=list)
+    _open_at: int | None = None
+
+    def start(self, at_s: int) -> None:
+        """Open a measurement window at second ``at_s``."""
+        if self._open_at is not None:
+            raise ValueError("a counter window is already open")
+        if not 0 <= at_s <= self.measurement.duration_s:
+            raise ValueError(f"start {at_s}s outside the {self.measurement.duration_s}s run")
+        self._open_at = at_s
+
+    def stop(self, at_s: int) -> CounterWindow:
+        """Close the window at second ``at_s`` and record it."""
+        if self._open_at is None:
+            raise ValueError("no counter window is open")
+        if at_s <= self._open_at or at_s > self.measurement.duration_s:
+            raise ValueError(f"invalid stop time {at_s}s for window at {self._open_at}s")
+        seconds = at_s - self._open_at
+        window = CounterWindow(
+            start_s=self._open_at,
+            end_s=at_s,
+            cycles=self.measurement.n_cpus * self.measurement.clock_hz * seconds,
+            transactions=sum(
+                self.measurement.per_second_transactions[self._open_at : at_s]
+            ),
+        )
+        self.windows.append(window)
+        self._open_at = None
+        return window
+
+    def sweep(self, interval_s: int) -> list[CounterWindow]:
+        """Tile the run with back-to-back windows of ``interval_s``."""
+        self.windows = []
+        self._open_at = None
+        for start in range(0, self.measurement.duration_s - interval_s + 1, interval_s):
+            self.start(start)
+            self.stop(start + interval_s)
+        return list(self.windows)

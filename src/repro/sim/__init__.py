@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel.
+
+This package provides the deterministic foundations every other subsystem
+builds on:
+
+- :mod:`repro.sim.rng` -- counter-based pseudo-random number streams.  All
+  randomness in the simulator flows through these streams so that a run is a
+  pure function of (configuration, seed).
+- :mod:`repro.sim.events` -- the event queue with deterministic
+  tie-breaking, and the simulation clock.
+"""
+
+from repro.sim.events import Event, EventQueue, SimulationClock
+from repro.sim.rng import RandomStream, splitmix64, stream_seed
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationClock",
+    "RandomStream",
+    "splitmix64",
+    "stream_seed",
+]

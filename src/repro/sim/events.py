@@ -1,0 +1,131 @@
+"""Event queue and simulation clock.
+
+The machine model (:mod:`repro.system.machine`) is event-driven: each
+pending activity (a core resuming execution, a thread waking from I/O, a
+scheduler timer) is an :class:`Event` in a binary heap ordered by
+``(time, sequence)``.  The sequence number gives deterministic FIFO
+tie-breaking for simultaneous events, which is essential for
+reproducibility: two events at the same nanosecond always fire in the order
+they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Events compare by ``(time, sequence)`` so the heap pops them in
+    deterministic order.  ``kind`` and ``payload`` are interpreted by the
+    machine's dispatch loop; keeping them as plain data (rather than bound
+    callbacks) makes the queue checkpointable.
+    """
+
+    time: int
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """A deterministic event queue.
+
+    Cancellation is lazy: :meth:`cancel` marks the event and :meth:`pop`
+    skips cancelled entries.  This keeps scheduling O(log n) without
+    heap surgery.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, time: int, kind: str, payload: Any = None) -> Event:
+        """Add an event at absolute ``time`` and return its handle."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = Event(time=time, sequence=self._sequence, kind=kind, payload=payload)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event so it will be skipped when reached."""
+        event.cancelled = True
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> int | None:
+        """Return the time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def snapshot(self) -> dict:
+        """Return a checkpointable copy of the queue state."""
+        live = [
+            (event.time, event.sequence, event.kind, event.payload)
+            for event in sorted(self._heap)
+            if not event.cancelled
+        ]
+        return {"events": live, "sequence": self._sequence}
+
+    @classmethod
+    def restore(cls, state: dict) -> "EventQueue":
+        """Rebuild a queue from a :meth:`snapshot` value."""
+        queue = cls()
+        for time, sequence, kind, payload in state["events"]:
+            event = Event(time=time, sequence=sequence, kind=kind, payload=payload)
+            heapq.heappush(queue._heap, event)
+        queue._sequence = state["sequence"]
+        return queue
+
+
+class SimulationClock:
+    """The global simulated-time clock.
+
+    Simulated time is integer nanoseconds.  The target system clock is
+    1 GHz (paper section 3.2.1), so one cycle equals one nanosecond and the
+    two units are used interchangeably throughout.
+    """
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._now = start_ns
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds (== cycles at 1 GHz)."""
+        return self._now
+
+    def advance_to(self, time_ns: int) -> None:
+        """Move the clock forward to an absolute time."""
+        if time_ns < self._now:
+            raise ValueError(
+                f"clock cannot run backwards: now={self._now}, requested={time_ns}"
+            )
+        self._now = time_ns
+
+    def snapshot(self) -> int:
+        """Return the checkpointable clock state."""
+        return self._now
+
+    @classmethod
+    def restore(cls, state: int) -> "SimulationClock":
+        """Rebuild a clock from a :meth:`snapshot` value."""
+        return cls(start_ns=state)

@@ -1,0 +1,149 @@
+"""Deterministic pseudo-random number streams.
+
+The simulator must be strictly deterministic: the same configuration and
+seed must produce bit-identical results on every platform and Python
+version.  We therefore avoid :mod:`random` (whose state is awkward to
+checkpoint piecemeal) and implement SplitMix64, a tiny, well-tested mixing
+function, as the basis for *named streams*.
+
+Two usage patterns are supported:
+
+1. **Stateful streams** (:class:`RandomStream`): an explicit 64-bit counter
+   advanced on every draw.  The counter is plain data, so checkpointing a
+   stream is just copying one integer.
+
+2. **Counter-based (stateless) draws** (:func:`hash_u64`): a pure function
+   of (seed, key...) used by workload generators, so that the n-th address
+   of transaction t of thread k is a function of (n, t, k) alone.  This is
+   what makes checkpoint/restore exact and keeps workload content identical
+   across machine configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK64 = (1 << 64) - 1
+
+# SplitMix64 constants (Steele, Lea & Flood 2014).
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def splitmix64(state: int) -> int:
+    """Return the SplitMix64 output for a 64-bit ``state`` value.
+
+    This is the core mixing function; it maps any 64-bit input to a
+    well-distributed 64-bit output.
+    """
+    z = (state + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def hash_u64(*keys: int) -> int:
+    """Hash a tuple of integer keys into a uniform 64-bit value.
+
+    Used for counter-based (stateless) draws: the result is a pure function
+    of the keys, so callers get reproducible "randomness" without carrying
+    any state.
+    """
+    acc = 0x9E3779B97F4A7C15
+    for key in keys:
+        acc = splitmix64((acc ^ (key & _MASK64)) & _MASK64)
+    return acc
+
+
+def stream_seed(root_seed: int, *scope: int | str) -> int:
+    """Derive a child seed for a named component stream.
+
+    ``scope`` elements may be integers or short strings (e.g. a component
+    name); strings are folded into integers bytewise.  Distinct scopes give
+    statistically independent streams.
+    """
+    keys = []
+    for part in scope:
+        if isinstance(part, str):
+            folded = 0
+            for byte in part.encode("utf-8"):
+                folded = (folded * 257 + byte + 1) & _MASK64
+            keys.append(folded)
+        else:
+            keys.append(part & _MASK64)
+    return hash_u64(root_seed & _MASK64, *keys)
+
+
+@dataclass
+class RandomStream:
+    """A stateful deterministic random stream.
+
+    The stream state is a single 64-bit counter; every draw increments it
+    and mixes through SplitMix64.  The state is trivially checkpointable
+    (:attr:`counter` is plain data).
+    """
+
+    seed: int
+    counter: int = 0
+
+    def next_u64(self) -> int:
+        """Return the next uniform 64-bit value."""
+        value = splitmix64((self.seed + self.counter * _GAMMA) & _MASK64)
+        self.counter += 1
+        return value
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a uniform integer in the inclusive range [low, high]."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.next_u64() % span
+
+    def random(self) -> float:
+        """Return a uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def choice_index(self, weights: list[float]) -> int:
+        """Return an index drawn with probability proportional to weights."""
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        point = self.random() * total
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if point < cumulative:
+                return index
+        return len(weights) - 1
+
+    def exponential(self, mean: float) -> float:
+        """Return an exponentially distributed value with the given mean."""
+        import math
+
+        u = self.random()
+        # Guard against log(0); the stream never returns exactly 1.0.
+        return -mean * math.log(1.0 - u)
+
+    def gaussian(self, mean: float, std: float) -> float:
+        """Return a normally distributed value (Box-Muller, one draw used)."""
+        import math
+
+        u1 = max(self.random(), 1e-300)
+        u2 = self.random()
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        return mean + std * z
+
+    def fork(self, *scope: int | str) -> "RandomStream":
+        """Create an independent child stream scoped by ``scope``."""
+        return RandomStream(seed=stream_seed(self.seed, *scope))
+
+    def snapshot(self) -> tuple[int, int]:
+        """Return the checkpointable state of the stream."""
+        return (self.seed, self.counter)
+
+    @classmethod
+    def restore(cls, state: tuple[int, int]) -> "RandomStream":
+        """Rebuild a stream from a :meth:`snapshot` value."""
+        seed, counter = state
+        return cls(seed=seed, counter=counter)

@@ -1,0 +1,27 @@
+"""Full-system assembly: the machine, the measurement protocol, and
+checkpointing.
+
+- :mod:`repro.system.machine` -- the event-driven execution loop that
+  binds processor models, the memory hierarchy, the OS model and the
+  workload programs into one deterministic 16-node target machine.
+- :mod:`repro.system.simulation` -- the measurement protocol: warm up,
+  then measure the simulated time to complete a fixed number of
+  transactions (paper section 3.1), reporting cycles per transaction.
+- :mod:`repro.system.checkpoint` -- full-state capture/restore, the
+  equivalent of Simics checkpoints (paper section 3.2.2), used to start
+  runs from identical initial conditions and from multiple points in a
+  workload's lifetime.
+"""
+
+from repro.system.checkpoint import Checkpoint, make_checkpoints
+from repro.system.machine import Machine, SimulationStall
+from repro.system.simulation import SimulationResult, run_simulation
+
+__all__ = [
+    "Checkpoint",
+    "make_checkpoints",
+    "Machine",
+    "SimulationStall",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,128 @@
+"""Checkpoints: full-state capture and restore.
+
+The paper uses Simics' checkpointing facility to (a) start every run of a
+comparison from the same initial conditions and (b) record multiple
+checkpoints across a workload's lifetime to study time variability
+(sections 3.2.2 and 4.3, Figure 9).  A :class:`Checkpoint` here captures
+the complete machine state -- threads, program counters-in-stream,
+caches, coherence state, locks, run queues, and in-flight events -- and
+can be materialized under a *different* system configuration, which is
+exactly how one checkpoint seeds runs of many candidate designs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.system.machine import Machine
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+
+@dataclass
+class Checkpoint:
+    """A captured machine state plus what is needed to rebuild it."""
+
+    state: dict
+    workload_name: str
+    workload_seed: int
+    workload_scale: float
+    taken_at_transactions: int
+    workload_params: dict = None
+
+    @classmethod
+    def capture(cls, machine: Machine) -> "Checkpoint":
+        """Snapshot a quiesced machine (between event-loop calls)."""
+        workload = machine.workload
+        # Record instance-level parameter overrides (set by make_workload)
+        # so a parameterized workload rebuilds identically.
+        params = {
+            key: value
+            for key, value in vars(workload).items()
+            if key not in ("seed", "scale") and hasattr(type(workload), key)
+        }
+        return cls(
+            state=machine.snapshot(),
+            workload_name=workload.name,
+            workload_seed=workload.seed,
+            workload_scale=workload.scale,
+            taken_at_transactions=machine.completed_transactions,
+            workload_params=params,
+        )
+
+    def materialize(
+        self, config: SystemConfig, workload: Workload | None = None
+    ) -> Machine:
+        """Rebuild a machine from this checkpoint under ``config``.
+
+        Pass ``workload`` to supply a parameter-overridden workload
+        instance; it must match the checkpoint's name/seed/scale (the
+        captured program state belongs to that stream).
+        """
+        if workload is None:
+            workload = make_workload(
+                self.workload_name,
+                seed=self.workload_seed,
+                scale=self.workload_scale,
+                **(self.workload_params or {}),
+            )
+        elif (
+            workload.name != self.workload_name
+            or workload.seed != self.workload_seed
+            or workload.scale != self.workload_scale
+        ):
+            raise ValueError(
+                "workload instance does not match the checkpointed stream "
+                f"({workload.name}/{workload.seed}/{workload.scale} vs "
+                f"{self.workload_name}/{self.workload_seed}/{self.workload_scale})"
+            )
+        return Machine.from_snapshot(config, workload, self.state)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialize the checkpoint to a file."""
+        with open(path, "wb") as f:
+            pickle.dump(self, f)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Checkpoint":
+        """Load a checkpoint written by :meth:`save`."""
+        with open(path, "rb") as f:
+            checkpoint = pickle.load(f)
+        if not isinstance(checkpoint, cls):
+            raise TypeError(f"{path} does not contain a Checkpoint")
+        return checkpoint
+
+
+def make_checkpoints(
+    config: SystemConfig,
+    workload: Workload,
+    at_transactions: list[int],
+    *,
+    max_time_ns: int = 120_000_000_000,
+    perturbation_seed: int = 777,
+) -> list[Checkpoint]:
+    """Run a workload forward, capturing checkpoints along its lifetime.
+
+    ``at_transactions`` lists machine-lifetime transaction counts (e.g.
+    ``[1000, 2000, ..., 10000]`` for the paper's ten starting points in
+    Figure 9); counts must be increasing.  A single forward run produces
+    all checkpoints, as with recording Simics checkpoints during one
+    workload execution.
+    """
+    if sorted(at_transactions) != list(at_transactions):
+        raise ValueError("checkpoint transaction counts must be increasing")
+    machine = Machine(config, workload)
+    from repro.sim.rng import stream_seed
+
+    machine.hierarchy.seed_perturbation(stream_seed(perturbation_seed, "warmup"))
+    checkpoints = []
+    for count in at_transactions:
+        machine.run_until_transactions(count, max_time_ns=max_time_ns)
+        checkpoints.append(Checkpoint.capture(machine))
+    return checkpoints

@@ -1,0 +1,435 @@
+"""The target machine: an event-driven 16-node multiprocessor.
+
+:class:`Machine` binds the substrates together and runs the event loop.
+Two event kinds drive everything:
+
+- ``("core", cpu)`` -- the CPU is ready to execute at the event time.  The
+  handler dispatches a thread if needed and runs it for a bounded *slice*
+  (so cross-CPU interleaving stays fine-grained), consuming workload
+  operations and converting them to time through the core model and the
+  memory hierarchy.
+- ``("ready", tid)`` -- a thread wakes (I/O done, lock granted, barrier
+  released) and is placed on a run queue; an idle CPU is kicked.
+
+Everything is deterministic: the event queue breaks ties FIFO, scheduler
+scans are ordered, and all workload content is counter-based.  The only
+cross-run variation enters through the memory hierarchy's perturbation
+stream, exactly as in the paper's methodology (section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.osmodel.locks import LockTable
+from repro.osmodel.scheduler import Scheduler
+from repro.osmodel.thread import SimThread, ThreadState
+from repro.proc import make_core
+from repro.sim.events import EventQueue, SimulationClock
+from repro.sim.rng import stream_seed
+from repro.workloads.base import Workload, WorkloadClock
+
+#: default maximum uninterrupted execution per core event (overridable
+#: via OSConfig.interleave_ns), keeping cross-CPU interleaving
+#: fine-grained relative to transaction lengths
+INTERLEAVE_NS = 2_000
+
+
+class SimulationStall(Exception):
+    """Raised when the event queue drains while threads are still blocked
+    (a deadlock in the workload/OS interaction -- always a bug)."""
+
+
+class Machine:
+    """A configured target system executing one workload."""
+
+    def __init__(self, config: SystemConfig, workload: Workload, *, build_threads: bool = True) -> None:
+        self.config = config
+        self.workload = workload
+        self.clock = SimulationClock()
+        self.events = EventQueue()
+        self.hierarchy = MemoryHierarchy(config)
+        self.cores = [make_core(config, i) for i in range(config.n_cpus)]
+        self.scheduler = Scheduler(config.os, config.n_cpus)
+        self.locks = LockTable()
+        self.workload_clock = WorkloadClock()
+        self.completed_transactions = 0
+        self.live_threads = 0
+        self.timed_out = False
+        #: optional (time_ns, txn_type) log of completions for windowing
+        self.transaction_log: list[tuple[int, int]] | None = None
+        self._idle_cpus: set[int] = set()
+        self._target: int | None = None
+        self._target_time: int | None = None
+        if build_threads:
+            self._build_threads()
+            self._boot()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_threads(self) -> None:
+        n_threads = self.workload.n_threads(self.config.n_cpus)
+        for tid in range(n_threads):
+            program = self.workload.make_program(tid, self.workload_clock)
+            thread = SimThread(
+                tid=tid,
+                name=f"{self.workload.name}-{tid}",
+                program=program,
+                branch_ctx=self.workload.make_branch_context(tid),
+                last_cpu=tid % self.config.n_cpus,
+            )
+            self.scheduler.add_thread(thread)
+        self.live_threads = n_threads
+
+    def _boot(self) -> None:
+        for cpu in range(self.config.n_cpus):
+            self.events.schedule(0, "core", cpu)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run_until_transactions(self, total: int, max_time_ns: int) -> int:
+        """Process events until ``completed_transactions`` reaches
+        ``total`` machine-lifetime transactions (or time/work runs out).
+
+        Returns the time the target transaction completed.  The global
+        clock itself is not forced to that time: the target completes
+        mid-slice, while events older than it are still pending, and they
+        must remain processable by a subsequent call.
+        """
+        if self.completed_transactions >= total:
+            return self.clock.now
+        self._target = total
+        self._target_time = None
+        while self._target_time is None:
+            event = self.events.pop()
+            if event is None:
+                if self.live_threads > 0:
+                    states = {
+                        t.tid: t.state.value for t in self.scheduler.threads.values()
+                        if t.state is not ThreadState.FINISHED
+                    }
+                    raise SimulationStall(
+                        f"event queue drained with {self.live_threads} live "
+                        f"threads; states: {states}"
+                    )
+                break  # all threads finished before reaching the target
+            if event.time > max_time_ns:
+                self.timed_out = True
+                break
+            self.clock.advance_to(event.time)
+            if event.kind == "core":
+                self._handle_core(event.payload, event.time)
+            elif event.kind == "ready":
+                self._handle_ready(event.payload, event.time)
+            else:
+                raise ValueError(f"unknown event kind {event.kind!r}")
+        completion = self._target_time if self._target_time is not None else self.clock.now
+        self._target = None
+        self._target_time = None
+        return completion
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_ready(self, tid: int, now: int) -> None:
+        thread = self.scheduler.threads[tid]
+        if thread.state in (ThreadState.READY, ThreadState.RUNNING, ThreadState.FINISHED):
+            return  # stale wakeup
+        target_cpu = self.scheduler.make_ready(thread)
+        if target_cpu in self._idle_cpus:
+            self._idle_cpus.discard(target_cpu)
+            self.events.schedule(now, "core", target_cpu)
+
+    def _handle_core(self, cpu: int, now: int) -> None:
+        current_tid = self.scheduler.current[cpu]
+        if current_tid is None:
+            thread = self.scheduler.pick_next(cpu, now)
+            if thread is None:
+                self._idle_cpus.add(cpu)
+                return
+            now += self.config.os.context_switch_ns
+        else:
+            thread = self.scheduler.threads[current_tid]
+        self._run_slice(cpu, thread, now)
+
+    def _run_slice(self, cpu: int, thread: SimThread, now: int) -> None:
+        """Execute the thread on ``cpu`` until it blocks, is preempted, the
+        interleave slice expires, or the transaction target is reached."""
+        core = self.cores[cpu]
+        hierarchy = self.hierarchy
+        os_cfg = self.config.os
+        slice_end = now + (os_cfg.interleave_ns or INTERLEAVE_NS)
+        start = now
+
+        while True:
+            # Quantum expiry: preempt only if someone is waiting locally.
+            if now >= thread.quantum_deadline and self.scheduler.run_queues[cpu]:
+                thread.stats.cpu_time_ns += now - start
+                self.scheduler.preempt(cpu, thread)
+                self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
+                return
+
+            if not thread.pending_ops():
+                if not thread.refill():
+                    self._finish_thread(cpu, thread, now, start)
+                    return
+
+            op = thread.next_op()
+            kind = op[0]
+
+            if kind == "mem":
+                result = hierarchy.access(cpu, op[1], bool(op[2]), now)
+                if op[2]:
+                    now += core.store_stall(result.latency_ns, result.source)
+                else:
+                    now += core.load_stall(result.latency_ns, result.source)
+                thread.consume_op()
+
+            elif kind == "cpu":
+                now += core.instruction_time(op[1], thread.branch_ctx)
+                fetch = hierarchy.access(cpu, op[2], False, now, is_instruction=True)
+                now += core.fetch_stall(fetch.latency_ns, fetch.source)
+                thread.stats.instructions += op[1]
+                thread.consume_op()
+
+            elif kind == "lock":
+                mutex = self.locks.mutex(op[1])
+                # The test&set is a store to the lock word: coherence
+                # traffic that ping-pongs the line between contenders.
+                result = hierarchy.access(cpu, mutex.address, True, now)
+                now += result.latency_ns
+                if mutex.try_acquire(thread.tid):
+                    thread.blocked_on_lock = None
+                    thread.consume_op()
+                else:
+                    # Adaptive mutex: spin briefly, then block.  The op is
+                    # NOT consumed -- the woken thread re-executes the
+                    # acquire and may find the lock stolen by a barger.
+                    now += os_cfg.spin_before_block_ns
+                    mutex.enqueue_waiter(thread.tid)
+                    thread.blocked_on_lock = mutex.lock_id
+                    thread.stats.lock_blocks += 1
+                    thread.stats.cpu_time_ns += now - start
+                    self.scheduler.block(cpu, thread, ThreadState.BLOCKED_LOCK)
+                    self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
+                    return
+
+            elif kind == "unlock":
+                mutex = self.locks.mutex(op[1])
+                result = hierarchy.access(cpu, mutex.address, True, now)
+                now += result.latency_ns
+                next_tid = mutex.release(thread.tid)
+                thread.consume_op()
+                if next_tid is not None:
+                    # The woken waiter races any barging acquirer that
+                    # arrives during the wake-up latency window.
+                    self.events.schedule(
+                        now + os_cfg.wakeup_latency_ns, "ready", next_tid
+                    )
+
+            elif kind == "io":
+                thread.consume_op()
+                thread.stats.cpu_time_ns += now - start
+                self.scheduler.block(cpu, thread, ThreadState.BLOCKED_IO)
+                self.events.schedule(now + op[1], "ready", thread.tid)
+                self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
+                return
+
+            elif kind == "barrier":
+                barrier = self.locks.barrier(op[1], op[2])
+                thread.consume_op()
+                released = barrier.arrive(thread.tid)
+                if released is None:
+                    thread.stats.cpu_time_ns += now - start
+                    self.scheduler.block(cpu, thread, ThreadState.BLOCKED_BARRIER)
+                    self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
+                    return
+                for other in released:
+                    if other != thread.tid:
+                        self.events.schedule(
+                            now + os_cfg.wakeup_latency_ns, "ready", other
+                        )
+
+            elif kind == "txn_end":
+                thread.consume_op()
+                self.completed_transactions += 1
+                self.workload_clock.total_transactions += 1
+                thread.stats.transactions += 1
+                if self.transaction_log is not None:
+                    self.transaction_log.append((now, op[1]))
+                if self._target is not None and self.completed_transactions >= self._target:
+                    self._target_time = now
+                    thread.stats.cpu_time_ns += now - start
+                    # Leave the thread running; a resumed simulation
+                    # continues from this exact state.
+                    self.events.schedule(now, "core", cpu)
+                    return
+
+            elif kind == "txn_begin":
+                thread.consume_op()
+
+            elif kind == "yield":
+                thread.consume_op()
+                thread.stats.cpu_time_ns += now - start
+                self.scheduler.preempt(cpu, thread)
+                self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
+                return
+
+            else:
+                raise ValueError(f"unknown op kind {kind!r}")
+
+            if now >= slice_end:
+                thread.stats.cpu_time_ns += now - start
+                self.events.schedule(now, "core", cpu)
+                return
+
+    def _finish_thread(self, cpu: int, thread: SimThread, now: int, start: int) -> None:
+        thread.stats.cpu_time_ns += now - start
+        self.scheduler.block(cpu, thread, ThreadState.FINISHED)
+        self.live_threads -= 1
+        self.events.schedule(
+            now + self.config.os.context_switch_ns, "core", cpu
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the full machine state (paper 3.2.2: registers, memory,
+        disks and outstanding interrupts; here: threads, programs, caches,
+        locks, scheduler, and in-flight events)."""
+        return {
+            "clock": self.clock.snapshot(),
+            "events": self.events.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+            "threads": {
+                tid: thread.snapshot()
+                for tid, thread in self.scheduler.threads.items()
+            },
+            "locks": self.locks.snapshot(),
+            "hierarchy": self.hierarchy.snapshot(),
+            "cores": [core.snapshot() for core in self.cores],
+            "workload_clock": self.workload_clock.snapshot(),
+            "completed_transactions": self.completed_transactions,
+            "live_threads": self.live_threads,
+            "idle_cpus": sorted(self._idle_cpus),
+            "processor_model": self.config.processor.model,
+            "cache_geometry": (
+                self.config.l1i,
+                self.config.l1d,
+                self.config.l2,
+            ),
+            "coherence_protocol": self.config.coherence_protocol,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, config: SystemConfig, workload: Workload, state: dict
+    ) -> "Machine":
+        """Rebuild a machine from a snapshot, possibly under a *different*
+        system configuration (the paper restores one checkpoint into many
+        timing configurations).
+
+        When cache geometry differs, cache contents are replayed into the
+        new geometry in LRU order (overflow dropped -- equivalent to
+        warming the new cache with the checkpoint's resident set) and the
+        coherence directory is rebuilt.  When the processor model differs,
+        cores start cold.
+        """
+        machine = cls(config, workload, build_threads=False)
+        machine.clock = SimulationClock.restore(state["clock"])
+        machine.events = EventQueue.restore(state["events"])
+        machine.workload_clock.restore_state(state["workload_clock"])
+        machine.completed_transactions = state["completed_transactions"]
+        machine.live_threads = state["live_threads"]
+        machine._idle_cpus = set(state["idle_cpus"])
+        # Threads and their programs.
+        n_threads = workload.n_threads(config.n_cpus)
+        thread_states = state["threads"]
+        if len(thread_states) != n_threads:
+            raise ValueError(
+                f"checkpoint has {len(thread_states)} threads, workload "
+                f"needs {n_threads}"
+            )
+        for tid in range(n_threads):
+            program = workload.make_program(tid, machine.workload_clock)
+            thread = SimThread(
+                tid=tid,
+                name=f"{workload.name}-{tid}",
+                program=program,
+                branch_ctx=workload.make_branch_context(tid),
+            )
+            machine.scheduler.threads[tid] = thread
+            thread.restore_from(thread_states[tid])
+        machine.scheduler.restore_state(state["scheduler"])
+        machine.locks.restore_state(state["locks"])
+        # Cores: exact restore only for the same processor model.
+        if state["processor_model"] == config.processor.model:
+            for core, core_state in zip(machine.cores, state["cores"]):
+                core.restore_state(core_state)
+        # Memory system: exact restore when geometry and protocol match,
+        # else replay contents into the new shape/state space.
+        same_memory_model = state["cache_geometry"] == (
+            config.l1i,
+            config.l1d,
+            config.l2,
+        ) and state.get("coherence_protocol", "mosi") == config.coherence_protocol
+        if same_memory_model:
+            machine.hierarchy.restore_state(state["hierarchy"])
+        else:
+            _replay_caches(machine.hierarchy, state["hierarchy"], config)
+        return machine
+
+
+def _replay_caches(hierarchy: MemoryHierarchy, state: dict, config: SystemConfig) -> None:
+    """Warm a differently-shaped hierarchy from checkpointed contents.
+
+    L2 contents are re-inserted in LRU order (evictions fall where the new
+    geometry puts them); the directory is rebuilt from surviving L2 lines;
+    L1s restart cold (they refill within microseconds).  States foreign to
+    the target protocol are demoted to legal equivalents (E -> S clean;
+    O -> S with an implied writeback when the target lacks Owned).
+    """
+    from repro.memory.coherence import MOSIState, OWNER_STATES, transitions_for
+
+    target_table = transitions_for(config.coherence_protocol)
+    legal_states = {key[0].value for key in target_table}
+
+    for node, cache_state in enumerate(state["l2"]):
+        cache = hierarchy.l2[node]
+        for _index, lines in sorted(cache_state["sets"].items()):
+            for block, line_state, dirty in lines:
+                # Skip transient states (there are none between events, but
+                # be safe) and duplicates created by set-mapping changes.
+                if cache.peek(block) is not None:
+                    continue
+                if line_state not in legal_states:
+                    # Demote to Shared; the data's home becomes memory
+                    # (an O copy's dirty data is treated as flushed).
+                    line_state, dirty = MOSIState.S.value, False
+                victim = cache.insert(block, line_state, dirty=dirty)
+                del victim  # dropped: replay is warming, not coherence
+    # Rebuild the directory from what survived, using the target
+    # protocol's owner-state set (E owns under MESI/MOESI).
+    owner: dict[int, int] = {}
+    sharers: dict[int, set[int]] = {}
+    del OWNER_STATES  # superseded by the per-protocol set
+    owner_states = hierarchy._owner_states
+    for node in range(config.n_cpus):
+        for block in hierarchy.l2[node].resident_blocks():
+            line = hierarchy.l2[node].peek(block)
+            mosi = MOSIState(line.state)
+            sharers.setdefault(block, set()).add(node)
+            if mosi in owner_states:
+                if block in owner:
+                    # Set-mapping changes can surface two stale owners;
+                    # demote the later one to S.
+                    line.state = MOSIState.S.value
+                else:
+                    owner[block] = node
+    hierarchy._owner = owner
+    hierarchy._sharers = sharers
+    hierarchy.crossbar.restore_state(state["crossbar"])
+    hierarchy.dram.restore_state(state["dram"])

@@ -1,0 +1,30 @@
+"""Synthetic multi-threaded workloads.
+
+Seven workloads matching the paper's suite (section 3.1): five commercial
+(OLTP, Apache, SPECjbb, Slashcode, ECPerf) and two scientific SPLASH-2
+benchmarks (Barnes-Hut, Ocean).
+
+Each workload is a factory of per-thread :class:`WorkloadProgram` objects
+that emit deterministic operation streams (compute, memory references,
+locks, I/O, barriers, transaction boundaries).  Determinism is
+counter-based: the content of a thread's n-th transaction is a pure
+function of workload seed, thread id and transaction index -- so the only
+cross-run differences come from *timing* (which transaction runs when and
+on which CPU), exactly as in a real system.
+
+Workload-specific structure -- lock hierarchies, sharing patterns, log
+flushes, garbage-collection phases, barrier supersteps -- is what gives
+each benchmark its characteristic position in the paper's Table 3
+variability spectrum.
+"""
+
+from repro.workloads.base import Op, WorkloadClock, WorkloadProgram
+from repro.workloads.registry import available_workloads, make_workload
+
+__all__ = [
+    "Op",
+    "WorkloadClock",
+    "WorkloadProgram",
+    "available_workloads",
+    "make_workload",
+]

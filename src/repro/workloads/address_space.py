@@ -1,0 +1,159 @@
+"""Synthetic address-space layout and access-pattern generators.
+
+All workloads share one virtual layout so that regions never collide:
+
+======================  ==========================================
+``CODE_BASE``           shared program text (per-workload footprint)
+``PRIVATE_BASE``        per-thread private data (stack/heap slices)
+``SHARED_BASE``         shared heap / database buffer pool
+``LOG_BASE``            sequential log region (databases)
+``LOCK_REGION_BASE``    lock words (one cache block each)
+======================  ==========================================
+
+Every generator is a pure function of (seed, counter), so the address a
+thread touches at a given logical position is identical across runs and
+machine configurations.  Patterns provided:
+
+- *sequential with wraparound* (private data, log writes),
+- *hot/cold two-level* (buffer pools: a hot set absorbing most touches
+  over a large cold set),
+- *strided root* (index roots aligned at large power-of-two strides, so
+  they collide in the same cache sets -- the source of the
+  associativity sensitivity in Experiment 1).
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import hash_u64
+
+BLOCK = 64
+
+# Region bases are offset from their power-of-two segment starts by
+# distinct odd block counts (page colouring): without this, every
+# region's hottest blocks would collide in the same low cache sets and a
+# direct-mapped cache would thrash pathologically -- real kernels colour
+# pages precisely to avoid that.
+CODE_BASE = 0x0800_0000 + 37 * BLOCK
+PRIVATE_BASE = 0x2000_0000 + 411 * BLOCK
+PRIVATE_STRIDE = 1 << 24  # 16 MB per thread
+SHARED_BASE = 0x4000_0000 + 1013 * BLOCK
+LOG_BASE = 0x6000_0000 + 2111 * BLOCK
+
+
+REGION_BYTES = 8 * 1024
+
+
+def code_address(
+    code_seed: int,
+    counter: int,
+    footprint_bytes: int,
+    region: int = 0,
+    region_bytes: int = REGION_BYTES,
+) -> int:
+    """An instruction-fetch address within the workload's text footprint.
+
+    Code exhibits strong looping locality: a code *path* (one transaction
+    type's handler, selected by ``region``) walks sequentially through its
+    own region of the text, re-executing the same blocks every time that
+    path runs, with occasional excursions across the full footprint (cold
+    paths, rarely-taken handlers).
+    """
+    region_blocks = max(1, region_bytes // BLOCK)
+    n_blocks = max(region_blocks, footprint_bytes // BLOCK)
+    n_regions = max(1, n_blocks // region_blocks)
+    draw = hash_u64(code_seed, counter, 31)
+    if draw % 100 < 90:
+        block = (region % n_regions) * region_blocks + counter % region_blocks
+    else:
+        block = draw % n_blocks
+    return CODE_BASE + block * BLOCK
+
+
+def private_address(tid: int, counter: int, working_set_bytes: int) -> int:
+    """A private-data address: sequential walk over the working set.
+
+    Models stack frames and thread-local heap: consecutive touches land
+    in consecutive blocks, wrapping at the working-set size.
+    """
+    n_blocks = max(1, working_set_bytes // BLOCK)
+    block = (counter // 2) % n_blocks  # two touches per block on average
+    # Per-thread colour offset: stacks/heaps of different threads start at
+    # different cache colours (again, what real allocators do) -- without
+    # it the node's threads all thrash the same few sets.
+    colour = (tid * 89) % 512
+    return PRIVATE_BASE + tid * PRIVATE_STRIDE + (colour + block) * BLOCK
+
+
+def hot_cold_address(
+    seed: int,
+    counter: int,
+    hot_bytes: int,
+    cold_bytes: int,
+    hot_milli: int,
+) -> int:
+    """A shared-heap address from a two-level hot/cold distribution.
+
+    With probability ``hot_milli``/1000 the access falls uniformly in the
+    hot set; otherwise uniformly in the cold span.  This approximates the
+    skewed block popularity of database buffer pools and web caches.
+    """
+    draw = hash_u64(seed, counter, 37)
+    if draw % 1000 < hot_milli:
+        n_blocks = max(1, hot_bytes // BLOCK)
+        block = (draw >> 10) % n_blocks
+        return SHARED_BASE + block * BLOCK
+    n_blocks = max(1, cold_bytes // BLOCK)
+    block = (draw >> 10) % n_blocks
+    # Cold region sits beyond the hot region.
+    return SHARED_BASE + hot_bytes + block * BLOCK
+
+
+def zipf_address(seed: int, counter: int, pool_bytes: int) -> int:
+    """A shared-pool address with Zipf-like block popularity.
+
+    Block popularity follows ~1/rank (drawn log-uniformly over ranks), the
+    canonical skew of database buffer pools and web caches: a small head
+    of very hot blocks, a long warm tail.  The head warms within tens of
+    transactions while the tail extends to the full pool size, so a pool
+    sized against the L2 produces genuine capacity/conflict pressure --
+    the behaviour Experiment 1's associativity sweep relies on.
+    """
+    n_blocks = max(2, pool_bytes // BLOCK)
+    u = (hash_u64(seed, counter, 47) >> 11) * (1.0 / (1 << 53))
+    rank = min(n_blocks - 1, int(n_blocks ** u) - 1)
+    return SHARED_BASE + rank * BLOCK
+
+
+def strided_root_address(seed: int, counter: int, n_roots: int, stride_bytes: int = 1 << 20) -> int:
+    """An index-root address aligned at a large power-of-two stride.
+
+    B-tree roots, page directories and similar metadata tend to be
+    allocated at aligned boundaries, so they map to the *same* cache sets.
+    A direct-mapped cache thrashes on them; higher associativity absorbs
+    them.  This pattern carries Experiment 1's associativity sensitivity.
+    """
+    root = hash_u64(seed, counter, 41) % max(1, n_roots)
+    return SHARED_BASE + 0x1000_0000 + root * stride_bytes
+
+
+def log_address(counter: int) -> int:
+    """The next sequential log-record address (append-only stream)."""
+    return LOG_BASE + (counter % (1 << 20)) * BLOCK
+
+
+def grid_address(tid: int, counter: int, rows_per_thread: int, row_bytes: int) -> int:
+    """An Ocean-style partitioned-grid address.
+
+    Each thread owns a band of rows; most touches sweep its own band,
+    with boundary rows shared with neighbours (counter-selected).
+    """
+    row_blocks = max(1, row_bytes // BLOCK)
+    sweep = counter % (rows_per_thread * row_blocks)
+    row = sweep // row_blocks
+    col = sweep % row_blocks
+    base_row = tid * rows_per_thread
+    # Every 16th step touches a neighbour's boundary row.
+    if hash_u64(tid, counter, 43) % 16 == 0:
+        base_row = base_row - 1 if (counter & 1) and base_row > 0 else base_row + rows_per_thread
+        row = 0
+    return SHARED_BASE + (base_row + row) * row_bytes + col * BLOCK

@@ -1,0 +1,122 @@
+"""Apache: static web content serving (paper section 3.1).
+
+One transaction is one HTTP request served by a worker thread: a short
+critical section on the accept mutex, URL parsing, a page-cache lookup
+(hot/cold: popular pages dominate), the response write, and an occasional
+disk read for a cold file.  Requests are short and mostly independent, so
+space variability is modest (Table 3: CoV 0.88 % over 5000 transactions)
+-- contention is limited to the brief accept/stat-cache sections.
+
+Time variability is mild: request popularity shifts slowly (content
+"churn"), and a periodic log-rotation phase adds I/O bursts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads import address_space as aspace
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
+
+ACCEPT_LOCK = 400
+STAT_CACHE_LOCK = 401
+LOG_LOCK = 402
+
+
+class ApacheProgram(WorkloadProgram):
+    """One httpd worker thread."""
+
+    def __init__(self, workload: "ApacheWorkload", tid: int, clock: WorkloadClock) -> None:
+        super().__init__(workload.name, tid, workload.seed, clock)
+        self.w = workload
+        self.mem_counter = 0
+        self.code_region = 0
+
+    def _cpu(self, ops: list[Op], n: int) -> None:
+        self.mem_counter += 1
+        code = aspace.code_address(
+            self.w.seed,
+            self.mem_counter,
+            self.w.code_footprint_bytes,
+            region=self.code_region,
+        )
+        ops.append(("cpu", n, code))
+
+    def _page_cache(self) -> int:
+        # Popularity churn: the hot head slides over the corpus with time.
+        churn = self.clock.total_transactions // self.w.churn_period_txns
+        return aspace.zipf_address(
+            self.w.seed + churn,
+            self.mem_counter + self.draw(3) % 512,
+            self.w.corpus_bytes,
+        )
+
+    def build_transaction(self) -> list[Op]:
+        ops: list[Op] = [("txn_begin", 0)]
+        # Accept the connection: short, contended critical section --
+        # but most requests arrive on kept-alive connections and skip it.
+        if self.draw_milli(2) < self.w.new_connection_milli:
+            ops.append(("lock", ACCEPT_LOCK))
+            self._cpu(ops, self.w.scaled(20))
+            ops.append(("unlock", ACCEPT_LOCK))
+        # Parse the request.
+        self._cpu(ops, self.w.scaled(60))
+        for _ in range(self.w.scaled(3)):
+            self.mem_counter += 1
+            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
+        # Stat/open the file: the metadata cache is read lock-free; only
+        # misses (cold or churned entries) take the update lock.
+        self.mem_counter += 1
+        ops.append(("mem", self._page_cache(), 0))
+        if self.draw_milli(4) < self.w.stat_miss_milli:
+            ops.append(("lock", STAT_CACHE_LOCK))
+            self._cpu(ops, self.w.scaled(15))
+            ops.append(("unlock", STAT_CACHE_LOCK))
+        # Read the file body from the page cache.
+        file_blocks = 2 + self.draw(5) % self.w.scaled(8)
+        for _ in range(file_blocks):
+            self.mem_counter += 1
+            ops.append(("mem", self._page_cache(), 0))
+            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
+        if self.draw_milli(7) < self.w.disk_read_milli:
+            ops.append(("io", self.w.disk_read_ns))
+        # Send the response and append to the worker's buffered access
+        # log (per-process buffers: no cross-worker lock).
+        self._cpu(ops, self.w.scaled(80))
+        self.mem_counter += 1
+        ops.append(("mem", aspace.log_address(self.tid * 8192 + self.mem_counter), 1))
+        # Log rotation phase: brief recurring I/O storm.
+        if self.clock.total_transactions % self.w.rotate_period_txns < self.w.rotate_window_txns:
+            if self.draw_milli(9) < 200:
+                ops.append(("io", self.w.rotate_io_ns))
+        ops.append(("txn_end", 0))
+        return ops
+
+    def extra_state(self) -> dict:
+        return {"mem_counter": self.mem_counter}
+
+    def restore_extra(self, extra: dict) -> None:
+        self.mem_counter = extra["mem_counter"]
+
+
+class ApacheWorkload(Workload):
+    """Static-content web server (many short independent requests)."""
+
+    name = "apache"
+    threads_per_cpu = 8
+    code_footprint_bytes = 1024 * 1024
+    static_branches = 512
+
+    corpus_bytes = 2 * 1024 * 1024
+    new_connection_milli = 250
+    stat_miss_milli = 80
+    private_bytes = 12 * 1024
+    disk_read_milli = 25
+    disk_read_ns = 25_000
+    churn_period_txns = 3000
+    rotate_period_txns = 2500
+    rotate_window_txns = 30
+    rotate_io_ns = 40_000
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> ApacheProgram:
+        return ApacheProgram(self, tid, clock)

@@ -1,0 +1,136 @@
+"""Barnes-Hut: SPLASH-2 N-body simulation (paper section 3.1).
+
+The paper runs Barnes-Hut with 16K bodies as a scientific reference
+point: one thread per processor, barrier-synchronized supersteps, and a
+read-mostly shared octree.  The whole benchmark counts as a single
+transaction (Table 3: #transactions = 1) and shows the *least* space
+variability of the suite (CoV 0.16 %, range 0.59 %): the execution path
+is essentially timing-independent, so runs differ only by the
+accumulated jitter of individual miss latencies.
+
+Structure per superstep (time step): tree build (mostly thread 0 with a
+short lock on the root), force computation (CPU-dominant, read-shared
+tree walks, private body updates), then a global barrier.  Only thread 0
+emits the final ``txn_end``, after the last barrier, so a run measures
+exactly one transaction.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import address_space as aspace
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
+
+TREE_LOCK = 600
+BARRIER_BUILD = 60
+BARRIER_FORCES = 61
+
+
+class BarnesProgram(WorkloadProgram):
+    """One worker thread executing barrier-synchronized supersteps."""
+
+    # Work is statically partitioned (own warehouse / own band): no
+    # shared request stream, hence almost no space variability.
+    global_queue = False
+
+    def __init__(self, workload: "BarnesWorkload", tid: int, clock: WorkloadClock) -> None:
+        super().__init__(workload.name, tid, workload.seed, clock)
+        self.w = workload
+        self.step = 0
+        self.mem_counter = 0
+        self.code_region = 0
+
+    def _cpu(self, ops: list[Op], n: int) -> None:
+        self.mem_counter += 1
+        code = aspace.code_address(
+            self.w.seed,
+            self.mem_counter,
+            self.w.code_footprint_bytes,
+            region=self.code_region,
+        )
+        ops.append(("cpu", n, code))
+
+    def _tree_address(self) -> int:
+        """A read of the shared octree (top levels are very hot)."""
+        self.mem_counter += 1
+        return aspace.hot_cold_address(
+            self.w.seed,
+            self.mem_counter + self.draw(3, self.step) % 256,
+            self.w.tree_hot_bytes,
+            self.w.tree_bytes,
+            920,
+        )
+
+    def next_ops(self, thread) -> list[Op]:
+        if self.finished:
+            return []
+        if self.step >= self.w.n_steps:
+            self.finished = True
+            if self.tid == 0:
+                # The benchmark is one transaction, reported once.
+                return [("txn_end", 0)]
+            return [("cpu", 1, aspace.CODE_BASE)]
+        ops = self._superstep()
+        self.step += 1
+        return ops
+
+    def _superstep(self) -> list[Op]:
+        ops: list[Op] = []
+        n_participants = self.w.total_threads
+        # Tree build: each thread inserts its bodies under fine-grained
+        # cell locks (hashed), so contention is light -- Barnes-Hut is the
+        # paper's most space-stable benchmark.
+        cell = TREE_LOCK + self.draw(5, self.step) % 8
+        ops.append(("lock", cell))
+        ops.append(("mem", self._tree_address(), 1))
+        self._cpu(ops, self.w.scaled(25))
+        ops.append(("unlock", cell))
+        ops.append(("barrier", BARRIER_BUILD, n_participants))
+        # Force computation: long CPU phases walking the read-shared tree.
+        bodies = self.w.scaled(self.w.bodies_per_thread)
+        for body in range(bodies):
+            self.mem_counter += 1
+            ops.append(("mem", self._tree_address(), 0))
+            ops.append(
+                ("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
+            )
+            if body % 4 == 0:
+                self._cpu(ops, self.w.scaled(220))
+        ops.append(("barrier", BARRIER_FORCES, n_participants))
+        return ops
+
+    def extra_state(self) -> dict:
+        return {"step": self.step, "mem_counter": self.mem_counter}
+
+    def restore_extra(self, extra: dict) -> None:
+        self.step = extra["step"]
+        self.mem_counter = extra["mem_counter"]
+
+
+class BarnesWorkload(Workload):
+    """SPLASH-2 Barnes-Hut, 16K bodies, one thread per processor."""
+
+    name = "barnes"
+    threads_per_cpu = 1
+    code_footprint_bytes = 128 * 1024  # small scientific kernel
+    static_branches = 128
+    taken_bias_milli = 850
+    flip_noise_milli = 12
+    indirect_milli = 5
+    return_milli = 30
+
+    n_steps = 12
+    bodies_per_thread = 24
+    tree_hot_bytes = 48 * 1024
+    tree_bytes = 1024 * 1024
+    private_bytes = 64 * 1024
+
+    def __init__(self, seed: int = 12345, scale: float = 1.0, n_cpus: int = 16) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.total_threads = self.threads_per_cpu * n_cpus
+
+    def n_threads(self, n_cpus: int) -> int:
+        self.total_threads = self.threads_per_cpu * n_cpus
+        return self.total_threads
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> BarnesProgram:
+        return BarnesProgram(self, tid, clock)

@@ -1,0 +1,238 @@
+"""Workload program framework.
+
+A workload is a factory of per-thread :class:`WorkloadProgram` objects.
+Each program emits its operation stream one *transaction* at a time via
+``next_ops``; the machine's execution loop consumes operations and turns
+them into time.
+
+Operations are plain tuples (cheap to create, trivially checkpointable):
+
+==========================  ==============================================
+``("cpu", n, code_addr)``   execute ``n`` instructions; one I-fetch probe
+``("mem", addr, w)``        data reference (``w``: 1 = store, 0 = load)
+``("lock", lock_id)``       acquire a mutex (may block)
+``("unlock", lock_id)``     release a mutex (may wake a waiter)
+``("io", ns)``              block for an I/O of the given duration
+``("barrier", id, n)``      barrier among ``n`` participants
+``("txn_begin", type_id)``  transaction start marker
+``("txn_end", type_id)``    transaction completion (the measured unit)
+``("yield",)``              voluntary yield to the scheduler
+==========================  ==============================================
+
+Programs see the shared :class:`WorkloadClock` (total transactions
+completed machine-wide), which lets behaviour drift over the workload's
+lifetime -- the paper's *time variability*.  Everything else a program
+draws comes from counter-based hashes of (seed, tid, txn_index, op
+index), so the content of a given logical transaction is identical in
+every run; only its *timing context* differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.proc.base import BranchContext
+from repro.sim.rng import hash_u64, stream_seed
+
+#: operations are plain tuples; this alias documents intent
+Op = tuple
+
+
+@dataclass
+class WorkloadClock:
+    """Machine-global workload progress, shared by all programs.
+
+    ``total_transactions`` counts every committed transaction since the
+    workload started (including before any checkpoint), so programs can
+    modulate behaviour over the workload lifetime.
+
+    ``total_started`` is the *request stream* ticket counter: server
+    workloads (OLTP, web) serve a shared stream of incoming requests, so
+    a worker thread starting its next transaction takes the next ticket
+    and the ticket determines the transaction's content.  Which thread
+    gets which ticket depends on the execution interleaving -- this is
+    how scheduling divergence changes what work actually runs, the
+    amplification at the heart of space variability.  Warehouse-style
+    workloads (SPECjbb) and static-partitioned scientific codes do not
+    use tickets, which is why the paper finds them space-stable.
+    """
+
+    total_transactions: int = 0
+    total_started: int = 0
+
+    def take_ticket(self) -> int:
+        """Claim the next request from the shared stream."""
+        ticket = self.total_started
+        self.total_started += 1
+        return ticket
+
+    def snapshot(self) -> tuple[int, int]:
+        """Checkpointable clock state."""
+        return (self.total_transactions, self.total_started)
+
+    def restore_state(self, state) -> None:
+        """Restore from a :meth:`snapshot` value (tolerates the pre-ticket
+        single-counter form)."""
+        if isinstance(state, tuple):
+            self.total_transactions, self.total_started = state
+        else:
+            self.total_transactions = state
+            self.total_started = state
+
+
+class WorkloadProgram:
+    """Base class for per-thread operation-stream generators.
+
+    Subclasses implement :meth:`build_transaction`, returning the full
+    operation list of the thread's next transaction.  The base class
+    manages the transaction index and provides deterministic draw
+    helpers.
+
+    ``global_queue`` selects where transaction content comes from: True
+    (server workloads) draws it from the machine-wide request-stream
+    ticket, so content assignment to threads is interleaving-dependent;
+    False (warehouse/scientific workloads) keys content on (thread,
+    transaction index), making each thread's work stream fixed.
+    """
+
+    global_queue = True
+
+    def __init__(self, name: str, tid: int, seed: int, clock: WorkloadClock) -> None:
+        self.name = name
+        self.tid = tid
+        self.seed = stream_seed(seed, name, tid)
+        self.queue_seed = stream_seed(seed, name, "queue")
+        self.clock = clock
+        self.txn_index = 0
+        self.txn_key = 0
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Stream generation
+    # ------------------------------------------------------------------
+    def next_ops(self, thread: Any) -> list[Op]:
+        """Return the next transaction's operations (empty when done)."""
+        if self.finished:
+            return []
+        if self.global_queue:
+            self.txn_key = self.clock.take_ticket()
+        else:
+            self.txn_key = self.txn_index
+        ops = self.build_transaction()
+        self.txn_index += 1
+        return ops
+
+    def build_transaction(self) -> list[Op]:
+        """Produce the operation list for transaction ``self.txn_index``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Deterministic draw helpers (pure functions of stored counters)
+    # ------------------------------------------------------------------
+    def draw(self, *keys: int) -> int:
+        """A 64-bit draw keyed by this transaction and ``keys``.
+
+        Global-queue programs key on the shared stream ticket (all
+        threads draw from one request stream); others key on the
+        per-thread transaction index.
+        """
+        if self.global_queue:
+            return hash_u64(self.queue_seed, self.txn_key, *keys)
+        return hash_u64(self.seed, self.txn_key, *keys)
+
+    def draw_milli(self, *keys: int) -> int:
+        """A draw in [0, 1000) for per-mille probability checks."""
+        return self.draw(*keys) % 1000
+
+    def pick_weighted(self, weights: list[int], *keys: int) -> int:
+        """Pick an index with the given integer weights."""
+        total = sum(weights)
+        point = self.draw(*keys) % total
+        cumulative = 0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if point < cumulative:
+                return index
+        return len(weights) - 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Checkpointable program state; subclasses extend via extra()."""
+        return {
+            "txn_index": self.txn_index,
+            "txn_key": self.txn_key,
+            "finished": self.finished,
+            "extra": self.extra_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from a :meth:`snapshot` value."""
+        self.txn_index = state["txn_index"]
+        self.txn_key = state["txn_key"]
+        self.finished = state["finished"]
+        self.restore_extra(state["extra"])
+
+    def extra_state(self) -> dict:
+        """Subclass hook: additional plain-data state to checkpoint."""
+        return {}
+
+    def restore_extra(self, extra: dict) -> None:
+        """Subclass hook: restore :meth:`extra_state` data."""
+
+
+class Workload:
+    """Base class for workload factories.
+
+    A workload instance is configuration, not state: it knows how many
+    threads to create, how to build each thread's program, and the branch
+    behaviour of its code.  ``scale`` multiplies per-transaction operation
+    counts (1.0 = the fast default used in tests; larger values lengthen
+    transactions toward paper-scale costs).
+    """
+
+    name = "workload"
+    threads_per_cpu = 8
+    #: branch-stream parameters (commercial code: large, noisy footprints)
+    static_branches = 512
+    taken_bias_milli = 650
+    flip_noise_milli = 30
+    indirect_milli = 30
+    return_milli = 60
+    #: instruction-footprint of the program text
+    code_footprint_bytes = 2 * 1024 * 1024
+
+    def __init__(self, seed: int = 12345, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.seed = seed
+        self.scale = scale
+
+    def n_threads(self, n_cpus: int) -> int:
+        """Total thread count for a machine with ``n_cpus`` processors."""
+        return self.threads_per_cpu * n_cpus
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> WorkloadProgram:
+        """Build the program for thread ``tid``."""
+        raise NotImplementedError
+
+    def make_branch_context(self, tid: int) -> BranchContext:
+        """Branch-stream context for thread ``tid``.
+
+        Threads of one workload share a ``code_seed`` (same program text),
+        so predictor state learned from one thread transfers to others.
+        """
+        return BranchContext(
+            code_seed=stream_seed(self.seed, self.name, "code"),
+            static_branches=self.static_branches,
+            taken_bias_milli=self.taken_bias_milli,
+            flip_noise_milli=self.flip_noise_milli,
+            indirect_milli=self.indirect_milli,
+            return_milli=self.return_milli,
+        )
+
+    def scaled(self, count: int) -> int:
+        """Scale a per-transaction op count, keeping it at least 1."""
+        return max(1, int(count * self.scale))

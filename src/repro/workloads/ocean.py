@@ -1,0 +1,122 @@
+"""Ocean: SPLASH-2 ocean-current simulation (paper section 3.1).
+
+The paper runs Ocean with a 514x514 grid: one thread per processor, each
+owning a band of grid rows, sweeping its band every iteration with
+nearest-neighbour exchanges at the band boundaries, separated by global
+barriers.  Like Barnes it is a single-transaction benchmark with very low
+space variability (Table 3: CoV 0.31 %, range 1.13 %) -- slightly higher
+than Barnes because the boundary-row sharing generates real
+cache-to-cache traffic whose latency composition differs run to run.
+
+Only thread 0 emits ``txn_end`` after the final barrier.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import address_space as aspace
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
+
+BARRIER_SWEEP = 70
+BARRIER_REDUCE = 71
+
+
+class OceanProgram(WorkloadProgram):
+    """One worker thread sweeping its band of the grid."""
+
+    # Work is statically partitioned (own warehouse / own band): no
+    # shared request stream, hence almost no space variability.
+    global_queue = False
+
+    def __init__(self, workload: "OceanWorkload", tid: int, clock: WorkloadClock) -> None:
+        super().__init__(workload.name, tid, workload.seed, clock)
+        self.w = workload
+        self.step = 0
+        self.sweep_counter = 0
+        self.mem_counter = 0
+        self.code_region = 0
+
+    def _cpu(self, ops: list[Op], n: int) -> None:
+        self.mem_counter += 1
+        code = aspace.code_address(
+            self.w.seed,
+            self.mem_counter,
+            self.w.code_footprint_bytes,
+            region=self.code_region,
+        )
+        ops.append(("cpu", n, code))
+
+    def next_ops(self, thread) -> list[Op]:
+        if self.finished:
+            return []
+        if self.step >= self.w.n_steps:
+            self.finished = True
+            if self.tid == 0:
+                return [("txn_end", 0)]
+            return [("cpu", 1, aspace.CODE_BASE)]
+        ops = self._sweep()
+        self.step += 1
+        return ops
+
+    def _sweep(self) -> list[Op]:
+        ops: list[Op] = []
+        n_participants = self.w.total_threads
+        points = self.w.scaled(self.w.points_per_sweep)
+        for point in range(points):
+            self.sweep_counter += 1
+            addr = aspace.grid_address(
+                self.tid, self.sweep_counter, self.w.rows_per_thread, self.w.row_bytes
+            )
+            # Red-black sweep: read neighbours, write the point.
+            ops.append(("mem", addr, 0))
+            ops.append(("mem", addr + self.w.row_bytes, 0))
+            ops.append(("mem", addr, 1))
+            if point % 8 == 0:
+                self._cpu(ops, self.w.scaled(120))
+        ops.append(("barrier", BARRIER_SWEEP, n_participants))
+        # Global error reduction: short compute + one shared accumulator
+        # touch (thread 0 finalizes).
+        self._cpu(ops, self.w.scaled(60))
+        ops.append(("mem", aspace.SHARED_BASE + 0x0F00_0000 + (self.step % 8) * 64, 1))
+        ops.append(("barrier", BARRIER_REDUCE, n_participants))
+        return ops
+
+    def extra_state(self) -> dict:
+        return {
+            "step": self.step,
+            "sweep_counter": self.sweep_counter,
+            "mem_counter": self.mem_counter,
+        }
+
+    def restore_extra(self, extra: dict) -> None:
+        self.step = extra["step"]
+        self.sweep_counter = extra["sweep_counter"]
+        self.mem_counter = extra["mem_counter"]
+
+
+class OceanWorkload(Workload):
+    """SPLASH-2 Ocean, 514x514 grid, one thread per processor."""
+
+    name = "ocean"
+    threads_per_cpu = 1
+    code_footprint_bytes = 96 * 1024
+    static_branches = 96
+    taken_bias_milli = 900
+    flip_noise_milli = 8
+    indirect_milli = 2
+    return_milli = 20
+
+    n_steps = 10
+    points_per_sweep = 40
+    rows_per_thread = 16  # 514 rows / 16 threads
+    row_bytes = 2 * 1024  # 514 doubles, padded
+
+    def __init__(self, seed: int = 12345, scale: float = 1.0, n_cpus: int = 16) -> None:
+        super().__init__(seed=seed, scale=scale)
+        self.total_threads = self.threads_per_cpu * n_cpus
+
+    def n_threads(self, n_cpus: int) -> int:
+        self.total_threads = self.threads_per_cpu * n_cpus
+        return self.total_threads
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> OceanProgram:
+        return OceanProgram(self, tid, clock)

@@ -1,0 +1,273 @@
+"""OLTP: a TPC-C-like database workload (paper section 3.1).
+
+The paper's OLTP is IBM DB2 running a TPC-C-like mix: five transaction
+types against a warehouse database, many concurrent users with no think
+time, a dedicated log, and 8 users per processor.  This generator
+reproduces the *structural* properties that drive variability:
+
+- **Five transaction types** with the TPC-C mix (New-Order 45 %,
+  Payment 43 %, Order-Status 4 %, Delivery 4 %, Stock-Level 4 %), each
+  with its own footprint and lock behaviour.
+- **Lock hierarchy**: a small set of hot district locks serializes
+  same-district transactions (which district a transaction hits is
+  deterministic per transaction, but *who wins* a contended lock depends
+  on timing -- the paper's lock-order divergence); a single log mutex
+  serializes commit records.
+- **Buffer-pool accesses** with a hot/cold distribution, plus
+  stride-aligned index-root touches (the associativity-sensitive pattern
+  for Experiment 1).
+- **I/O**: cold buffer misses read from disk; commits append to the log,
+  with periodic group-flushes -- both block the thread and hand the CPU
+  to the scheduler.
+- **Time variability**: the transaction mix drifts over the workload
+  lifetime, the buffer-pool hot set breathes, and log-flush storms recur
+  -- so runs started from different checkpoints see different behaviour
+  (Figures 8 and 9).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads import address_space as aspace
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
+
+# Transaction type ids.
+NEW_ORDER, PAYMENT, ORDER_STATUS, DELIVERY, STOCK_LEVEL = range(5)
+TXN_NAMES = ("new_order", "payment", "order_status", "delivery", "stock_level")
+BASE_MIX = (45, 43, 4, 4, 4)
+
+# Lock ids (global lock-id space; each workload has a reserved range).
+DISTRICT_LOCK_BASE = 0
+LOG_LOCK = 99
+
+
+class OLTPProgram(WorkloadProgram):
+    """One database worker thread."""
+
+    def __init__(self, workload: "OLTPWorkload", tid: int, clock: WorkloadClock) -> None:
+        super().__init__(workload.name, tid, workload.seed, clock)
+        self.w = workload
+        self.mem_counter = 0
+        self.log_counter = 0
+        self.code_region = 0
+
+    # ------------------------------------------------------------------
+    # Lifetime phases (time variability)
+    # ------------------------------------------------------------------
+    def _phase(self) -> float:
+        """Slow lifetime modulation in [-1, 1] from global progress."""
+        t = self.clock.total_transactions
+        return math.sin(2 * math.pi * t / self.w.phase_period_txns)
+
+    def _mix_weights(self) -> list[int]:
+        """The transaction mix, drifted by workload phase.
+
+        Heavier New-Order phases alternate with Payment-heavy phases, the
+        kind of mix drift the paper notes ("the exact mix of transactions
+        may vary over time").
+        """
+        shift = int(self.w.mix_drift * self._phase())
+        weights = list(BASE_MIX)
+        weights[NEW_ORDER] = max(1, weights[NEW_ORDER] + shift)
+        weights[PAYMENT] = max(1, weights[PAYMENT] - shift)
+        return weights
+
+    def _pool_bytes(self) -> int:
+        """Buffer-pool footprint, breathing with the lifetime phase."""
+        base = self.w.pool_bytes
+        return int(base * (1.0 + self.w.pool_breathing * self._phase()))
+
+    # ------------------------------------------------------------------
+    # Transaction construction
+    # ------------------------------------------------------------------
+    def build_transaction(self) -> list[Op]:
+        txn_type = self.pick_weighted(self._mix_weights(), 1)
+        self.code_region = txn_type
+        builder = (
+            self._new_order,
+            self._payment,
+            self._order_status,
+            self._delivery,
+            self._stock_level,
+        )[txn_type]
+        ops: list[Op] = [("txn_begin", txn_type)]
+        builder(ops)
+        ops.append(("txn_end", txn_type))
+        return ops
+
+    def _district(self, key: int) -> int:
+        """The district lock this transaction contends on."""
+        return DISTRICT_LOCK_BASE + self.draw(key) % self.w.n_hot_districts
+
+    # -- op-stream building blocks ------------------------------------
+    def _cpu(self, ops: list[Op], n_instructions: int) -> None:
+        self.mem_counter += 1
+        code = aspace.code_address(
+            self.w.seed,
+            self.mem_counter,
+            self.w.code_footprint_bytes,
+            region=self.code_region,
+        )
+        ops.append(("cpu", n_instructions, code))
+
+    def _index_lookup(self, ops: list[Op], depth: int) -> None:
+        """Walk a B-tree: stride-aligned root, then hot/cold interior."""
+        self.mem_counter += 1
+        ops.append(
+            ("mem", aspace.strided_root_address(self.w.seed, self.draw(3), self.w.n_index_roots), 0)
+        )
+        for _ in range(depth):
+            self.mem_counter += 1
+            ops.append(("mem", self._pool_address(), 0))
+        self._cpu(ops, self.w.scaled(30))
+
+    def _pool_address(self) -> int:
+        return aspace.zipf_address(
+            self.w.seed,
+            self.mem_counter + self.draw(5) % 1024,
+            self._pool_bytes(),
+        )
+
+    def _row_access(
+        self, ops: list[Op], n_rows: int, write: bool, *, may_fault: bool = True
+    ) -> None:
+        """Touch row data; cold rows fault in from disk.
+
+        Each row is touched several times (field reads, then the update):
+        the temporal locality that makes the first touch the only miss.
+        ``may_fault=False`` marks rows pinned in the buffer pool (used
+        inside critical sections, which never take disk faults).
+        """
+        for _ in range(n_rows):
+            self.mem_counter += 1
+            row = self._pool_address()
+            # Even in update transactions most touched rows are only read
+            # (predicate checks, joins); a fraction take the update.
+            updated = write and self.draw_milli(9, self.mem_counter) < self.w.update_milli
+            ops.append(("mem", row, 0))
+            ops.append(("mem", row, 0))
+            ops.append(("mem", row, int(updated)))
+            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
+            if may_fault and self.draw_milli(7, self.mem_counter) < self.w.disk_read_milli:
+                ops.append(("io", self.w.disk_read_ns))
+        self._cpu(ops, self.w.scaled(40) * n_rows)
+
+    def _commit(self, ops: list[Op], records: int) -> None:
+        """Append commit records; group commit (DB2-style).
+
+        Most committers append their records to the log buffer and let a
+        *leader* flush on their behalf; only leaders serialize on the log
+        mutex.  During a periodic flush storm every leader also waits on
+        the log device (a recurring slow phase -> Figure 8).
+        """
+        leader = self.draw_milli(13) < self.w.group_commit_milli
+        if leader:
+            ops.append(("lock", LOG_LOCK))
+        for _ in range(records):
+            self.log_counter += 1
+            ops.append(("mem", aspace.log_address(self.seed % 4096 + self.log_counter), 1))
+        self._cpu(ops, self.w.scaled(25))
+        if leader:
+            # The flush rate swells and ebbs over the workload lifetime
+            # (checkpointing pressure): a smooth recurring slow phase
+            # (Figure 8) that averages out over long windows.
+            t = self.clock.total_transactions
+            wave = 1.0 + math.sin(2 * math.pi * t / self.w.flush_period_txns)
+            if self.draw_milli(11) < int(self.w.flush_milli * wave):
+                ops.append(("io", self.w.log_flush_ns))
+            ops.append(("unlock", LOG_LOCK))
+
+    # -- the five TPC-C transaction types ------------------------------
+    def _new_order(self, ops: list[Op]) -> None:
+        district = self._district(21)
+        n_items = 8 + self.draw(22) % self.w.scaled(12)
+        # Fetch phase: index walks and item/stock reads happen before the
+        # district critical section (two-phase style), so disk faults are
+        # never taken while holding the hot lock.
+        self._index_lookup(ops, depth=5)
+        for item in range(n_items):
+            self._index_lookup(ops, depth=3)
+            self._row_access(ops, n_rows=1, write=True)  # stock update
+        # Short critical section: allocate the order id, bump D_NEXT_O_ID.
+        ops.append(("lock", district))
+        self._row_access(ops, n_rows=1, write=True, may_fault=False)
+        self._cpu(ops, self.w.scaled(30))
+        ops.append(("unlock", district))
+        self._commit(ops, records=2 + n_items // 4)
+
+    def _payment(self, ops: list[Op]) -> None:
+        district = self._district(23)
+        self._index_lookup(ops, depth=5)
+        self._index_lookup(ops, depth=4)
+        self._row_access(ops, n_rows=5, write=True)  # warehouse/customer rows
+        ops.append(("lock", district))
+        self._row_access(ops, n_rows=1, write=True, may_fault=False)
+        ops.append(("unlock", district))
+        self._commit(ops, records=1)
+
+    def _order_status(self, ops: list[Op]) -> None:
+        # Read-only: no district lock, no commit record.
+        self._index_lookup(ops, depth=6)
+        self._index_lookup(ops, depth=4)
+        self._row_access(ops, n_rows=10, write=False)
+
+    def _delivery(self, ops: list[Op]) -> None:
+        # Batch: walks several districts' oldest orders.
+        for batch in range(self.w.scaled(4)):
+            district = DISTRICT_LOCK_BASE + (self.draw(27) + batch) % self.w.n_hot_districts
+            self._index_lookup(ops, depth=2)
+            self._row_access(ops, n_rows=1, write=True)
+            ops.append(("lock", district))
+            self._row_access(ops, n_rows=1, write=True, may_fault=False)
+            ops.append(("unlock", district))
+        self._commit(ops, records=3)
+
+    def _stock_level(self, ops: list[Op]) -> None:
+        # Heavy read-only scan over recent orders.
+        self._index_lookup(ops, depth=5)
+        self._row_access(ops, n_rows=self.w.scaled(26), write=False)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def extra_state(self) -> dict:
+        return {"mem_counter": self.mem_counter, "log_counter": self.log_counter}
+
+    def restore_extra(self, extra: dict) -> None:
+        self.mem_counter = extra["mem_counter"]
+        self.log_counter = extra["log_counter"]
+
+
+class OLTPWorkload(Workload):
+    """DB2-with-TPC-C-like workload factory (8 users per processor)."""
+
+    name = "oltp"
+    threads_per_cpu = 8
+    code_footprint_bytes = 2 * 1024 * 1024  # DBMS text is large
+    static_branches = 1024
+    flip_noise_milli = 30
+
+    # Data footprint (scaled-down 4000-warehouse database).  The Zipf
+    # pool's head warms quickly; its tail, together with the DBMS text,
+    # pressures the 4 MB L2 so capacity/conflict misses are real.
+    pool_bytes = 2 * 1024 * 1024
+    private_bytes = 16 * 1024
+    n_index_roots = 16
+    # Contention structure.
+    n_hot_districts = 12
+    update_milli = 400
+    # I/O behaviour.
+    disk_read_milli = 12
+    disk_read_ns = 12_000
+    flush_milli = 30
+    log_flush_ns = 15_000
+    group_commit_milli = 300
+    # Lifetime phases.
+    phase_period_txns = 4000
+    flush_period_txns = 500
+    mix_drift = 12
+    pool_breathing = 0.2
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> OLTPProgram:
+        return OLTPProgram(self, tid, clock)

@@ -1,0 +1,64 @@
+"""Workload registry: name -> factory.
+
+The benchmark harness and examples refer to workloads by the paper's
+names; this module maps those names to the workload classes and records
+the paper's per-benchmark simulated transaction counts (Table 3), which
+the harness scales down by its run-scale factor.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.apache import ApacheWorkload
+from repro.workloads.barnes import BarnesWorkload
+from repro.workloads.base import Workload
+from repro.workloads.ecperf import ECPerfWorkload
+from repro.workloads.ocean import OceanWorkload
+from repro.workloads.oltp import OLTPWorkload
+from repro.workloads.slashcode import SlashcodeWorkload
+from repro.workloads.specjbb import SpecJbbWorkload
+
+_WORKLOADS: dict[str, type[Workload]] = {
+    "oltp": OLTPWorkload,
+    "apache": ApacheWorkload,
+    "specjbb": SpecJbbWorkload,
+    "slashcode": SlashcodeWorkload,
+    "ecperf": ECPerfWorkload,
+    "barnes": BarnesWorkload,
+    "ocean": OceanWorkload,
+}
+
+#: transactions simulated per benchmark in the paper's Table 3
+PAPER_TRANSACTIONS: dict[str, int] = {
+    "barnes": 1,
+    "ocean": 1,
+    "ecperf": 5,
+    "slashcode": 30,
+    "oltp": 1000,
+    "apache": 5000,
+    "specjbb": 60000,
+}
+
+
+def available_workloads() -> list[str]:
+    """Names of all registered workloads, in the paper's Table 3 order."""
+    return ["barnes", "ocean", "ecperf", "slashcode", "oltp", "apache", "specjbb"]
+
+
+def make_workload(name: str, seed: int = 12345, scale: float = 1.0, **params) -> Workload:
+    """Build a workload by name.
+
+    Extra keyword ``params`` override class attributes (e.g.
+    ``make_workload('oltp', n_hot_districts=4)``), which is how ablation
+    benches sweep workload structure.
+    """
+    cls = _WORKLOADS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(_WORKLOADS))}"
+        )
+    workload = cls(seed=seed, scale=scale)
+    for key, value in params.items():
+        if not hasattr(type(workload), key):
+            raise ValueError(f"workload {name!r} has no parameter {key!r}")
+        setattr(workload, key, value)
+    return workload

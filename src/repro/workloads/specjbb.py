@@ -1,0 +1,123 @@
+"""SPECjbb: a Java server-side business benchmark (paper section 3.1).
+
+SPECjbb2000's defining structural property is *warehouse independence*:
+each thread operates on its own warehouse with essentially no inter-thread
+synchronization.  That is why the paper finds it has almost **no space
+variability** (Table 3: CoV 0.26 % over 60,000 transactions; section 4.3:
+"negligible standard deviation of runs starting from the same
+checkpoint") yet **large time variability** (Figure 9b: >36 % between
+checkpoints): the JVM heap grows as the run proceeds and garbage
+collection recurs, so performance depends strongly on *where* in the
+lifetime a measurement starts.
+
+Modelled here: per-thread object allocation into a heap that grows with
+global progress, sawtooth-reset by periodic GC epochs; GC itself is a
+long compute+memory phase each thread performs when it observes a new GC
+epoch.  There are no cross-thread locks and no I/O.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import address_space as aspace
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
+
+# SPECjbb transaction types (the 2000 suite's operation mix).
+NEW_ORDER, PAYMENT, ORDER_STATUS, DELIVERY, STOCK_LEVEL, CUST_REPORT = range(6)
+MIX = (10, 10, 1, 1, 1, 1)
+
+
+class SpecJbbProgram(WorkloadProgram):
+    """One warehouse thread."""
+
+    # Work is statically partitioned (own warehouse / own band): no
+    # shared request stream, hence almost no space variability.
+    global_queue = False
+
+    def __init__(self, workload: "SpecJbbWorkload", tid: int, clock: WorkloadClock) -> None:
+        super().__init__(workload.name, tid, workload.seed, clock)
+        self.w = workload
+        self.mem_counter = 0
+        self.code_region = 0
+        self.gc_epoch_seen = 0
+
+    def _cpu(self, ops: list[Op], n: int) -> None:
+        self.mem_counter += 1
+        code = aspace.code_address(
+            self.w.seed,
+            self.mem_counter,
+            self.w.code_footprint_bytes,
+            region=self.code_region,
+        )
+        ops.append(("cpu", n, code))
+
+    def _heap_bytes(self) -> int:
+        """Live-heap size: grows within a GC epoch, resets at collection."""
+        t = self.clock.total_transactions
+        within_epoch = t % self.w.gc_period_txns
+        grown = self.w.heap_growth_bytes * within_epoch // self.w.gc_period_txns
+        # A fraction of each epoch's garbage survives: the heap floor
+        # rises over the whole lifetime (tenured generation growth).
+        floor = min(
+            self.w.heap_max_bytes,
+            self.w.heap_base_bytes + self.w.tenured_growth_bytes * (t // self.w.gc_period_txns),
+        )
+        return floor + grown
+
+    def _warehouse_address(self) -> int:
+        """A touch within this thread's own warehouse slice of the heap."""
+        self.mem_counter += 1
+        return aspace.private_address(self.tid, self.draw(3) + self.mem_counter, self._heap_bytes())
+
+    def build_transaction(self) -> list[Op]:
+        ops: list[Op] = []
+        # A newly observed GC epoch triggers a collection pause first.
+        epoch = self.clock.total_transactions // self.w.gc_period_txns
+        if epoch > self.gc_epoch_seen:
+            self.gc_epoch_seen = epoch
+            self._gc_pause(ops)
+        txn_type = self.pick_weighted(list(MIX), 1)
+        self.code_region = txn_type
+        ops.append(("txn_begin", txn_type))
+        touches = self.w.scaled(10 + 6 * (txn_type in (NEW_ORDER, DELIVERY)))
+        for i in range(touches):
+            ops.append(("mem", self._warehouse_address(), int(i % 3 == 0)))
+            if i % 4 == 0:
+                self._cpu(ops, self.w.scaled(50))
+        self._cpu(ops, self.w.scaled(120))
+        ops.append(("txn_end", txn_type))
+        return ops
+
+    def _gc_pause(self, ops: list[Op]) -> None:
+        """A garbage-collection phase: long trace over the live heap."""
+        span = self._heap_bytes()
+        for i in range(self.w.scaled(40)):
+            self.mem_counter += 1
+            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter * 7, span), 0))
+            if i % 8 == 0:
+                self._cpu(ops, self.w.scaled(100))
+
+    def extra_state(self) -> dict:
+        return {"mem_counter": self.mem_counter, "gc_epoch_seen": self.gc_epoch_seen}
+
+    def restore_extra(self, extra: dict) -> None:
+        self.mem_counter = extra["mem_counter"]
+        self.gc_epoch_seen = extra["gc_epoch_seen"]
+
+
+class SpecJbbWorkload(Workload):
+    """SPECjbb2000-like Java server benchmark (one warehouse per thread)."""
+
+    name = "specjbb"
+    threads_per_cpu = 1  # one warehouse thread per processor
+    code_footprint_bytes = 1536 * 1024
+    static_branches = 768
+    flip_noise_milli = 25
+
+    heap_base_bytes = 96 * 1024
+    heap_growth_bytes = 640 * 1024
+    tenured_growth_bytes = 32 * 1024
+    heap_max_bytes = 4 * 1024 * 1024
+    gc_period_txns = 900
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> SpecJbbProgram:
+        return SpecJbbProgram(self, tid, clock)

@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Machine-level tests use a deliberately small target (4 CPUs, few threads,
+short runs) so the whole suite stays fast; the benchmark harness is where
+paper-sized experiments live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RunConfig, SystemConfig
+from repro.system.checkpoint import Checkpoint
+from repro.system.machine import Machine
+from repro.workloads.registry import make_workload
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 4-CPU system with the default scaled cache hierarchy."""
+    return SystemConfig(n_cpus=4)
+
+
+@pytest.fixture
+def small_oltp():
+    """An OLTP workload slimmed to 2 threads per CPU."""
+    return make_workload("oltp", threads_per_cpu=2)
+
+
+def make_small_oltp():
+    """Non-fixture variant for session-scoped fixtures."""
+    return make_workload("oltp", threads_per_cpu=2)
+
+
+@pytest.fixture
+def short_run() -> RunConfig:
+    """A 30-transaction measurement with no warmup."""
+    return RunConfig(measured_transactions=30, warmup_transactions=0, seed=5)
+
+
+@pytest.fixture(scope="session")
+def warm_checkpoint() -> Checkpoint:
+    """A 4-CPU OLTP machine warmed for 300 transactions, checkpointed.
+
+    Session-scoped: warming costs ~a second and many tests start from
+    identical initial conditions, exactly as the paper's methodology does.
+    """
+    config = SystemConfig(n_cpus=4)
+    machine = Machine(config, make_small_oltp())
+    machine.hierarchy.seed_perturbation(9)
+    machine.run_until_transactions(300, max_time_ns=10**12)
+    return Checkpoint.capture(machine)

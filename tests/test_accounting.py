@@ -1,0 +1,99 @@
+"""Cross-cutting accounting identities after arbitrary runs.
+
+Whatever path a run takes, certain books must balance: completed
+transactions equal the sum of per-thread counts, every lock holder is a
+live thread, the run-queue population matches thread states, and
+hierarchy counters decompose consistently.  Property-tested over run
+lengths and seeds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.osmodel.thread import ThreadState
+from repro.system.machine import Machine
+from repro.workloads.registry import make_workload
+
+
+def run_machine(seed: int, txns: int, workload="oltp", **params) -> Machine:
+    config = SystemConfig(n_cpus=4)
+    machine = Machine(config, make_workload(workload, threads_per_cpu=2, **params))
+    machine.hierarchy.seed_perturbation(seed)
+    machine.run_until_transactions(txns, max_time_ns=10**12)
+    return machine
+
+
+def audit(machine: Machine) -> list[str]:
+    """Return accounting violations (empty when the books balance)."""
+    problems = []
+    threads = machine.scheduler.threads
+
+    total_txns = sum(t.stats.transactions for t in threads.values())
+    if total_txns != machine.completed_transactions:
+        problems.append(
+            f"txn count mismatch: {total_txns} vs {machine.completed_transactions}"
+        )
+    if machine.workload_clock.total_transactions != machine.completed_transactions:
+        problems.append("workload clock disagrees with machine counter")
+
+    for mutex in machine.locks.all_mutexes():
+        if mutex.holder is not None and mutex.holder not in threads:
+            problems.append(f"lock {mutex.lock_id} held by unknown tid {mutex.holder}")
+        for tid in mutex.waiters:
+            if threads[tid].state is not ThreadState.BLOCKED_LOCK:
+                problems.append(
+                    f"waiter {tid} on lock {mutex.lock_id} in state {threads[tid].state}"
+                )
+
+    for cpu, tid in enumerate(machine.scheduler.current):
+        if tid is not None and threads[tid].state is not ThreadState.RUNNING:
+            problems.append(f"cpu {cpu} claims tid {tid} ({threads[tid].state})")
+    for cpu, queue in enumerate(machine.scheduler.run_queues):
+        for tid in queue:
+            if threads[tid].state is not ThreadState.READY:
+                problems.append(f"queued tid {tid} in state {threads[tid].state}")
+
+    stats = machine.hierarchy.stats
+    if stats.l1_hits + stats.l2_hits + stats.l2_misses > stats.accesses:
+        problems.append("hierarchy hit/miss counters exceed accesses")
+    if stats.cache_to_cache + stats.memory_fetches + stats.upgrades != stats.l2_misses:
+        problems.append("L2 miss decomposition does not add up")
+
+    problems.extend(machine.hierarchy.check_coherence_invariants())
+    return problems
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=5, max_value=60),
+)
+def test_property_books_balance_oltp(seed, txns):
+    assert audit(run_machine(seed, txns)) == []
+
+
+def test_books_balance_other_workloads():
+    for name in ("apache", "slashcode", "specjbb"):
+        machine = run_machine(3, 20, workload=name)
+        assert audit(machine) == [], name
+
+
+def test_books_balance_under_variant_protocols():
+    for protocol in ("mesi", "moesi"):
+        config = SystemConfig(n_cpus=4).with_protocol(protocol)
+        machine = Machine(config, make_workload("oltp", threads_per_cpu=2))
+        machine.hierarchy.seed_perturbation(11)
+        machine.run_until_transactions(30, max_time_ns=10**12)
+        assert audit(machine) == [], protocol
+
+
+def test_books_balance_after_checkpoint_roundtrip():
+    from repro.system.checkpoint import Checkpoint
+
+    machine = run_machine(5, 30)
+    checkpoint = Checkpoint.capture(machine)
+    restored = checkpoint.materialize(
+        SystemConfig(n_cpus=4), make_workload("oltp", threads_per_cpu=2)
+    )
+    restored.run_until_transactions(60, max_time_ns=10**12)
+    assert audit(restored) == []

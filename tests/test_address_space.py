@@ -1,0 +1,156 @@
+"""Tests for the synthetic address-space generators."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads import address_space as aspace
+
+
+class TestRegions:
+    def test_region_bases_disjoint(self):
+        """Every generator stays inside its region; regions never overlap."""
+        code = aspace.code_address(1, 5, 2 * 1024 * 1024)
+        private = aspace.private_address(3, 7, 64 * 1024)
+        shared = aspace.zipf_address(1, 9, 2 * 1024 * 1024)
+        log = aspace.log_address(11)
+        assert aspace.CODE_BASE <= code < aspace.PRIVATE_BASE
+        assert aspace.PRIVATE_BASE <= private < aspace.SHARED_BASE
+        assert aspace.SHARED_BASE <= shared < aspace.LOG_BASE
+        assert log >= aspace.LOG_BASE
+
+    def test_private_regions_per_thread_disjoint(self):
+        a = {aspace.private_address(0, i, 64 * 1024) for i in range(200)}
+        b = {aspace.private_address(1, i, 64 * 1024) for i in range(200)}
+        assert not (a & b)
+
+    def test_block_alignment(self):
+        for address in (
+            aspace.code_address(1, 2, 1024 * 1024),
+            aspace.private_address(0, 3, 16 * 1024),
+            aspace.zipf_address(1, 4, 1024 * 1024),
+            aspace.log_address(5),
+        ):
+            assert address % aspace.BLOCK == 0
+
+
+class TestCodeAddresses:
+    def test_regions_walk_sequentially(self):
+        addrs = [
+            aspace.code_address(1, counter, 2 * 1024 * 1024, region=0)
+            for counter in range(10)
+        ]
+        # Hot-path fetches (the majority) advance block by block.
+        deltas = [b - a for a, b in zip(addrs, addrs[1:])]
+        assert deltas.count(aspace.BLOCK) >= 5
+
+    def test_distinct_regions_distinct_blocks(self):
+        r0 = {aspace.code_address(1, c, 2 * 1024 * 1024, region=0) for c in range(50)}
+        r1 = {aspace.code_address(1, c, 2 * 1024 * 1024, region=1) for c in range(50)}
+        # Cold-path excursions may stray, but the hot sets are disjoint.
+        assert len(r0 & r1) < 10
+
+    def test_occasional_cold_excursions(self):
+        addrs = {
+            aspace.code_address(1, c, 2 * 1024 * 1024, region=0) for c in range(500)
+        }
+        region_span = aspace.CODE_BASE + aspace.REGION_BYTES
+        assert any(a >= region_span for a in addrs)
+
+    def test_deterministic(self):
+        assert aspace.code_address(1, 7, 1024 * 1024) == aspace.code_address(
+            1, 7, 1024 * 1024
+        )
+
+
+class TestPrivateAddresses:
+    def test_sequential_walk_with_wrap(self):
+        working_set = 4 * aspace.BLOCK  # 4 blocks
+        blocks = [
+            aspace.private_address(0, c, working_set) // aspace.BLOCK
+            for c in range(16)
+        ]
+        assert len(set(blocks)) == 4  # wraps over the working set
+
+    def test_consecutive_touches_same_block(self):
+        a = aspace.private_address(0, 0, 64 * 1024)
+        b = aspace.private_address(0, 1, 64 * 1024)
+        assert a == b  # two touches per block (temporal locality)
+
+
+class TestZipf:
+    def test_skewed_popularity(self):
+        """The head of the distribution absorbs a large share of touches."""
+        pool = 4 * 1024 * 1024
+        counts = Counter(
+            aspace.zipf_address(1, c, pool) // aspace.BLOCK for c in range(20_000)
+        )
+        top64 = sum(count for _, count in counts.most_common(64))
+        assert top64 / 20_000 > 0.25
+
+    def test_tail_reaches_pool_size(self):
+        pool = 1024 * 1024
+        max_offset = max(
+            aspace.zipf_address(1, c, pool) - aspace.SHARED_BASE for c in range(20_000)
+        )
+        assert max_offset > pool // 2
+
+    def test_within_pool(self):
+        pool = 256 * 1024
+        for c in range(1000):
+            offset = aspace.zipf_address(1, c, pool) - aspace.SHARED_BASE
+            assert 0 <= offset < pool
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_deterministic(self, counter):
+        assert aspace.zipf_address(9, counter, 1024 * 1024) == aspace.zipf_address(
+            9, counter, 1024 * 1024
+        )
+
+
+class TestStridedRoots:
+    def test_roots_collide_in_same_cache_set(self):
+        """Index roots at 1 MB strides map to the same set of any cache
+        whose way-size divides 1 MB -- the conflict pattern."""
+        roots = {
+            aspace.strided_root_address(1, draw, 8) for draw in range(200)
+        }
+        way_bytes = 256 * 1024 // 4  # default L2 way size
+        sets = {(r // aspace.BLOCK) % (way_bytes // aspace.BLOCK) for r in roots}
+        assert len(sets) == 1
+
+    def test_n_roots_respected(self):
+        roots = {aspace.strided_root_address(1, d, 4) for d in range(500)}
+        assert len(roots) == 4
+
+
+class TestGrid:
+    def test_band_ownership(self):
+        """Most touches land in the thread's own row band."""
+        rows_per_thread, row_bytes = 8, 2048
+        own = 0
+        total = 400
+        for c in range(total):
+            addr = aspace.grid_address(2, c, rows_per_thread, row_bytes)
+            row = (addr - aspace.SHARED_BASE) // row_bytes
+            if 2 * rows_per_thread <= row < 3 * rows_per_thread:
+                own += 1
+        assert own / total > 0.8
+
+    def test_boundary_sharing_exists(self):
+        rows_per_thread, row_bytes = 8, 2048
+        rows = {
+            (aspace.grid_address(2, c, rows_per_thread, row_bytes) - aspace.SHARED_BASE)
+            // row_bytes
+            for c in range(2000)
+        }
+        outside = {r for r in rows if not 16 <= r < 24}
+        assert outside  # neighbour-row touches happen
+
+
+class TestLog:
+    def test_sequential(self):
+        a = aspace.log_address(10)
+        b = aspace.log_address(11)
+        assert b - a == aspace.BLOCK

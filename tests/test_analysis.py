@@ -1,0 +1,60 @@
+"""Tests for the table/series renderers."""
+
+import pytest
+
+from repro.analysis.series import FigureSeries, add_sample_point, summary_series
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "a" in lines[2]
+        assert "2.5" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_alignment(self):
+        text = format_table(["col"], [["short"], ["muchlongervalue"]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("muchlongervalue")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        assert "col" in format_table(["col"], [])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159265]])
+        assert "3.142" in text
+
+
+class TestFigureSeries:
+    def test_add_and_render(self):
+        series = FigureSeries(name="Fig X", x_label="size")
+        series.add_point(1, avg=10.0, max=12.0)
+        series.add_point(2, avg=9.0, max=11.0)
+        text = series.render()
+        assert "Fig X" in text
+        assert "size" in text
+        assert series.column("avg") == [10.0, 9.0]
+
+    def test_missing_column_value_rejected(self):
+        series = FigureSeries(name="f", x_label="x")
+        series.add_point(1, a=1.0, b=2.0)
+        with pytest.raises(ValueError):
+            series.add_point(2, a=1.0)
+
+    def test_add_sample_point(self):
+        series = summary_series("Fig 5", "associativity")
+        add_sample_point(series, 2, [10.0, 12.0, 11.0])
+        assert series.column("avg") == [11.0]
+        assert series.column("min") == [10.0]
+        assert series.column("max") == [12.0]
+        assert series.column("sd")[0] == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""Tests for the plain-text chart helpers."""
+
+import pytest
+
+from repro.analysis.ascii import bar_chart, error_bar_row, sample_chart
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 20.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1.0, 1.0])
+        lines = chart.splitlines()
+        assert lines[0].index("1") == lines[1].index("1")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_nonpositive_peak_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+    def test_empty_ok(self):
+        assert bar_chart([], []) == ""
+
+    def test_value_format(self):
+        chart = bar_chart(["a"], [1234.5], value_format="{:.1f}")
+        assert "1234.5" in chart
+
+
+class TestErrorBarRow:
+    def test_mean_marker_present(self):
+        row = error_bar_row("cfg", [10.0, 12.0, 11.0], low=8.0, high=14.0)
+        assert "|" in row
+        assert "=" in row
+
+    def test_span_covers_extremes(self):
+        row = error_bar_row("cfg", [10.0, 14.0], low=10.0, high=14.0, width=21)
+        inner = row[row.index("[") + 1 : row.index("]")]
+        assert inner[0] in "-=|"
+        assert inner[-1] in "-=|"
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ValueError):
+            error_bar_row("cfg", [1.0], low=5.0, high=5.0)
+
+    def test_out_of_axis_values_clamped(self):
+        row = error_bar_row("cfg", [0.0, 100.0], low=10.0, high=20.0)
+        assert "[" in row and "]" in row  # renders without raising
+
+
+class TestSampleChart:
+    def test_rows_share_axis(self):
+        chart = sample_chart(
+            {"slow": [10.0, 11.0, 12.0], "fast": [5.0, 5.5, 6.0]}, width=30
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 3  # two rows + axis footer
+        # Faster config's mean marker is left of the slower one's.
+        assert lines[1].index("|") < lines[0].index("|")
+
+    def test_empty(self):
+        assert sample_chart({}) == ""
+
+    def test_identical_values_render(self):
+        chart = sample_chart({"a": [3.0, 3.0], "b": [3.0, 3.0]})
+        assert "|" in chart

@@ -1,0 +1,149 @@
+"""Tests for the branch prediction structures."""
+
+import pytest
+
+from repro.proc.branch import (
+    CascadedIndirectPredictor,
+    ReturnAddressStack,
+    YagsPredictor,
+    _CounterTable,
+)
+
+
+class TestCounterTable:
+    def test_initial_weakly_taken(self):
+        table = _CounterTable(16)
+        assert table.read(0) == 2
+
+    def test_saturation(self):
+        table = _CounterTable(16)
+        for _ in range(10):
+            table.update(0, True)
+        assert table.read(0) == 3
+        for _ in range(10):
+            table.update(0, False)
+        assert table.read(0) == 0
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            _CounterTable(12)
+
+    def test_index_folds(self):
+        table = _CounterTable(16)
+        assert table.index(16) == 0
+        assert table.index(17) == 1
+
+
+class TestYags:
+    def test_learns_always_taken_branch(self):
+        yags = YagsPredictor()
+        pc = 0x1000
+        for _ in range(8):
+            yags.update(pc, True)
+        assert yags.predict(pc) is True
+
+    def test_learns_never_taken_branch(self):
+        yags = YagsPredictor()
+        pc = 0x2000
+        for _ in range(8):
+            yags.update(pc, False)
+        assert yags.predict(pc) is False
+
+    def test_low_steady_state_misprediction_on_static_branches(self):
+        yags = YagsPredictor()
+        branches = {0x1000 + i * 16: (i % 3 != 0) for i in range(64)}
+        # Warm up.
+        for _ in range(20):
+            for pc, taken in branches.items():
+                yags.update(pc, taken)
+        yags.predictions = 0
+        yags.mispredictions = 0
+        for _ in range(20):
+            for pc, taken in branches.items():
+                yags.update(pc, taken)
+        assert yags.misprediction_rate < 0.05
+
+    def test_exception_cache_handles_bias_contradiction(self):
+        yags = YagsPredictor()
+        pc = 0x3000
+        # Strongly bias taken, then flip: the not-taken cache must learn.
+        for _ in range(10):
+            yags.update(pc, True)
+        for _ in range(4):
+            yags.update(pc, False)
+        assert yags.predict(pc) is False
+
+    def test_mispredictions_counted(self):
+        yags = YagsPredictor()
+        yags.update(0x100, False)  # initial weakly-taken predicts taken
+        assert yags.predictions == 1
+        assert yags.mispredictions == 1
+
+    def test_rate_zero_when_unused(self):
+        assert YagsPredictor().misprediction_rate == 0.0
+
+
+class TestIndirect:
+    def test_learns_stable_target(self):
+        pred = CascadedIndirectPredictor()
+        pc, target = 0x4000, 0x9000
+        pred.update(pc, target)
+        assert pred.predict(pc) == target
+
+    def test_first_update_mispredicts(self):
+        pred = CascadedIndirectPredictor()
+        assert pred.update(0x4000, 0x9000) is True
+
+    def test_monomorphic_steady_state(self):
+        pred = CascadedIndirectPredictor()
+        pred.update(0x4000, 0x9000)
+        for _ in range(10):
+            assert pred.update(0x4000, 0x9000) is False
+
+    def test_second_stage_engages_for_changing_targets(self):
+        pred = CascadedIndirectPredictor()
+        pc = 0x4000
+        pred.update(pc, 0x9000)
+        pred.update(pc, 0xA000)  # first stage failed; promoted
+        assert len(pred._second) >= 1
+
+    def test_entries_validated(self):
+        with pytest.raises(ValueError):
+            CascadedIndirectPredictor(entries=0)
+
+
+class TestRas:
+    def test_call_return_pairing(self):
+        ras = ReturnAddressStack()
+        ras.push(0x100)
+        assert ras.predict_return(0x100) is False
+
+    def test_nested_calls(self):
+        ras = ReturnAddressStack()
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.predict_return(0x200) is False
+        assert ras.predict_return(0x100) is False
+
+    def test_underflow_mispredicts(self):
+        ras = ReturnAddressStack()
+        assert ras.predict_return(0x100) is True
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(entries=2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.push(0x300)  # 0x100 lost
+        assert ras.predict_return(0x300) is False
+        assert ras.predict_return(0x200) is False
+        assert ras.predict_return(0x100) is True  # bottom was overwritten... gone
+
+    def test_depth(self):
+        ras = ReturnAddressStack()
+        ras.push(1)
+        ras.push(2)
+        assert ras.depth == 2
+
+    def test_entries_validated(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(entries=0)

@@ -1,0 +1,138 @@
+"""Tests for simulation-budget allocation (paper 5.2 extension)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.budget import (
+    BudgetPlan,
+    CovModel,
+    allocate_budget,
+    fit_cov_model,
+    fit_cov_model_from_samples,
+    wrong_conclusion_probability,
+)
+
+
+class TestCovModel:
+    def test_power_law(self):
+        model = CovModel(c=0.5, gamma=0.5)
+        assert model.cov(100) == pytest.approx(0.05)
+        assert model.cov(400) == pytest.approx(0.025)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            CovModel(c=0.5, gamma=0.5).cov(0)
+
+
+class TestFit:
+    def test_exact_power_law_recovered(self):
+        true = CovModel(c=0.8, gamma=0.6)
+        lengths = [100, 200, 400, 800]
+        covs = [true.cov(l) for l in lengths]
+        fitted = fit_cov_model(lengths, covs)
+        assert fitted.c == pytest.approx(true.c, rel=1e-6)
+        assert fitted.gamma == pytest.approx(true.gamma, rel=1e-6)
+
+    def test_paper_table4_shape(self):
+        """The paper's Table 4 (CoV vs run length) fits a decaying law."""
+        lengths = [200, 400, 600, 800, 1000]
+        covs = [0.0327, 0.0287, 0.0216, 0.0153, 0.0098]
+        model = fit_cov_model(lengths, covs)
+        assert model.gamma > 0  # variability decays with length
+        assert model.cov(200) == pytest.approx(0.0327, rel=0.35)
+
+    def test_from_samples(self):
+        samples = {
+            100: [10.0, 10.5, 9.5, 10.2],
+            400: [10.0, 10.2, 9.9, 10.1],
+        }
+        model = fit_cov_model_from_samples(samples)
+        assert model.gamma > 0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cov_model([100], [0.05])
+
+    def test_equal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cov_model([100, 100], [0.05, 0.04])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cov_model([100, 200], [0.05, 0.0])
+
+
+class TestWrongConclusionProbability:
+    def test_more_runs_help(self):
+        p5 = wrong_conclusion_probability(0.05, 0.02, 5)
+        p20 = wrong_conclusion_probability(0.05, 0.02, 20)
+        assert p20 < p5
+
+    def test_bigger_difference_helps(self):
+        small = wrong_conclusion_probability(0.05, 0.01, 10)
+        large = wrong_conclusion_probability(0.05, 0.05, 10)
+        assert large < small
+
+    def test_zero_cov_is_certain(self):
+        assert wrong_conclusion_probability(0.0, 0.02, 5) == 0.0
+
+    def test_bounds(self):
+        p = wrong_conclusion_probability(0.10, 0.001, 3)
+        assert 0.0 < p < 0.5
+
+    def test_bad_runs_rejected(self):
+        with pytest.raises(ValueError):
+            wrong_conclusion_probability(0.05, 0.02, 0)
+
+
+class TestAllocate:
+    MODEL = CovModel(c=0.9, gamma=0.6)  # roughly our OLTP behaviour
+
+    def test_respects_budget(self):
+        plan = allocate_budget(self.MODEL, 20_000, 0.04)
+        assert 2 * plan.runs_per_configuration * plan.run_length <= 20_000
+
+    def test_respects_minimums(self):
+        plan = allocate_budget(self.MODEL, 20_000, 0.04, min_runs=5, min_length=100)
+        assert plan.runs_per_configuration >= 5
+        assert plan.run_length >= 100
+
+    def test_bigger_budget_never_worse(self):
+        small = allocate_budget(self.MODEL, 10_000, 0.04)
+        large = allocate_budget(self.MODEL, 40_000, 0.04)
+        assert (
+            large.wrong_conclusion_probability
+            <= small.wrong_conclusion_probability + 1e-12
+        )
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budget(self.MODEL, 100, 0.04, min_runs=3, min_length=50)
+
+    def test_bad_difference_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_budget(self.MODEL, 20_000, 0.0)
+
+    def test_str_renders(self):
+        plan = allocate_budget(self.MODEL, 20_000, 0.04)
+        assert "runs" in str(plan)
+
+    def test_fast_decay_prefers_longer_runs(self):
+        """With gamma > 0.5, lengthening runs beats adding runs, so the
+        optimizer should pick longer runs than the slow-decay case."""
+        fast = allocate_budget(CovModel(c=0.9, gamma=0.9), 40_000, 0.03)
+        slow = allocate_budget(CovModel(c=0.9, gamma=0.2), 40_000, 0.03)
+        assert fast.run_length >= slow.run_length
+
+    @given(
+        st.integers(min_value=2_000, max_value=100_000),
+        st.floats(min_value=0.005, max_value=0.2),
+    )
+    def test_property_plan_always_feasible(self, budget, difference):
+        plan = allocate_budget(self.MODEL, budget, difference)
+        assert plan.runs_per_configuration >= 3
+        assert plan.run_length >= 50
+        assert 2 * plan.runs_per_configuration * plan.run_length <= budget
+        assert 0.0 <= plan.wrong_conclusion_probability <= 1.0

@@ -1,0 +1,152 @@
+"""Tests for the set-associative cache array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+
+
+def tiny_cache(associativity=2, sets=4) -> SetAssociativeCache:
+    config = CacheConfig(
+        size_bytes=associativity * sets * 64, associativity=associativity
+    )
+    return SetAssociativeCache(config, name="tiny")
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(5) is None
+        cache.insert(5, "S")
+        line = cache.lookup(5)
+        assert line is not None and line.state == "S"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_set_mapping(self):
+        cache = tiny_cache(sets=4)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(4) == 0
+        assert cache.set_index(5) == 1
+
+    def test_duplicate_insert_rejected(self):
+        cache = tiny_cache()
+        cache.insert(5, "S")
+        with pytest.raises(ValueError):
+            cache.insert(5, "M")
+
+    def test_peek_does_not_count(self):
+        cache = tiny_cache()
+        cache.insert(5, "S")
+        cache.peek(5)
+        cache.peek(999)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_uncounted_lookup(self):
+        cache = tiny_cache()
+        cache.lookup(5, count=False)
+        assert cache.stats.misses == 0
+
+
+class TestLRU:
+    def test_lru_victim_is_oldest(self):
+        cache = tiny_cache(associativity=2, sets=1)
+        cache.insert(0, "S")
+        cache.insert(1, "S")
+        victim = cache.insert(2, "S")
+        assert victim.block == 0
+
+    def test_lookup_refreshes_recency(self):
+        cache = tiny_cache(associativity=2, sets=1)
+        cache.insert(0, "S")
+        cache.insert(1, "S")
+        cache.lookup(0)  # 1 becomes LRU
+        victim = cache.insert(2, "S")
+        assert victim.block == 1
+
+    def test_lookup_without_lru_update(self):
+        cache = tiny_cache(associativity=2, sets=1)
+        cache.insert(0, "S")
+        cache.insert(1, "S")
+        cache.lookup(0, update_lru=False)
+        victim = cache.insert(2, "S")
+        assert victim.block == 0
+
+    def test_eviction_counted(self):
+        cache = tiny_cache(associativity=1, sets=1)
+        cache.insert(0, "S")
+        cache.insert(1, "S")
+        assert cache.stats.evictions == 1
+
+    def test_different_sets_do_not_conflict(self):
+        cache = tiny_cache(associativity=1, sets=4)
+        for block in range(4):
+            assert cache.insert(block, "S") is None
+        assert cache.occupancy() == 4
+
+
+class TestEvict:
+    def test_explicit_evict(self):
+        cache = tiny_cache()
+        cache.insert(5, "M", dirty=True)
+        line = cache.evict(5)
+        assert line.dirty
+        assert cache.peek(5) is None
+
+    def test_evict_absent_returns_none(self):
+        assert tiny_cache().evict(5) is None
+
+
+class TestSnapshot:
+    def test_roundtrip_contents_and_lru(self):
+        cache = tiny_cache(associativity=2, sets=1)
+        cache.insert(0, "S")
+        cache.insert(1, "M", dirty=True)
+        cache.lookup(0)  # order now: 1 (LRU), 0 (MRU)
+        restored = SetAssociativeCache.restore(cache.config, cache.snapshot())
+        assert restored.peek(1).state == "M"
+        assert restored.peek(1).dirty
+        victim = restored.insert(2, "S")
+        assert victim.block == 1  # LRU order survived
+
+    def test_roundtrip_stats(self):
+        cache = tiny_cache()
+        cache.lookup(1)
+        cache.insert(1, "S")
+        cache.lookup(1)
+        restored = SetAssociativeCache.restore(cache.config, cache.snapshot())
+        assert restored.stats.hits == 1
+        assert restored.stats.misses == 1
+
+    def test_clear(self):
+        cache = tiny_cache()
+        cache.insert(1, "S")
+        cache.clear()
+        assert cache.occupancy() == 0
+        assert cache.stats.accesses == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300))
+def test_property_occupancy_bounded(blocks):
+    """No set ever holds more lines than the associativity."""
+    cache = tiny_cache(associativity=2, sets=4)
+    for block in blocks:
+        if cache.lookup(block) is None:
+            cache.insert(block, "S")
+    per_set: dict[int, int] = {}
+    for block in cache.resident_blocks():
+        per_set[cache.set_index(block)] = per_set.get(cache.set_index(block), 0) + 1
+    assert all(count <= 2 for count in per_set.values())
+    assert cache.occupancy() <= 8
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=200))
+def test_property_most_recent_insert_resident(blocks):
+    """The most recently inserted/touched block is always resident."""
+    cache = tiny_cache(associativity=2, sets=4)
+    for block in blocks:
+        if cache.lookup(block) is None:
+            cache.insert(block, "S")
+        assert cache.peek(block) is not None

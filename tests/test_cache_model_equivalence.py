@@ -1,0 +1,94 @@
+"""Model-based property test: the cache array vs a brute-force oracle.
+
+The oracle implements set-associative LRU in the most obvious way
+possible (a list per set, re-ordered on every touch).  Hypothesis drives
+both implementations with the same operation sequences; any divergence in
+hit/miss outcomes or victim choice is a bug in the optimized array.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+
+
+class OracleCache:
+    """Reference set-associative LRU cache."""
+
+    def __init__(self, n_sets: int, associativity: int) -> None:
+        self.n_sets = n_sets
+        self.associativity = associativity
+        self.sets: dict[int, list[int]] = {}
+
+    def access(self, block: int) -> tuple[bool, int | None]:
+        """Touch a block; returns (hit, evicted_block)."""
+        index = block % self.n_sets
+        lines = self.sets.setdefault(index, [])
+        if block in lines:
+            lines.remove(block)
+            lines.append(block)
+            return True, None
+        victim = None
+        if len(lines) >= self.associativity:
+            victim = lines.pop(0)
+        lines.append(block)
+        return False, victim
+
+    def resident(self) -> set[int]:
+        return {block for lines in self.sets.values() for block in lines}
+
+
+def drive(config: CacheConfig, blocks: list[int]):
+    cache = SetAssociativeCache(config)
+    oracle = OracleCache(config.n_sets, config.associativity)
+    outcomes = []
+    for block in blocks:
+        oracle_hit, oracle_victim = oracle.access(block)
+        line = cache.lookup(block)
+        if line is None:
+            victim = cache.insert(block, "S")
+            outcomes.append((False, oracle_hit, oracle_victim, victim.block if victim else None))
+        else:
+            outcomes.append((True, oracle_hit, oracle_victim, None))
+    return cache, oracle, outcomes
+
+
+OPS = st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=400)
+
+
+@settings(max_examples=60, deadline=None)
+@given(OPS)
+def test_hits_match_oracle(blocks):
+    config = CacheConfig(size_bytes=2 * 8 * 64, associativity=2)  # 2-way, 8 sets
+    _, _, outcomes = drive(config, blocks)
+    for cache_hit, oracle_hit, *_ in outcomes:
+        assert cache_hit == oracle_hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(OPS)
+def test_victims_match_oracle(blocks):
+    config = CacheConfig(size_bytes=2 * 8 * 64, associativity=2)
+    _, _, outcomes = drive(config, blocks)
+    for _, _, oracle_victim, cache_victim in outcomes:
+        assert cache_victim == oracle_victim
+
+
+@settings(max_examples=40, deadline=None)
+@given(OPS, st.sampled_from([1, 2, 4, 8]))
+def test_residency_matches_oracle_across_associativities(blocks, associativity):
+    config = CacheConfig(size_bytes=associativity * 4 * 64, associativity=associativity)
+    cache, oracle, _ = drive(config, blocks)
+    assert set(cache.resident_blocks()) == oracle.resident()
+
+
+@settings(max_examples=40, deadline=None)
+@given(OPS)
+def test_direct_mapped_is_trivial_replacement(blocks):
+    """Under DM the resident block of each set is simply the last touch."""
+    config = CacheConfig(size_bytes=8 * 64, associativity=1)  # 8 sets
+    cache, _, _ = drive(config, blocks)
+    last_touch: dict[int, int] = {}
+    for block in blocks:
+        last_touch[block % 8] = block
+    assert set(cache.resident_blocks()) == set(last_touch.values())

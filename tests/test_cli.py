@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_workloads_command(self):
+        args = build_parser().parse_args(["workloads"])
+        assert args.command == "workloads"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "oltp"
+        assert args.txns == 200
+        assert args.perturbation == 4
+
+    def test_compare_requires_vary(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--a", "2", "--b", "4"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nosuch"])
+
+    def test_vary_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--vary", "nonsense", "--a", "1", "--b", "2"]
+            )
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("oltp", "barnes", "specjbb"):
+            assert name in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            ["run", "--workload", "oltp", "--txns", "20", "--warmup", "10",
+             "--cpus", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycles per transaction" in out
+
+    def test_space_small(self, capsys):
+        code = main(
+            ["space", "--workload", "oltp", "--txns", "20", "--warmup", "10",
+             "--cpus", "4", "--runs", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CoV" in out
+        assert out.count("seed") == 3
+
+    def test_compare_small(self, capsys):
+        code = main(
+            ["compare", "--vary", "dram", "--a", "80", "--b", "200",
+             "--workload", "oltp", "--txns", "40", "--warmup", "20",
+             "--cpus", "4", "--runs", "4"]
+        )
+        out = capsys.readouterr().out
+        assert "WCR" in out
+        assert code in (0, 1)  # 1 == not significant, still a valid outcome
+
+    def test_zero_perturbation_flag(self, capsys):
+        code = main(
+            ["space", "--workload", "oltp", "--txns", "20", "--warmup", "0",
+             "--cpus", "4", "--runs", "2", "--perturbation", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CoV=0.00%" in out

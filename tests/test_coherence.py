@@ -1,0 +1,157 @@
+"""Tests for the MOSI protocol table."""
+
+import pytest
+
+from repro.memory.coherence import (
+    CoherenceError,
+    MOSIState,
+    OWNER_STATES,
+    ProtocolEvent,
+    STABLE_STATES,
+    TRANSITIONS,
+    apply_event,
+    is_readable,
+    is_writable,
+    validate_table,
+)
+
+S = MOSIState
+E = ProtocolEvent
+
+
+class TestTableStructure:
+    def test_table_invariants(self):
+        assert validate_table() == []
+
+    def test_every_stable_state_handles_processor_events(self):
+        for state in (S.I, S.S, S.O, S.M):
+            assert (state, E.LOAD) in TRANSITIONS
+            assert (state, E.STORE) in TRANSITIONS
+
+    def test_owner_states(self):
+        assert S.M in OWNER_STATES and S.O in OWNER_STATES
+        assert S.S not in OWNER_STATES
+
+
+class TestProcessorTransitions:
+    def test_load_from_invalid_issues_gets(self):
+        transition = apply_event(S.I, E.LOAD)
+        assert transition.next_state is S.IS_D
+        assert "issue_gets" in transition.actions
+
+    def test_store_from_invalid_issues_getm(self):
+        transition = apply_event(S.I, E.STORE)
+        assert transition.next_state is S.IM_D
+        assert "issue_getm" in transition.actions
+
+    def test_store_to_shared_upgrades(self):
+        transition = apply_event(S.S, E.STORE)
+        assert transition.next_state is S.SM_D
+
+    def test_store_to_owned_upgrades(self):
+        transition = apply_event(S.O, E.STORE)
+        assert transition.next_state is S.OM_D
+
+    def test_hits_stay_stable(self):
+        for state in (S.S, S.O, S.M):
+            transition = apply_event(state, E.LOAD)
+            assert "hit" in transition.actions
+            assert transition.next_state is state
+
+    def test_store_hit_only_in_m(self):
+        assert "hit" in apply_event(S.M, E.STORE).actions
+        assert "hit" not in apply_event(S.S, E.STORE).actions
+        assert "hit" not in apply_event(S.O, E.STORE).actions
+
+
+class TestRemoteTransitions:
+    def test_other_gets_demotes_m_to_o_with_data(self):
+        transition = apply_event(S.M, E.OTHER_GETS)
+        assert transition.next_state is S.O
+        assert "send_data" in transition.actions
+
+    def test_owner_supplies_on_other_gets(self):
+        assert "send_data" in apply_event(S.O, E.OTHER_GETS).actions
+
+    def test_shared_silent_on_other_gets(self):
+        transition = apply_event(S.S, E.OTHER_GETS)
+        assert transition.next_state is S.S
+        assert transition.actions == ()
+
+    def test_other_getm_invalidates_everyone(self):
+        for state in (S.S, S.O, S.M):
+            transition = apply_event(state, E.OTHER_GETM)
+            assert transition.next_state is S.I
+            assert "deallocate" in transition.actions
+
+    def test_owner_supplies_data_on_other_getm(self):
+        assert "send_data" in apply_event(S.M, E.OTHER_GETM).actions
+        assert "send_data" in apply_event(S.O, E.OTHER_GETM).actions
+        assert "send_data" not in apply_event(S.S, E.OTHER_GETM).actions
+
+
+class TestTransientTransitions:
+    def test_data_completes_load_miss(self):
+        transition = apply_event(S.IS_D, E.OWN_DATA)
+        assert transition.next_state is S.S
+        assert "hit" in transition.actions
+
+    def test_data_completes_store_miss(self):
+        assert apply_event(S.IM_D, E.OWN_DATA).next_state is S.M
+
+    def test_ack_completes_upgrade(self):
+        assert apply_event(S.SM_D, E.OWN_ACK).next_state is S.M
+        assert apply_event(S.OM_D, E.OWN_ACK).next_state is S.M
+
+    def test_racing_getm_strips_upgrader(self):
+        # A remote GetM that beats our upgrade demotes us to a full miss.
+        assert apply_event(S.SM_D, E.OTHER_GETM).next_state is S.IM_D
+        transition = apply_event(S.OM_D, E.OTHER_GETM)
+        assert transition.next_state is S.IM_D
+        assert "send_data" in transition.actions
+
+
+class TestReplacement:
+    def test_dirty_replacement_issues_putm(self):
+        for state in (S.M, S.O):
+            transition = apply_event(state, E.REPLACEMENT)
+            assert "issue_putm" in transition.actions
+
+    def test_clean_replacement_silent(self):
+        transition = apply_event(S.S, E.REPLACEMENT)
+        assert transition.next_state is S.I
+        assert "issue_putm" not in transition.actions
+
+    def test_writeback_completes(self):
+        for transient in (S.MI_A, S.OI_A):
+            transition = apply_event(transient, E.WB_ACK)
+            assert transition.next_state is S.I
+            assert "writeback" in transition.actions
+
+    def test_request_during_writeback_still_supplies(self):
+        assert "send_data" in apply_event(S.MI_A, E.OTHER_GETS).actions
+
+
+class TestIllegalEvents:
+    def test_illegal_event_raises(self):
+        with pytest.raises(CoherenceError):
+            apply_event(S.I, E.OWN_DATA)
+
+    def test_replacement_of_invalid_raises(self):
+        with pytest.raises(CoherenceError):
+            apply_event(S.I, E.REPLACEMENT)
+
+    def test_double_data_raises(self):
+        with pytest.raises(CoherenceError):
+            apply_event(S.M, E.OWN_DATA)
+
+
+class TestPermissions:
+    def test_readable(self):
+        assert is_readable(S.M) and is_readable(S.O) and is_readable(S.S)
+        assert not is_readable(S.I)
+
+    def test_writable_only_m(self):
+        assert is_writable(S.M)
+        for state in (S.O, S.S, S.I):
+            assert not is_writable(state)

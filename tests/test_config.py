@@ -1,0 +1,114 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    MemoryConfig,
+    PerturbationConfig,
+    ProcessorConfig,
+    RunConfig,
+    SystemConfig,
+)
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        cache = CacheConfig(size_bytes=256 * 1024, associativity=4, block_bytes=64)
+        assert cache.n_sets == 1024
+
+    def test_direct_mapped_sets(self):
+        cache = CacheConfig(size_bytes=256 * 1024, associativity=1)
+        assert cache.n_sets == 4096
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, block_bytes=64)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, associativity=1)
+
+
+class TestMemoryConfig:
+    def test_paper_latencies(self):
+        memory = MemoryConfig()
+        # Paper 3.2.1: 180 ns from memory, 125 ns cache-to-cache.
+        assert memory.memory_fetch_ns == 180
+        assert memory.cache_transfer_ns == 125
+
+    def test_dram_latency_override(self):
+        assert MemoryConfig(dram_latency_ns=90).dram_latency_ns == 90
+
+
+class TestProcessorConfig:
+    def test_default_is_simple(self):
+        assert ProcessorConfig().model == "simple"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(model="vliw")
+
+    def test_bad_rob_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(rob_entries=0)
+
+
+class TestPerturbationConfig:
+    def test_paper_default_is_0_to_4(self):
+        assert PerturbationConfig().max_ns == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PerturbationConfig(max_ns=-1)
+
+
+class TestSystemConfig:
+    def test_default_16_cpus(self):
+        assert SystemConfig().n_cpus == 16
+
+    def test_paper_scale_geometry(self):
+        config = SystemConfig.paper_scale()
+        assert config.l2.size_bytes == 4 * 1024 * 1024
+        assert config.l1d.size_bytes == 128 * 1024
+        assert config.l2.associativity == 4
+
+    def test_with_l2_associativity(self):
+        config = SystemConfig().with_l2_associativity(2)
+        assert config.l2.associativity == 2
+        # Size held constant, as in Experiment 1.
+        assert config.l2.size_bytes == SystemConfig().l2.size_bytes
+
+    def test_with_rob_entries_selects_ooo(self):
+        config = SystemConfig().with_rob_entries(32)
+        assert config.processor.model == "ooo"
+        assert config.processor.rob_entries == 32
+
+    def test_with_dram_latency(self):
+        assert SystemConfig().with_dram_latency(87).memory.dram_latency_ns == 87
+
+    def test_with_perturbation(self):
+        assert SystemConfig().with_perturbation(0).perturbation.max_ns == 0
+
+    def test_configs_are_values(self):
+        assert SystemConfig() == SystemConfig()
+        assert SystemConfig().with_dram_latency(81) != SystemConfig()
+
+    def test_nonpositive_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_cpus=0)
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        run = RunConfig()
+        assert run.measured_transactions == 200
+        assert run.warmup_transactions == 0
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ValueError):
+            RunConfig(measured_transactions=0)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            RunConfig(warmup_transactions=-1)

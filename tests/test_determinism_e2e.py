@@ -1,0 +1,82 @@
+"""End-to-end determinism properties across the full stack.
+
+The methodology is only sound if the simulator is a pure function of
+(configuration, seed): these tests verify that at the level of complete
+schedules and transaction streams, not just final metrics, and across
+every workload and protocol.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.config import RunConfig, SystemConfig
+from repro.system.simulation import run_simulation
+from repro.workloads.registry import make_workload
+
+CONFIG = SystemConfig(n_cpus=4)
+
+
+def fingerprint(name: str, seed: int, *, config=CONFIG, txns=25, **params) -> str:
+    """Hash of the run's complete observable behaviour."""
+    workload = make_workload(name, **params)
+    result = run_simulation(
+        config,
+        workload,
+        RunConfig(measured_transactions=txns, seed=seed, max_time_ns=10**13),
+        collect_transaction_times=True,
+        collect_schedule_trace=True,
+    )
+    blob = repr(
+        (
+            result.cycles_per_transaction,
+            result.elapsed_ns,
+            result.transaction_times,
+            [(e.time_ns, e.cpu, e.tid) for e in result.schedule_trace],
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestFullStackDeterminism:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("oltp", {"threads_per_cpu": 2}),
+            ("apache", {"threads_per_cpu": 2}),
+            ("specjbb", {}),
+            ("slashcode", {"threads_per_cpu": 2}),
+        ],
+    )
+    def test_schedule_level_replay(self, name, params):
+        assert fingerprint(name, 9, **params) == fingerprint(name, 9, **params)
+
+    def test_seed_changes_schedule(self):
+        assert fingerprint("oltp", 1, threads_per_cpu=2, txns=60) != fingerprint(
+            "oltp", 2, threads_per_cpu=2, txns=60
+        )
+
+    @pytest.mark.parametrize("protocol", ["mosi", "mesi", "moesi"])
+    def test_replay_per_protocol(self, protocol):
+        config = SystemConfig(n_cpus=4).with_protocol(protocol)
+        assert fingerprint("oltp", 5, config=config, threads_per_cpu=2) == fingerprint(
+            "oltp", 5, config=config, threads_per_cpu=2
+        )
+
+    def test_scientific_replay(self):
+        config = SystemConfig(n_cpus=4)
+        a = fingerprint("barnes", 3, config=config, txns=1)
+        b = fingerprint("barnes", 3, config=config, txns=1)
+        assert a == b
+
+    def test_ooo_model_replay(self):
+        config = SystemConfig(n_cpus=4).with_rob_entries(32)
+        assert fingerprint("oltp", 7, config=config, threads_per_cpu=2) == fingerprint(
+            "oltp", 7, config=config, threads_per_cpu=2
+        )
+
+    def test_zero_perturbation_schedule_identical_across_seeds(self):
+        config = SystemConfig(n_cpus=4).with_perturbation(0)
+        assert fingerprint("oltp", 1, config=config, threads_per_cpu=2) == fingerprint(
+            "oltp", 2, config=config, threads_per_cpu=2
+        )

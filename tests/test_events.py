@@ -1,0 +1,120 @@
+"""Tests for the event queue and simulation clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue, SimulationClock
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(30, "c")
+        queue.schedule(10, "a")
+        queue.schedule(20, "b")
+        assert [queue.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        for name in ("first", "second", "third"):
+            queue.schedule(5, name)
+        assert [queue.pop().kind for _ in range(3)] == ["first", "second", "third"]
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, "x")
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        keep = queue.schedule(1, "keep")
+        drop = queue.schedule(2, "drop")
+        queue.schedule(3, "last")
+        queue.cancel(drop)
+        assert queue.pop() is keep
+        assert queue.pop().kind == "last"
+        assert queue.pop() is None
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1, "x")
+        queue.schedule(2, "y")
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(7, "x")
+        assert queue.peek_time() == 7
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.schedule(1, "x")
+        queue.schedule(9, "y")
+        queue.cancel(first)
+        assert queue.peek_time() == 9
+
+    def test_payload_carried(self):
+        queue = EventQueue()
+        queue.schedule(1, "core", payload=13)
+        assert queue.pop().payload == 13
+
+    def test_snapshot_restore_preserves_order(self):
+        queue = EventQueue()
+        queue.schedule(5, "b", payload=2)
+        queue.schedule(5, "c", payload=3)
+        queue.schedule(1, "a", payload=1)
+        cancelled = queue.schedule(3, "dead")
+        queue.cancel(cancelled)
+        restored = EventQueue.restore(queue.snapshot())
+        kinds = []
+        while (event := restored.pop()) is not None:
+            kinds.append(event.kind)
+        assert kinds == ["a", "b", "c"]
+
+    def test_snapshot_preserves_sequence_counter(self):
+        queue = EventQueue()
+        queue.schedule(1, "a")
+        restored = EventQueue.restore(queue.snapshot())
+        # New events scheduled at the same time must still come after
+        # pre-snapshot events (the sequence counter survived).
+        restored.schedule(1, "b")
+        assert restored.pop().kind == "a"
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+    def test_property_pops_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.schedule(t, "e")
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event.time)
+        assert popped == sorted(times)
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance_to(50)
+        assert clock.now == 50
+
+    def test_advance_same_time_ok(self):
+        clock = SimulationClock(start_ns=10)
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_backwards_rejected(self):
+        clock = SimulationClock(start_ns=100)
+        with pytest.raises(ValueError):
+            clock.advance_to(99)
+
+    def test_snapshot_restore(self):
+        clock = SimulationClock()
+        clock.advance_to(123)
+        assert SimulationClock.restore(clock.snapshot()).now == 123

@@ -1,0 +1,91 @@
+"""Tests for the end-to-end comparison methodology."""
+
+import pytest
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.experiment import compare_samples
+from repro.core.runner import RunSample
+from repro.system.simulation import SimulationResult
+
+
+def fake_sample(values, label="w") -> RunSample:
+    results = [
+        SimulationResult(
+            cycles_per_transaction=v,
+            elapsed_ns=int(v * 200 / 16),
+            measured_transactions=200,
+            start_ns=0,
+            end_ns=int(v * 200 / 16),
+            n_cpus=16,
+            seed=i,
+        )
+        for i, v in enumerate(values)
+    ]
+    return RunSample(config=SystemConfig(), workload_name=label, results=results)
+
+
+class TestRunSample:
+    def test_values_in_seed_order(self):
+        sample = fake_sample([3.0, 1.0, 2.0])
+        assert sample.values == [3.0, 1.0, 2.0]
+
+    def test_summary(self):
+        assert fake_sample([1.0, 2.0, 3.0]).summary().mean == 2.0
+
+    def test_subsample(self):
+        sample = fake_sample([1.0, 2.0, 3.0, 4.0])
+        assert sample.subsample(2).values == [1.0, 2.0]
+
+    def test_subsample_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            fake_sample([1.0]).subsample(5)
+
+
+class TestCompareSamples:
+    def test_clear_winner(self):
+        a = fake_sample([100.0, 101.0, 99.0, 100.5, 99.5], "slow")
+        b = fake_sample([90.0, 91.0, 89.0, 90.5, 89.5], "fast")
+        result = compare_samples(a, b, label_a="slow", label_b="fast")
+        assert result.faster == "fast"
+        assert result.intervals_separate
+        assert result.conclusion_is_safe
+        assert result.wcr_percent == 0.0
+        assert result.t_test.rejects_at(0.01)
+
+    def test_close_configurations_not_safe(self):
+        a = fake_sample([100.0, 105.0, 95.0, 102.0, 98.0])
+        b = fake_sample([99.0, 104.0, 96.0, 101.0, 99.0])
+        result = compare_samples(a, b)
+        assert not result.conclusion_is_safe
+        assert result.wcr_percent > 10.0
+
+    def test_speedup_percent(self):
+        a = fake_sample([100.0] * 3 + [100.0])
+        b = fake_sample([80.0] * 3 + [80.0])
+        # Avoid zero variance: jitter one value slightly.
+        a.results[0].cycles_per_transaction = 100.2
+        b.results[0].cycles_per_transaction = 80.2
+        result = compare_samples(a, b)
+        assert result.speedup_percent == pytest.approx(20.0, abs=0.5)
+
+    def test_t_test_oriented_to_slower_sample(self):
+        a = fake_sample([90.0, 91.0, 89.0, 90.5])
+        b = fake_sample([100.0, 101.0, 99.0, 100.5])
+        result = compare_samples(a, b)
+        # H1 must be "slower config's metric is larger": mean_a in the
+        # test is always the larger sample mean.
+        assert result.t_test.mean_a > result.t_test.mean_b
+
+    def test_report_mentions_everything(self):
+        a = fake_sample([100.0, 101.0, 99.0, 100.5])
+        b = fake_sample([90.0, 91.0, 89.0, 90.5])
+        text = compare_samples(a, b, label_a="base", label_b="enhanced").report()
+        assert "base" in text and "enhanced" in text
+        assert "WCR" in text
+        assert "t-test" in text
+
+    def test_wrong_conclusion_bound_present(self):
+        a = fake_sample([100.0, 101.0, 99.0, 100.5])
+        b = fake_sample([90.0, 91.0, 89.0, 90.5])
+        result = compare_samples(a, b)
+        assert 0.0 <= result.wrong_conclusion_bound <= 1.0

@@ -1,0 +1,237 @@
+"""Tests for the assembled memory hierarchy (timing + coherence)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.memory.coherence import MOSIState
+from repro.memory.hierarchy import L1_READ_ONLY, L1_READ_WRITE, MemoryHierarchy
+
+
+def hierarchy(n_cpus=4, perturbation=0) -> MemoryHierarchy:
+    config = SystemConfig(n_cpus=n_cpus).with_perturbation(perturbation)
+    return MemoryHierarchy(config)
+
+
+ADDR = 0x4000_0000  # shared region
+
+
+class TestBasicLatencies:
+    def test_cold_load_comes_from_memory(self):
+        h = hierarchy()
+        result = h.access(0, ADDR, False, 0)
+        assert result.source == "memory"
+        # 1 (L1) + 20 (L2) + 100 (crossbar round trip) + 80 (DRAM) = 201.
+        assert result.latency_ns == 201
+
+    def test_l1_hit_after_fill(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0)
+        result = h.access(0, ADDR, False, 10)
+        assert result.source == "l1"
+        assert result.latency_ns == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0)
+        # Evict the block from L1 by filling its set (L1: 32 sets, 4 ways).
+        sets = h.l1d[0].n_sets
+        for i in range(1, 5):
+            h.access(0, ADDR + i * sets * 64, False, 0)
+        result = h.access(0, ADDR, False, 10)
+        assert result.source == "l2"
+
+    def test_cache_to_cache_transfer(self):
+        h = hierarchy()
+        h.access(0, ADDR, True, 0)  # node 0 takes M
+        result = h.access(1, ADDR, False, 1000)
+        assert result.source == "cache"
+        # 1 + 20 + 100 (crossbar) + 25 (provider) = 146.
+        assert result.latency_ns == 146
+
+    def test_upgrade_latency(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0)  # S
+        result = h.access(0, ADDR, True, 1000)
+        assert result.source == "upgrade"
+        assert h.stats.upgrades == 1
+
+
+class TestCoherenceBehaviour:
+    def test_m_demotes_to_o_on_remote_read(self):
+        h = hierarchy()
+        h.access(0, ADDR, True, 0)
+        h.access(1, ADDR, False, 1000)
+        assert h.l2[0].peek(ADDR // 64).state == MOSIState.O.value
+        assert h.l2[1].peek(ADDR // 64).state == MOSIState.S.value
+
+    def test_remote_write_invalidates_sharers(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0)
+        h.access(1, ADDR, False, 100)
+        h.access(2, ADDR, True, 2000)
+        assert h.l2[0].peek(ADDR // 64) is None
+        assert h.l2[1].peek(ADDR // 64) is None
+        assert h.l2[2].peek(ADDR // 64).state == MOSIState.M.value
+
+    def test_write_invalidation_reaches_l1(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0)
+        assert h.l1d[0].peek(ADDR // 64) is not None
+        h.access(1, ADDR, True, 1000)
+        assert h.l1d[0].peek(ADDR // 64) is None
+
+    def test_l1_demoted_when_owner_loses_exclusivity(self):
+        h = hierarchy()
+        h.access(0, ADDR, True, 0)
+        assert h.l1d[0].peek(ADDR // 64).state == L1_READ_WRITE
+        h.access(1, ADDR, False, 1000)
+        assert h.l1d[0].peek(ADDR // 64).state == L1_READ_ONLY
+
+    def test_write_to_read_only_l1_goes_coherent(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0)
+        h.access(1, ADDR, False, 100)  # two sharers
+        result = h.access(0, ADDR, True, 2000)
+        assert result.source == "upgrade"
+        assert h.l2[1].peek(ADDR // 64) is None
+
+    def test_second_write_is_l1_hit(self):
+        h = hierarchy()
+        h.access(0, ADDR, True, 0)
+        result = h.access(0, ADDR, True, 10)
+        assert result.source == "l1"
+
+    def test_dirty_eviction_writes_back(self):
+        h = hierarchy(n_cpus=1)
+        sets = h.l2[0].n_sets
+        h.access(0, ADDR, True, 0)
+        for i in range(1, 5):
+            h.access(0, ADDR + i * sets * 64, False, i * 1000)
+        assert h.stats.writebacks == 1
+        assert h.dram.stats.writebacks == 1
+
+    def test_instruction_fetch_uses_l1i(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0, is_instruction=True)
+        assert h.l1i[0].peek(ADDR // 64) is not None
+        assert h.l1d[0].peek(ADDR // 64) is None
+
+
+class TestInvariants:
+    def test_invariants_after_clean_sequence(self):
+        h = hierarchy()
+        h.access(0, ADDR, False, 0)
+        h.access(1, ADDR, False, 100)
+        h.access(2, ADDR, True, 1000)
+        h.access(3, ADDR, False, 2000)
+        assert h.check_coherence_invariants() == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # node
+                st.integers(min_value=0, max_value=40),  # block choice
+                st.booleans(),                            # write
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_property_invariants_hold_under_random_traffic(self, ops):
+        h = hierarchy()
+        now = 0
+        for node, block_choice, write in ops:
+            now += 13
+            h.access(node, ADDR + block_choice * 64, write, now)
+        assert h.check_coherence_invariants() == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=600),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    def test_property_invariants_hold_under_eviction_pressure(self, ops):
+        """Same-set traffic forces evictions; invariants must survive."""
+        h = hierarchy()
+        sets = h.l2[0].n_sets
+        now = 0
+        for node, stride, write in ops:
+            now += 13
+            # All blocks in one L2 set: maximum conflict pressure.
+            h.access(node, ADDR + stride * sets * 64, write, now)
+        assert h.check_coherence_invariants() == []
+
+
+class TestPerturbation:
+    def test_zero_perturbation_adds_nothing(self):
+        h = hierarchy(perturbation=0)
+        h.access(0, ADDR, False, 0)
+        assert h.stats.perturbation_total_ns == 0
+
+    def test_perturbation_accumulates_on_misses(self):
+        h = hierarchy(perturbation=4)
+        h.seed_perturbation(3)
+        for i in range(200):
+            h.access(0, ADDR + i * 64, False, i * 10)
+        total = h.stats.perturbation_total_ns
+        assert 0 < total <= 4 * 200
+        # Uniform 0..4: expect about 2 per miss.
+        assert 200 <= total <= 600
+
+    def test_same_seed_same_jitter(self):
+        results = []
+        for _ in range(2):
+            h = hierarchy(perturbation=4)
+            h.seed_perturbation(42)
+            latencies = [h.access(0, ADDR + i * 64, False, i * 10).latency_ns for i in range(50)]
+            results.append(latencies)
+        assert results[0] == results[1]
+
+    def test_different_seeds_different_jitter(self):
+        latencies = []
+        for seed in (1, 2):
+            h = hierarchy(perturbation=4)
+            h.seed_perturbation(seed)
+            latencies.append(
+                [h.access(0, ADDR + i * 64, False, i * 10).latency_ns for i in range(50)]
+            )
+        assert latencies[0] != latencies[1]
+
+
+class TestBlockRaces:
+    def test_racing_requests_serialize(self):
+        h = hierarchy()
+        h.access(0, ADDR, True, 0)
+        h.access(1, ADDR, True, 1)  # within the first transaction's window
+        assert h.stats.block_race_stalls >= 1
+
+    def test_spaced_requests_do_not_stall(self):
+        h = hierarchy()
+        h.access(0, ADDR, True, 0)
+        h.access(1, ADDR, True, 50_000)
+        assert h.stats.block_race_stalls == 0
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_preserves_behaviour(self):
+        h = hierarchy()
+        h.seed_perturbation(5)
+        for i in range(60):
+            h.access(i % 4, ADDR + (i % 20) * 64, i % 3 == 0, i * 17)
+        state = h.snapshot()
+        follow_on = [(2, ADDR + 5 * 64, True), (3, ADDR + 21 * 64, False)]
+        expected = [h.access(n, a, w, 10_000 + i) .latency_ns for i, (n, a, w) in enumerate(follow_on)]
+        h2 = hierarchy()
+        h2.restore_state(state)
+        actual = [h2.access(n, a, w, 10_000 + i).latency_ns for i, (n, a, w) in enumerate(follow_on)]
+        assert actual == expected
+        assert h2.check_coherence_invariants() == []

@@ -1,0 +1,166 @@
+"""Integration tests: the full methodology on a small machine.
+
+These exercise the paper's pipeline end-to-end -- perturbed multi-run
+sampling, comparison experiments, checkpoint studies, ANOVA -- on a 4-CPU
+system with short runs, asserting structure rather than exact values.
+"""
+
+import pytest
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.anova import one_way_anova
+from repro.core.experiment import compare_configurations
+from repro.core.runner import run_space
+from repro.core.sampling import checkpoint_study, windowed_cycles_per_transaction
+from repro.core.wcr import wrong_conclusion_ratio
+from repro.system.simulation import run_simulation
+from repro.workloads.registry import make_workload
+
+CONFIG = SystemConfig(n_cpus=4)
+
+
+def small_oltp():
+    return make_workload("oltp", threads_per_cpu=2)
+
+
+class TestRunSpace:
+    def test_sample_collected_in_seed_order(self, warm_checkpoint):
+        sample = run_space(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=30, seed=50),
+            n_runs=4,
+            checkpoint=warm_checkpoint,
+        )
+        assert [r.seed for r in sample.results] == [50, 51, 52, 53]
+        assert len(sample.values) == 4
+
+    def test_explicit_seeds(self, warm_checkpoint):
+        sample = run_space(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=20),
+            n_runs=2,
+            seeds=[7, 99],
+            checkpoint=warm_checkpoint,
+        )
+        assert [r.seed for r in sample.results] == [7, 99]
+
+    def test_seed_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_space(
+                CONFIG, small_oltp(), RunConfig(), n_runs=3, seeds=[1, 2]
+            )
+
+    def test_space_variability_nonzero(self, warm_checkpoint):
+        sample = run_space(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=60, seed=10),
+            n_runs=5,
+            checkpoint=warm_checkpoint,
+        )
+        assert sample.summary().coefficient_of_variation > 0.0
+
+    def test_parallel_jobs_match_serial(self, warm_checkpoint):
+        kwargs = dict(
+            config=CONFIG,
+            workload=small_oltp(),
+            run=RunConfig(measured_transactions=20, seed=31),
+            n_runs=2,
+            checkpoint=warm_checkpoint,
+        )
+        serial = run_space(**kwargs, n_jobs=1)
+        parallel = run_space(**kwargs, n_jobs=2)
+        assert serial.values == parallel.values
+
+
+class TestComparison:
+    def test_dram_latency_comparison(self, warm_checkpoint):
+        """The methodology's flagship use: slower memory should lose once
+        enough runs separate the configurations."""
+        result = compare_configurations(
+            CONFIG.with_dram_latency(80),
+            CONFIG.with_dram_latency(160),  # exaggerated for a small test
+            small_oltp(),
+            RunConfig(measured_transactions=60, seed=20),
+            n_runs=5,
+            label_a="80ns",
+            label_b="160ns",
+            checkpoint=warm_checkpoint,
+        )
+        assert result.summary_a.mean < result.summary_b.mean
+        assert result.faster == "80ns"
+        assert 0.0 <= result.wcr_percent <= 100.0
+
+    def test_identical_configs_have_high_wcr(self, warm_checkpoint):
+        """Comparing a configuration against itself: the single-run wrong
+        conclusion ratio should be large (the samples interleave)."""
+        a = run_space(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=60, seed=300),
+            n_runs=5,
+            checkpoint=warm_checkpoint,
+        )
+        b = run_space(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=60, seed=400),
+            n_runs=5,
+            checkpoint=warm_checkpoint,
+        )
+        assert wrong_conclusion_ratio(a.values, b.values) > 10.0
+
+
+class TestTimeVariability:
+    def test_windowed_series_from_real_run(self, warm_checkpoint):
+        result = run_simulation(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=60, seed=17),
+            checkpoint=warm_checkpoint,
+            collect_transaction_times=True,
+        )
+        series = windowed_cycles_per_transaction(result, window=10)
+        # 60 completions make 6 windows; slice-skew can push a boundary
+        # completion just outside the measurement window, costing one.
+        assert len(series) in (5, 6)
+        assert all(v > 0 for v in series)
+
+    def test_checkpoint_study_and_anova(self):
+        study = checkpoint_study(
+            CONFIG,
+            small_oltp(),
+            checkpoint_transactions=[40, 120],
+            run=RunConfig(measured_transactions=30, seed=60),
+            n_runs=3,
+        )
+        assert len(study.groups) == 2
+        assert all(len(group) == 3 for group in study.groups)
+        result = one_way_anova(study.groups)
+        assert result.df_between == 1
+        assert result.df_within == 4
+        assert study.between_checkpoint_spread_percent() >= 0.0
+
+
+class TestCrossWorkload:
+    @pytest.mark.parametrize("name", ["apache", "slashcode"])
+    def test_other_commercial_workloads_run(self, name):
+        workload = make_workload(name, threads_per_cpu=2)
+        result = run_simulation(
+            CONFIG, workload, RunConfig(measured_transactions=15, seed=2)
+        )
+        assert result.measured_transactions == 15
+
+    def test_specjbb_runs(self):
+        result = run_simulation(
+            CONFIG, make_workload("specjbb"), RunConfig(measured_transactions=15, seed=2)
+        )
+        assert result.measured_transactions == 15
+
+    def test_barnes_single_transaction(self):
+        result = run_simulation(
+            CONFIG, make_workload("barnes"), RunConfig(measured_transactions=1, seed=2)
+        )
+        assert result.measured_transactions == 1

@@ -1,0 +1,100 @@
+"""Tests for the crossbar and the memory controllers."""
+
+from repro.config import MemoryConfig
+from repro.memory.dram import MemoryController
+from repro.memory.interconnect import Crossbar
+
+
+class TestCrossbar:
+    def test_uncontended_traversal_is_hop_latency(self):
+        xbar = Crossbar(MemoryConfig(), 16)
+        assert xbar.traverse(0) == 50
+
+    def test_round_trip_is_two_hops(self):
+        xbar = Crossbar(MemoryConfig(), 16)
+        assert xbar.round_trip(0) == 100
+
+    def test_same_window_transactions_queue(self):
+        xbar = Crossbar(MemoryConfig(), 16)
+        first = xbar.traverse(100)
+        second = xbar.traverse(110)   # same 200 ns window
+        third = xbar.traverse(120)
+        assert first == 50
+        assert second == 50 + Crossbar.OCCUPANCY_NS
+        assert third == 50 + 2 * Crossbar.OCCUPANCY_NS
+
+    def test_new_window_resets_queue(self):
+        xbar = Crossbar(MemoryConfig(), 16)
+        xbar.traverse(100)
+        xbar.traverse(110)
+        assert xbar.traverse(500) == 50  # different window
+
+    def test_order_insensitive_within_window(self):
+        """Slice-skewed timestamps in one window queue identically."""
+        a = Crossbar(MemoryConfig(), 16)
+        b = Crossbar(MemoryConfig(), 16)
+        total_a = a.traverse(100) + a.traverse(180)
+        total_b = b.traverse(180) + b.traverse(100)
+        assert total_a == total_b
+
+    def test_stats(self):
+        xbar = Crossbar(MemoryConfig(), 16)
+        xbar.traverse(0)
+        xbar.traverse(1)
+        assert xbar.stats.transactions == 2
+        assert xbar.stats.total_queue_ns == Crossbar.OCCUPANCY_NS
+        assert xbar.stats.mean_queue_ns == Crossbar.OCCUPANCY_NS / 2
+
+    def test_snapshot_roundtrip(self):
+        xbar = Crossbar(MemoryConfig(), 16)
+        xbar.traverse(100)
+        state = xbar.snapshot()
+        expected = xbar.traverse(110)
+        fresh = Crossbar(MemoryConfig(), 16)
+        fresh.restore_state(state)
+        assert fresh.traverse(110) == expected
+
+
+class TestMemoryController:
+    def test_home_interleaving(self):
+        dram = MemoryController(MemoryConfig(), 16)
+        assert dram.home_of(0) == 0
+        assert dram.home_of(17) == 1
+
+    def test_read_latency(self):
+        dram = MemoryController(MemoryConfig(), 16)
+        assert dram.read(0, 0) == 80
+
+    def test_latency_follows_config(self):
+        dram = MemoryController(MemoryConfig(dram_latency_ns=90), 16)
+        assert dram.read(0, 0) == 90
+
+    def test_same_controller_queues(self):
+        dram = MemoryController(MemoryConfig(), 16)
+        dram.read(0, 100)
+        assert dram.read(16, 110) == 80 + MemoryController.OCCUPANCY_NS
+
+    def test_different_controllers_independent(self):
+        dram = MemoryController(MemoryConfig(), 16)
+        dram.read(0, 100)
+        assert dram.read(1, 110) == 80
+
+    def test_writeback_counts_but_returns_nothing(self):
+        dram = MemoryController(MemoryConfig(), 16)
+        dram.writeback(5, 0)
+        assert dram.stats.writebacks == 1
+
+    def test_writeback_occupies_controller(self):
+        dram = MemoryController(MemoryConfig(), 16)
+        dram.writeback(0, 100)
+        assert dram.read(16, 110) == 80 + MemoryController.OCCUPANCY_NS
+
+    def test_snapshot_roundtrip(self):
+        dram = MemoryController(MemoryConfig(), 16)
+        dram.read(0, 100)
+        state = dram.snapshot()
+        expected = dram.read(16, 120)
+        fresh = MemoryController(MemoryConfig(), 16)
+        fresh.restore_state(state)
+        assert fresh.stats.reads == 1
+        assert fresh.read(16, 120) == expected

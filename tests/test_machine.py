@@ -1,0 +1,181 @@
+"""Tests for the machine execution loop."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.osmodel.thread import ThreadState
+from repro.system.machine import Machine, SimulationStall
+from repro.workloads.registry import make_workload
+
+
+def small_machine(n_cpus=4, perturbation=4, workload=None, seed_value=3) -> Machine:
+    config = SystemConfig(n_cpus=n_cpus).with_perturbation(perturbation)
+    machine = Machine(config, workload or make_workload("oltp", threads_per_cpu=2))
+    machine.hierarchy.seed_perturbation(seed_value)
+    return machine
+
+
+class TestExecution:
+    def test_completes_transactions(self):
+        machine = small_machine()
+        end = machine.run_until_transactions(20, max_time_ns=10**12)
+        assert machine.completed_transactions >= 20
+        assert end > 0
+
+    def test_time_advances_monotonically(self):
+        machine = small_machine()
+        first = machine.run_until_transactions(10, max_time_ns=10**12)
+        second = machine.run_until_transactions(20, max_time_ns=10**12)
+        assert second > first
+
+    def test_already_reached_target_returns_now(self):
+        machine = small_machine()
+        machine.run_until_transactions(10, max_time_ns=10**12)
+        assert machine.run_until_transactions(5, max_time_ns=10**12) == machine.clock.now
+
+    def test_all_cpus_participate(self):
+        machine = small_machine()
+        machine.run_until_transactions(40, max_time_ns=10**12)
+        active_cpus = {t.last_cpu for t in machine.scheduler.threads.values()}
+        assert len(active_cpus) == 4
+
+    def test_transaction_log_collected(self):
+        machine = small_machine()
+        machine.transaction_log = []
+        machine.run_until_transactions(10, max_time_ns=10**12)
+        assert len(machine.transaction_log) >= 10
+        # Completion order can differ from timestamp order by at most one
+        # interleave slice (cross-CPU skew); never more.
+        from repro.system.machine import INTERLEAVE_NS
+
+        times = [t for t, _ in machine.transaction_log]
+        for earlier, later in zip(times, times[1:]):
+            assert later >= earlier - INTERLEAVE_NS
+
+    def test_timeout_sets_flag(self):
+        machine = small_machine()
+        machine.run_until_transactions(10**9, max_time_ns=1000)
+        assert machine.timed_out
+
+    def test_coherence_invariants_after_run(self):
+        machine = small_machine()
+        machine.run_until_transactions(30, max_time_ns=10**12)
+        assert machine.hierarchy.check_coherence_invariants() == []
+
+    def test_locks_quiesce(self):
+        """At a transaction boundary no lock is held by a finished thread
+        and waiter lists only contain blocked threads."""
+        machine = small_machine()
+        machine.run_until_transactions(30, max_time_ns=10**12)
+        for mutex in machine.locks.all_mutexes():
+            for tid in mutex.waiters:
+                assert machine.scheduler.threads[tid].state is ThreadState.BLOCKED_LOCK
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        ends = []
+        for _ in range(2):
+            machine = small_machine(seed_value=77)
+            ends.append(machine.run_until_transactions(25, max_time_ns=10**12))
+        assert ends[0] == ends[1]
+
+    def test_zero_perturbation_seed_invariant(self):
+        ends = []
+        for seed in (1, 2):
+            machine = small_machine(perturbation=0, seed_value=seed)
+            ends.append(machine.run_until_transactions(25, max_time_ns=10**12))
+        assert ends[0] == ends[1]
+
+    def test_different_seeds_diverge(self):
+        ends = []
+        for seed in (1, 2):
+            machine = small_machine(seed_value=seed)
+            ends.append(machine.run_until_transactions(60, max_time_ns=10**12))
+        assert ends[0] != ends[1]
+
+
+class TestScheduleTrace:
+    def test_trace_collected_when_enabled(self):
+        machine = small_machine()
+        machine.scheduler.trace_enabled = True
+        machine.run_until_transactions(10, max_time_ns=10**12)
+        assert machine.scheduler.trace
+        times = [e.time_ns for e in machine.scheduler.trace]
+        assert times == sorted(times)
+
+    def test_trace_events_reference_real_threads(self):
+        machine = small_machine()
+        machine.scheduler.trace_enabled = True
+        machine.run_until_transactions(10, max_time_ns=10**12)
+        tids = {e.tid for e in machine.scheduler.trace}
+        assert tids <= set(machine.scheduler.threads)
+
+
+class TestScientificWorkloads:
+    def test_barnes_runs_to_completion(self):
+        workload = make_workload("barnes")
+        machine = small_machine(workload=workload)
+        machine.run_until_transactions(1, max_time_ns=10**13)
+        assert machine.completed_transactions == 1
+
+    def test_ocean_runs_to_completion(self):
+        workload = make_workload("ocean")
+        machine = small_machine(workload=workload)
+        machine.run_until_transactions(1, max_time_ns=10**13)
+        assert machine.completed_transactions == 1
+
+    def test_barnes_threads_finish(self):
+        workload = make_workload("barnes")
+        machine = small_machine(workload=workload)
+        machine.run_until_transactions(1, max_time_ns=10**13)
+        # After the reported transaction the remaining threads drain.
+        while machine.live_threads > 0:
+            event = machine.events.pop()
+            if event is None:
+                break
+            machine.clock.advance_to(event.time)
+            if event.kind == "core":
+                machine._handle_core(event.payload, event.time)
+            else:
+                machine._handle_ready(event.payload, event.time)
+        assert machine.live_threads == 0
+
+
+class TestStallDetection:
+    def test_deadlocked_program_raises(self):
+        class DeadlockProgram:
+            """Acquires a lock twice: guaranteed self-deadlock."""
+
+            def __init__(self):
+                self.finished = False
+
+            def next_ops(self, thread):
+                return [("lock", 9000), ("lock", 9000), ("txn_end", 0)]
+
+            def snapshot(self):
+                return {}
+
+            def restore_state(self, state):
+                pass
+
+        class DeadlockWorkload:
+            name = "deadlock"
+            seed = 1
+            scale = 1.0
+
+            def n_threads(self, n_cpus):
+                return 1
+
+            def make_program(self, tid, clock):
+                return DeadlockProgram()
+
+            def make_branch_context(self, tid):
+                from repro.proc.base import BranchContext
+
+                return BranchContext(code_seed=1)
+
+        config = SystemConfig(n_cpus=1)
+        machine = Machine(config, DeadlockWorkload())
+        with pytest.raises(SimulationStall):
+            machine.run_until_transactions(1, max_time_ns=10**12)

@@ -1,0 +1,150 @@
+"""Engine edge cases: interleave slices, idle CPUs, quantum, barging."""
+
+from repro.config import OSConfig, SystemConfig
+from repro.osmodel.thread import ThreadState
+from repro.proc.base import BranchContext
+from repro.system.machine import INTERLEAVE_NS, Machine
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
+
+
+class ScriptedProgram(WorkloadProgram):
+    """Emits a fixed op script repeatedly (for engine tests)."""
+
+    global_queue = False
+
+    def __init__(self, name, tid, seed, clock, script, repeats):
+        super().__init__(name, tid, seed, clock)
+        self.script = script
+        self.repeats = repeats
+
+    def build_transaction(self) -> list[Op]:
+        if self.txn_index >= self.repeats:
+            self.finished = True
+            return [("txn_end", 0)]
+        return list(self.script) + [("txn_end", 0)]
+
+
+class ScriptedWorkload(Workload):
+    name = "scripted"
+
+    def __init__(self, script, repeats=5, threads=2, seed=1):
+        super().__init__(seed=seed)
+        self.script = script
+        self.repeats = repeats
+        self.threads = threads
+
+    def n_threads(self, n_cpus: int) -> int:
+        return self.threads
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> ScriptedProgram:
+        return ScriptedProgram(self.name, tid, self.seed, clock, self.script, self.repeats)
+
+
+def machine_for(script, *, threads=2, repeats=5, n_cpus=2, **os_kwargs) -> Machine:
+    config = SystemConfig(n_cpus=n_cpus, os=OSConfig(**os_kwargs)).with_perturbation(0)
+    return Machine(config, ScriptedWorkload(script, repeats=repeats, threads=threads))
+
+
+CODE = 0x0800_0000
+
+
+class TestSliceBoundaries:
+    def test_long_compute_respects_interleave(self):
+        """A thread with one huge compute op still yields the event loop
+        at slice boundaries (other CPUs' events interleave)."""
+        machine = machine_for([("cpu", 10 * INTERLEAVE_NS, CODE)], threads=2, n_cpus=1)
+        machine.run_until_transactions(2, max_time_ns=10**10)
+        # Both threads completed despite each transaction spanning many
+        # slices on one CPU.
+        assert machine.completed_transactions >= 2
+
+    def test_io_frees_cpu_for_other_thread(self):
+        machine = machine_for([("io", 50_000), ("cpu", 100, CODE)], threads=2, n_cpus=1)
+        end = machine.run_until_transactions(10, max_time_ns=10**10)
+        # With overlap, ten transactions of 50 us io finish well before
+        # 10 x 50 us + compute would serially.
+        assert end < 10 * 50_000
+
+    def test_idle_cpu_wakes_on_ready(self):
+        machine = machine_for([("io", 30_000)], threads=1, n_cpus=2, repeats=3)
+        machine.run_until_transactions(3, max_time_ns=10**10)
+        assert machine.completed_transactions == 3
+
+
+class TestQuantum:
+    def test_preemption_shares_cpu(self):
+        """Two compute-bound threads on one CPU alternate via quantum
+        preemption rather than running to completion back-to-back."""
+        machine = machine_for(
+            [("cpu", 40_000, CODE)],
+            threads=2,
+            n_cpus=1,
+            repeats=4,
+            quantum_ns=10_000,
+        )
+        machine.transaction_log = []
+        machine.run_until_transactions(8, max_time_ns=10**10)
+        switches = sum(
+            t.stats.context_switches for t in machine.scheduler.threads.values()
+        )
+        assert switches >= 4
+
+    def test_lone_thread_never_preempted(self):
+        machine = machine_for(
+            [("cpu", 40_000, CODE)], threads=1, n_cpus=1, repeats=3, quantum_ns=10_000
+        )
+        machine.run_until_transactions(3, max_time_ns=10**10)
+        thread = machine.scheduler.threads[0]
+        # Context switches only from voluntary events (none here).
+        assert thread.stats.context_switches == 0
+
+
+class TestBargingEndToEnd:
+    def test_contended_lock_makes_progress(self):
+        script = [("lock", 5), ("cpu", 2_000, CODE), ("unlock", 5)]
+        machine = machine_for(script, threads=4, n_cpus=2, repeats=6)
+        machine.run_until_transactions(24, max_time_ns=10**11)
+        assert machine.completed_transactions == 24
+        mutex = machine.locks.mutex(5)
+        assert mutex.holder is None
+        assert mutex.contended_acquisitions > 0
+
+    def test_lock_blocks_counted(self):
+        script = [("lock", 5), ("io", 20_000), ("unlock", 5)]
+        machine = machine_for(script, threads=4, n_cpus=4, repeats=3)
+        machine.run_until_transactions(12, max_time_ns=10**11)
+        blocks = sum(t.stats.lock_blocks for t in machine.scheduler.threads.values())
+        assert blocks > 0
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_threads(self):
+        script = [("cpu", 1_000, CODE), ("barrier", 9, 4), ("cpu", 100, CODE)]
+        machine = machine_for(script, threads=4, n_cpus=2, repeats=2)
+        machine.run_until_transactions(8, max_time_ns=10**11)
+        assert machine.completed_transactions == 8
+        barrier = machine.locks.barrier(9, 4)
+        assert barrier.generation >= 2
+
+    def test_unbalanced_barrier_detected_as_stall(self):
+        # Three of four participants: the barrier never releases, all
+        # threads block, and the stall detector fires.
+        import pytest
+
+        from repro.system.machine import SimulationStall
+
+        script = [("barrier", 9, 4), ("cpu", 100, CODE)]
+        machine = machine_for(script, threads=3, n_cpus=2, repeats=1)
+        with pytest.raises(SimulationStall):
+            machine.run_until_transactions(3, max_time_ns=1_000_000)
+
+
+class TestYield:
+    def test_yield_rotates_threads(self):
+        script = [("cpu", 500, CODE), ("yield",)]
+        machine = machine_for(script, threads=3, n_cpus=1, repeats=4)
+        machine.scheduler.trace_enabled = True
+        machine.run_until_transactions(12, max_time_ns=10**10)
+        tids = [e.tid for e in machine.scheduler.trace]
+        # All three threads get dispatched repeatedly.
+        assert set(tids) == {0, 1, 2}

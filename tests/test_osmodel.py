@@ -1,0 +1,268 @@
+"""Tests for the OS model: scheduler, locks, barriers."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.osmodel.locks import Barrier, LockTable, Mutex
+from repro.osmodel.scheduler import Scheduler
+from repro.osmodel.thread import SimThread, ThreadState
+from repro.proc.base import BranchContext
+
+
+class FakeProgram:
+    """Minimal program stub for scheduler tests."""
+
+    def next_ops(self, thread):
+        return [("cpu", 10, 0)]
+
+    def snapshot(self):
+        return {}
+
+    def restore_state(self, state):
+        pass
+
+
+def thread(tid, cpu=0) -> SimThread:
+    return SimThread(
+        tid=tid,
+        name=f"t{tid}",
+        program=FakeProgram(),
+        branch_ctx=BranchContext(code_seed=1),
+        last_cpu=cpu,
+    )
+
+
+def scheduler(n_cpus=2, **os_kwargs) -> Scheduler:
+    return Scheduler(OSConfig(**os_kwargs), n_cpus)
+
+
+class TestScheduler:
+    def test_add_and_dispatch(self):
+        sched = scheduler()
+        sched.add_thread(thread(0))
+        picked = sched.pick_next(0, now=0)
+        assert picked.tid == 0
+        assert picked.state is ThreadState.RUNNING
+        assert sched.current[0] == 0
+
+    def test_duplicate_tid_rejected(self):
+        sched = scheduler()
+        sched.add_thread(thread(0))
+        with pytest.raises(ValueError):
+            sched.add_thread(thread(0))
+
+    def test_fifo_order(self):
+        sched = scheduler()
+        for tid in range(3):
+            sched.add_thread(thread(tid, cpu=0))
+        assert sched.pick_next(0, 0).tid == 0
+        sched.block(0, sched.threads[0], ThreadState.BLOCKED_IO)
+        assert sched.pick_next(0, 0).tid == 1
+
+    def test_pick_from_empty_returns_none(self):
+        assert scheduler().pick_next(0, 0) is None
+
+    def test_quantum_deadline_set(self):
+        sched = scheduler(quantum_ns=1000)
+        sched.add_thread(thread(0))
+        picked = sched.pick_next(0, now=500)
+        assert picked.quantum_deadline == 1500
+
+    def test_steal_from_loaded_queue(self):
+        sched = scheduler(n_cpus=2)
+        for tid in range(3):
+            sched.add_thread(thread(tid, cpu=0))
+        picked = sched.pick_next(1, 0)  # cpu 1 queue empty: steal
+        assert picked is not None
+        assert sched.migrations == 1
+        assert picked.last_cpu == 1
+
+    def test_no_steal_when_disabled(self):
+        sched = scheduler(n_cpus=2, load_balance=False)
+        sched.add_thread(thread(0, cpu=0))
+        assert sched.pick_next(1, 0) is None
+
+    def test_make_ready_prefers_home(self):
+        sched = scheduler(n_cpus=2)
+        t = thread(0, cpu=1)
+        sched.add_thread(t)
+        sched.pick_next(1, 0)
+        sched.block(1, t, ThreadState.BLOCKED_IO)
+        target = sched.make_ready(t)
+        assert target == 1
+
+    def test_make_ready_balances_to_idle_cpu(self):
+        sched = scheduler(n_cpus=2)
+        busy = thread(0, cpu=0)
+        sleeper = thread(1, cpu=0)
+        sched.add_thread(busy)
+        sched.add_thread(sleeper)
+        sched.pick_next(0, 0)  # busy runs on cpu 0
+        t = sched.threads[1]
+        sched.run_queues[0].remove(1)
+        t.state = ThreadState.BLOCKED_IO
+        target = sched.make_ready(t)
+        assert target == 1  # cpu 1 idle and empty
+
+    def test_preempt_requeues_at_tail(self):
+        sched = scheduler()
+        for tid in range(2):
+            sched.add_thread(thread(tid, cpu=0))
+        t0 = sched.pick_next(0, 0)
+        sched.preempt(0, t0)
+        assert sched.run_queues[0] == [1, 0]
+        assert t0.state is ThreadState.READY
+
+    def test_preempt_wrong_thread_rejected(self):
+        sched = scheduler()
+        sched.add_thread(thread(0))
+        sched.add_thread(thread(1))
+        sched.pick_next(0, 0)
+        with pytest.raises(ValueError):
+            sched.preempt(0, sched.threads[1])
+
+    def test_block_frees_cpu(self):
+        sched = scheduler()
+        sched.add_thread(thread(0))
+        t = sched.pick_next(0, 0)
+        sched.block(0, t, ThreadState.BLOCKED_LOCK)
+        assert sched.current[0] is None
+        assert t.state is ThreadState.BLOCKED_LOCK
+
+    def test_trace_records_dispatches(self):
+        sched = scheduler()
+        sched.trace_enabled = True
+        sched.add_thread(thread(0))
+        sched.pick_next(0, now=42)
+        assert len(sched.trace) == 1
+        assert sched.trace[0].time_ns == 42
+        assert sched.trace[0].tid == 0
+
+    def test_trace_disabled_by_default(self):
+        sched = scheduler()
+        sched.add_thread(thread(0))
+        sched.pick_next(0, 0)
+        assert sched.trace == []
+
+    def test_snapshot_roundtrip(self):
+        sched = scheduler()
+        for tid in range(3):
+            sched.add_thread(thread(tid, cpu=tid % 2))
+        sched.pick_next(0, 0)
+        state = sched.snapshot()
+        fresh = scheduler()
+        for tid in range(3):
+            fresh.threads[tid] = thread(tid)
+        fresh.restore_state(state)
+        assert fresh.run_queues == sched.run_queues
+        assert fresh.current == sched.current
+
+
+class TestMutex:
+    def test_acquire_free(self):
+        m = Mutex(lock_id=1, address=64)
+        assert m.try_acquire(10) is True
+        assert m.holder == 10
+
+    def test_acquire_held_fails(self):
+        m = Mutex(lock_id=1, address=64)
+        m.try_acquire(10)
+        assert m.try_acquire(11) is False
+
+    def test_release_frees_without_handoff(self):
+        """Barging semantics: release leaves the lock free."""
+        m = Mutex(lock_id=1, address=64)
+        m.try_acquire(10)
+        m.enqueue_waiter(11)
+        woken = m.release(10)
+        assert woken == 11
+        assert m.holder is None  # not handed off; the waiter must race
+
+    def test_barging_thread_can_steal(self):
+        m = Mutex(lock_id=1, address=64)
+        m.try_acquire(10)
+        m.enqueue_waiter(11)
+        m.release(10)
+        assert m.try_acquire(12) is True  # barger wins
+        # Loser re-queues.
+        m.enqueue_waiter(11)
+        assert m.waiters == [11]
+
+    def test_release_by_non_holder_rejected(self):
+        m = Mutex(lock_id=1, address=64)
+        m.try_acquire(10)
+        with pytest.raises(ValueError):
+            m.release(11)
+
+    def test_waiter_fifo(self):
+        m = Mutex(lock_id=1, address=64)
+        m.try_acquire(10)
+        m.enqueue_waiter(11)
+        m.enqueue_waiter(12)
+        assert m.release(10) == 11
+
+    def test_double_enqueue_rejected(self):
+        m = Mutex(lock_id=1, address=64)
+        m.try_acquire(10)
+        m.enqueue_waiter(11)
+        with pytest.raises(ValueError):
+            m.enqueue_waiter(11)
+
+    def test_contention_rate(self):
+        m = Mutex(lock_id=1, address=64)
+        m.try_acquire(10)
+        m.enqueue_waiter(11)
+        assert m.contention_rate == 1.0
+
+
+class TestBarrier:
+    def test_releases_when_full(self):
+        b = Barrier(barrier_id=1, participants=3)
+        assert b.arrive(0) is None
+        assert b.arrive(1) is None
+        assert b.arrive(2) == [0, 1, 2]
+        assert b.generation == 1
+
+    def test_reusable_across_generations(self):
+        b = Barrier(barrier_id=1, participants=2)
+        b.arrive(0)
+        b.arrive(1)
+        assert b.arrive(0) is None
+        assert b.arrive(1) == [0, 1]
+        assert b.generation == 2
+
+    def test_double_arrival_rejected(self):
+        b = Barrier(barrier_id=1, participants=3)
+        b.arrive(0)
+        with pytest.raises(ValueError):
+            b.arrive(0)
+
+
+class TestLockTable:
+    def test_mutex_created_once(self):
+        table = LockTable()
+        assert table.mutex(5) is table.mutex(5)
+
+    def test_lock_words_in_distinct_blocks(self):
+        table = LockTable()
+        a = table.mutex(0).address
+        b = table.mutex(1).address
+        assert a // 64 != b // 64
+
+    def test_barrier_participant_mismatch_rejected(self):
+        table = LockTable()
+        table.barrier(1, 4)
+        with pytest.raises(ValueError):
+            table.barrier(1, 5)
+
+    def test_snapshot_roundtrip(self):
+        table = LockTable()
+        m = table.mutex(3)
+        m.try_acquire(7)
+        m.enqueue_waiter(8)
+        table.barrier(1, 4).arrive(2)
+        fresh = LockTable()
+        fresh.restore_state(table.snapshot())
+        assert fresh.mutex(3).holder == 7
+        assert fresh.mutex(3).waiters == [8]
+        assert fresh.barrier(1, 4).arrived == [2]

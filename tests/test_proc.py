@@ -1,0 +1,153 @@
+"""Tests for the processor timing models."""
+
+import pytest
+
+from repro.config import ProcessorConfig, SystemConfig
+from repro.proc import make_core
+from repro.proc.base import BranchContext, branch_outcome
+from repro.proc.ooo import OOOCore
+from repro.proc.simple import SimpleCore
+
+
+def ctx() -> BranchContext:
+    return BranchContext(code_seed=1234)
+
+
+def ooo_config(rob=64) -> SystemConfig:
+    return SystemConfig(processor=ProcessorConfig(model="ooo", rob_entries=rob))
+
+
+class TestBranchOutcome:
+    def test_pure_function(self):
+        c = ctx()
+        assert branch_outcome(c, 7) == branch_outcome(c, 7)
+
+    def test_pc_within_static_set(self):
+        c = ctx()
+        pcs = {branch_outcome(c, i)[0] for i in range(2000)}
+        assert len(pcs) <= c.static_branches
+
+    def test_bias_respected(self):
+        c = BranchContext(code_seed=9, taken_bias_milli=900, flip_noise_milli=0)
+        taken = sum(branch_outcome(c, i)[1] for i in range(2000))
+        assert taken / 2000 > 0.8
+
+    def test_kinds_present(self):
+        c = ctx()
+        kinds = {branch_outcome(c, i)[2] for i in range(2000)}
+        assert kinds == {"cond", "indirect", "return"}
+
+    def test_snapshot_roundtrip(self):
+        c = ctx()
+        c.counter = 55
+        restored = BranchContext.restore(c.snapshot())
+        assert restored == c
+
+
+class TestSimpleCore:
+    def test_ipc_one(self):
+        core = SimpleCore(SystemConfig(), 0)
+        assert core.instruction_time(100, ctx()) == 100
+
+    def test_full_stalls(self):
+        core = SimpleCore(SystemConfig(), 0)
+        assert core.load_stall(180, "memory") == 180
+        assert core.store_stall(125, "cache") == 125
+        assert core.fetch_stall(201, "memory") == 201
+
+    def test_branch_counter_advances(self):
+        core = SimpleCore(SystemConfig(), 0)
+        c = ctx()
+        core.instruction_time(100, c)
+        assert c.counter == 20  # one branch per 5 instructions
+
+    def test_retired_counted(self):
+        core = SimpleCore(SystemConfig(), 0)
+        core.instruction_time(50, ctx())
+        core.instruction_time(70, ctx())
+        assert core.instructions_retired == 120
+
+
+class TestOOOCore:
+    def test_faster_than_simple_on_compute(self):
+        core = OOOCore(ooo_config(), 0)
+        c = ctx()
+        # Warm the predictors: branch sampling sees each static branch
+        # only once every ~64 batches, so convergence takes a while.
+        for _ in range(400):
+            core.instruction_time(100, c)
+        window = [core.instruction_time(100, c) for _ in range(50)]
+        assert sum(window) / len(window) < 100
+
+    def test_width_bound(self):
+        core = OOOCore(ooo_config(), 0)
+        c = BranchContext(code_seed=1, flip_noise_milli=0, indirect_milli=0, return_milli=0)
+        for _ in range(80):
+            core.instruction_time(100, c)
+        # Perfectly predictable branches: time approaches n/width.
+        assert core.instruction_time(400, c) <= 400 / core.width + core.pipeline_depth
+
+    def test_l1_hits_hidden(self):
+        core = OOOCore(ooo_config(), 0)
+        assert core.load_stall(1, "l1") == 0
+        assert core.store_stall(1, "l1") == 0
+        assert core.fetch_stall(1, "l1") == 0
+
+    def test_misses_partially_hidden(self):
+        core = OOOCore(ooo_config(), 0)
+        stall = core.load_stall(180, "memory")
+        assert 0 < stall < 180
+
+    def test_stores_mostly_hidden(self):
+        core = OOOCore(ooo_config(), 0)
+        assert core.store_stall(180, "memory") < core.load_stall(180, "memory")
+
+    def test_mlp_increases_with_rob(self):
+        stalls = []
+        for rob in (16, 32, 64):
+            core = OOOCore(ooo_config(rob), 0)
+            c = ctx()
+            # Warm until the misprediction-rate estimate converges; the
+            # ROB only differentiates once the speculative window is
+            # prediction-limited above 16 entries.
+            for _ in range(400):
+                core.instruction_time(100, c)
+            stalls.append(core.load_stall(180, "memory"))
+        assert stalls[0] > stalls[1] > stalls[2]
+
+    def test_branch_counter_position_exact(self):
+        """The outcome stream position must not depend on sampling."""
+        core = OOOCore(ooo_config(), 0)
+        c = ctx()
+        core.instruction_time(1000, c)
+        assert c.counter == 200
+
+    def test_mispredictions_cost_time(self):
+        noisy = BranchContext(code_seed=3, flip_noise_milli=400)
+        clean = BranchContext(code_seed=3, flip_noise_milli=0)
+        core_a = OOOCore(ooo_config(), 0)
+        core_b = OOOCore(ooo_config(), 0)
+        time_noisy = sum(core_a.instruction_time(100, noisy) for _ in range(100))
+        time_clean = sum(core_b.instruction_time(100, clean) for _ in range(100))
+        assert time_noisy > time_clean
+
+    def test_snapshot_restores_predictor_state(self):
+        core = OOOCore(ooo_config(), 0)
+        c = ctx()
+        for _ in range(60):
+            core.instruction_time(100, c)
+        state = core.snapshot()
+        c_copy = BranchContext.restore(c.snapshot())
+        expected = [core.instruction_time(100, c) for _ in range(10)]
+        fresh = OOOCore(ooo_config(), 0)
+        fresh.restore_state(state)
+        actual = [fresh.instruction_time(100, c_copy) for _ in range(10)]
+        assert actual == expected
+
+
+class TestMakeCore:
+    def test_simple_selected(self):
+        assert isinstance(make_core(SystemConfig(), 0), SimpleCore)
+
+    def test_ooo_selected(self):
+        assert isinstance(make_core(ooo_config(), 0), OOOCore)

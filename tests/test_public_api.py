@@ -1,0 +1,66 @@
+"""The public API surface: everything advertised must exist and import."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.sim",
+    "repro.memory",
+    "repro.proc",
+    "repro.osmodel",
+    "repro.workloads",
+    "repro.system",
+    "repro.realsys",
+    "repro.core",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestTopLevel:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize("module", SUBPACKAGES[:-1])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_names_exist(self):
+        """The README quickstart's imports must stay valid."""
+        from repro import (  # noqa: F401
+            RunConfig,
+            SystemConfig,
+            compare_configurations,
+            run_space,
+        )
+
+    def test_docstring_quickstart_names_exist(self):
+        from repro import run_simulation, summarize, make_workload  # noqa: F401
+
+
+class TestPublicDocstrings:
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_modules_documented(self, module):
+        assert importlib.import_module(module).__doc__
+
+    def test_key_classes_documented(self):
+        from repro import Machine, Checkpoint, SimulationResult, SystemConfig
+
+        for item in (Machine, Checkpoint, SimulationResult, SystemConfig):
+            assert item.__doc__

@@ -1,0 +1,121 @@
+"""Tests for the real-system (Sun E5000) measurement emulator."""
+
+import pytest
+
+from repro.core.metrics import coefficient_of_variation, summarize
+from repro.realsys.counters import HardwareCounters
+from repro.realsys.e5000 import SunE5000
+
+
+class TestRun:
+    def test_duration_and_counts(self):
+        run = SunE5000().run(duration_s=60, seed=1)
+        assert run.duration_s == 60
+        assert run.total_transactions > 0
+
+    def test_throughput_near_nominal(self):
+        """Paper 2.2: the E5000 completes over 350 txns/s on average."""
+        run = SunE5000().run(duration_s=600, seed=1)
+        tps = run.total_transactions / run.duration_s
+        assert 250 < tps < 450
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SunE5000().run(duration_s=0)
+
+    def test_deterministic_per_seed(self):
+        a = SunE5000().run(duration_s=30, seed=5)
+        b = SunE5000().run(duration_s=30, seed=5)
+        assert a.per_second_transactions == b.per_second_transactions
+
+    def test_runs_differ_without_injection(self):
+        """A real machine has inherent nondeterminism: two runs from the
+        same initial conditions differ (unlike the simulator)."""
+        a = SunE5000().run(duration_s=30, seed=1)
+        b = SunE5000().run(duration_s=30, seed=2)
+        assert a.per_second_transactions != b.per_second_transactions
+
+
+class TestTimeVariability:
+    def test_one_second_intervals_swing_widely(self):
+        """Figure 2a: nearly a factor of three at 1-second intervals."""
+        run = SunE5000().run(duration_s=600, seed=3)
+        series = run.cycles_per_transaction(1)
+        assert max(series) / min(series) > 2.0
+
+    def test_sixty_second_intervals_nearly_flat(self):
+        """Figure 2c: almost a straight line at 60 seconds."""
+        run = SunE5000().run(duration_s=600, seed=3)
+        series = run.cycles_per_transaction(60)
+        assert max(series) / min(series) < 1.35
+
+    def test_variability_decreases_with_interval(self):
+        run = SunE5000().run(duration_s=600, seed=4)
+        covs = [coefficient_of_variation(run.cycles_per_transaction(w)) for w in (1, 10, 60)]
+        assert covs[0] > covs[1] > covs[2]
+
+    def test_bad_interval_rejected(self):
+        run = SunE5000().run(duration_s=10, seed=1)
+        with pytest.raises(ValueError):
+            run.cycles_per_transaction(0)
+
+
+class TestSpaceVariability:
+    def test_five_runs_differ_at_short_intervals(self):
+        """Figure 3: space variability across runs from the same initial
+        conditions, shrinking (on average) at longer intervals."""
+        machine = SunE5000()
+        runs = [machine.run(duration_s=600, seed=seed) for seed in range(5)]
+
+        def mean_cross_run_cov(interval: int) -> float:
+            per_run = [run.cycles_per_transaction(interval) for run in runs]
+            n_windows = min(len(series) for series in per_run)
+            covs = [
+                coefficient_of_variation([series[w] for series in per_run])
+                for w in range(n_windows)
+            ]
+            return sum(covs) / len(covs)
+
+        assert mean_cross_run_cov(1) > 5.0
+        assert mean_cross_run_cov(60) < mean_cross_run_cov(1)
+
+
+class TestHardwareCounters:
+    def test_window_metric(self):
+        run = SunE5000().run(duration_s=30, seed=1)
+        counters = HardwareCounters(run)
+        counters.start(0)
+        window = counters.stop(10)
+        assert window.cycles == run.n_cpus * run.clock_hz * 10
+        assert window.cycles_per_transaction > 0
+
+    def test_double_start_rejected(self):
+        counters = HardwareCounters(SunE5000().run(duration_s=10, seed=1))
+        counters.start(0)
+        with pytest.raises(ValueError):
+            counters.start(1)
+
+    def test_stop_without_start_rejected(self):
+        counters = HardwareCounters(SunE5000().run(duration_s=10, seed=1))
+        with pytest.raises(ValueError):
+            counters.stop(5)
+
+    def test_invalid_window_rejected(self):
+        counters = HardwareCounters(SunE5000().run(duration_s=10, seed=1))
+        counters.start(5)
+        with pytest.raises(ValueError):
+            counters.stop(5)
+
+    def test_sweep_tiles_run(self):
+        run = SunE5000().run(duration_s=60, seed=1)
+        counters = HardwareCounters(run)
+        windows = counters.sweep(10)
+        assert len(windows) == 6
+        assert windows[0].start_s == 0
+        assert windows[-1].end_s == 60
+
+    def test_sweep_matches_measurement_series(self):
+        run = SunE5000().run(duration_s=60, seed=2)
+        counters = HardwareCounters(run)
+        sweep = [w.cycles_per_transaction for w in counters.sweep(10)]
+        assert sweep == pytest.approx(run.cycles_per_transaction(10))

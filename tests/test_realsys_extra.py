@@ -1,0 +1,72 @@
+"""Additional real-system emulator coverage: parameter sensitivities."""
+
+import pytest
+
+from repro.core.metrics import coefficient_of_variation
+from repro.realsys.e5000 import SunE5000
+
+
+class TestLoadScaling:
+    def test_under_offered_load_scales_throughput(self):
+        """Below saturation, fewer users means fewer transactions."""
+        machine = SunE5000()
+        light = machine.run(duration_s=120, users=24, seed=1)
+        heavy = machine.run(duration_s=120, users=96, seed=1)
+        assert light.total_transactions < heavy.total_transactions
+
+    def test_saturation_capacity_bound(self):
+        """Beyond CPU saturation more users cannot add throughput."""
+        machine = SunE5000()
+        saturated = machine.run(duration_s=120, users=96, seed=1)
+        oversubscribed = machine.run(duration_s=120, users=192, seed=1)
+        ratio = oversubscribed.total_transactions / saturated.total_transactions
+        assert ratio < 1.05
+
+
+class TestPhaseStructure:
+    def test_stall_floor_controls_depth_of_dips(self):
+        deep = SunE5000(stall_floor=0.1).run(duration_s=300, seed=2)
+        shallow = SunE5000(stall_floor=0.9).run(duration_s=300, seed=2)
+        deep_series = deep.cycles_per_transaction(1)
+        shallow_series = shallow.cycles_per_transaction(1)
+        assert max(deep_series) / min(deep_series) > max(shallow_series) / min(
+            shallow_series
+        )
+
+    def test_noise_sigma_controls_scatter(self):
+        quiet = SunE5000(noise_sigma=0.02, daemon_milli=0, stall_floor=1.0,
+                         wave_amplitude=0.0).run(duration_s=300, seed=3)
+        noisy = SunE5000(noise_sigma=0.3, daemon_milli=0, stall_floor=1.0,
+                         wave_amplitude=0.0).run(duration_s=300, seed=3)
+        assert coefficient_of_variation(
+            noisy.cycles_per_transaction(1)
+        ) > coefficient_of_variation(quiet.cycles_per_transaction(1))
+
+    def test_wave_amplitude_shapes_minute_scale(self):
+        flat = SunE5000(wave_amplitude=0.0, noise_sigma=0.0, daemon_milli=0,
+                        stall_floor=1.0).run(duration_s=600, seed=4)
+        wavy = SunE5000(wave_amplitude=0.3, noise_sigma=0.0, daemon_milli=0,
+                        stall_floor=1.0).run(duration_s=600, seed=4)
+        flat_cov = coefficient_of_variation(flat.cycles_per_transaction(60))
+        wavy_cov = coefficient_of_variation(wavy.cycles_per_transaction(60))
+        assert wavy_cov > flat_cov
+
+
+class TestMeasurementEdges:
+    def test_interval_larger_than_run(self):
+        run = SunE5000().run(duration_s=30, seed=1)
+        assert run.cycles_per_transaction(31) == []
+
+    def test_interval_equal_to_run(self):
+        run = SunE5000().run(duration_s=30, seed=1)
+        series = run.cycles_per_transaction(30)
+        assert len(series) == 1
+
+    def test_zero_transaction_windows_skipped(self):
+        # A total stall (floor 0, huge stalls) can produce empty windows;
+        # the ratio series must skip them rather than divide by zero.
+        machine = SunE5000(stall_floor=0.0, stall_spacing_s=2.0, stall_duration_s=3)
+        run = machine.run(duration_s=60, seed=5)
+        series = run.cycles_per_transaction(1)
+        assert all(v > 0 for v in series)
+        assert len(series) <= 60

@@ -1,0 +1,132 @@
+"""Tests for the deterministic random streams."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomStream, hash_u64, splitmix64, stream_seed
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestSplitMix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = {splitmix64(i) for i in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_known_nonzero(self):
+        assert splitmix64(0) != 0
+
+    @given(U64)
+    def test_output_in_64_bits(self, state):
+        assert 0 <= splitmix64(state) < (1 << 64)
+
+    @given(U64, U64)
+    def test_hash_u64_order_sensitive(self, a, b):
+        if a != b:
+            assert hash_u64(a, b) != hash_u64(b, a)
+
+
+class TestStreamSeed:
+    def test_scope_separation(self):
+        assert stream_seed(1, "alpha") != stream_seed(1, "beta")
+
+    def test_string_and_int_scopes(self):
+        assert stream_seed(1, "x", 3) != stream_seed(1, "x", 4)
+
+    def test_root_seed_matters(self):
+        assert stream_seed(1, "x") != stream_seed(2, "x")
+
+    def test_deterministic(self):
+        assert stream_seed(42, "perturbation") == stream_seed(42, "perturbation")
+
+
+class TestRandomStream:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(seed=7)
+        b = RandomStream(seed=7)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(seed=7)
+        b = RandomStream(seed=8)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_randint_bounds(self):
+        stream = RandomStream(seed=1)
+        values = [stream.randint(0, 4) for _ in range(500)]
+        assert min(values) == 0
+        assert max(values) == 4
+
+    def test_randint_single_value(self):
+        stream = RandomStream(seed=1)
+        assert stream.randint(3, 3) == 3
+
+    def test_randint_empty_range_raises(self):
+        stream = RandomStream(seed=1)
+        with pytest.raises(ValueError):
+            stream.randint(5, 4)
+
+    def test_random_unit_interval(self):
+        stream = RandomStream(seed=2)
+        values = [stream.random() for _ in range(500)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.4 < sum(values) / len(values) < 0.6
+
+    def test_randint_roughly_uniform(self):
+        stream = RandomStream(seed=3)
+        counts = [0] * 5
+        for _ in range(5000):
+            counts[stream.randint(0, 4)] += 1
+        for count in counts:
+            assert 800 < count < 1200
+
+    def test_choice_index_weights(self):
+        stream = RandomStream(seed=4)
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[stream.choice_index([9.0, 1.0])] += 1
+        assert counts[0] > counts[1] * 4
+
+    def test_choice_index_bad_weights(self):
+        stream = RandomStream(seed=4)
+        with pytest.raises(ValueError):
+            stream.choice_index([0.0, 0.0])
+
+    def test_exponential_mean(self):
+        stream = RandomStream(seed=5)
+        values = [stream.exponential(10.0) for _ in range(4000)]
+        assert 9.0 < sum(values) / len(values) < 11.0
+
+    def test_gaussian_moments(self):
+        stream = RandomStream(seed=6)
+        values = [stream.gaussian(5.0, 2.0) for _ in range(4000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert abs(mean - 5.0) < 0.2
+        assert abs(math.sqrt(var) - 2.0) < 0.2
+
+    def test_fork_independent(self):
+        parent = RandomStream(seed=9)
+        child_a = parent.fork("a")
+        child_b = parent.fork("b")
+        assert child_a.next_u64() != child_b.next_u64()
+
+    def test_snapshot_restore_resumes(self):
+        stream = RandomStream(seed=11)
+        for _ in range(5):
+            stream.next_u64()
+        state = stream.snapshot()
+        expected = [stream.next_u64() for _ in range(5)]
+        resumed = RandomStream.restore(state)
+        assert [resumed.next_u64() for _ in range(5)] == expected
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=0, max_value=100))
+    def test_counter_draws_reproducible(self, seed, advance):
+        a = RandomStream(seed=seed, counter=advance)
+        b = RandomStream(seed=seed, counter=advance)
+        assert a.next_u64() == b.next_u64()

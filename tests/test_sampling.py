@@ -1,0 +1,161 @@
+"""Tests for time-variability sampling utilities."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.sampling import (
+    CheckpointStudy,
+    random_checkpoint_counts,
+    stratified_checkpoint_counts,
+    systematic_checkpoint_counts,
+    windowed_cycles_per_transaction,
+)
+from repro.core.runner import RunSample
+from repro.system.simulation import SimulationResult
+
+
+def result_with_txn_times(times, n_cpus=16, start=0) -> SimulationResult:
+    return SimulationResult(
+        cycles_per_transaction=0.0,
+        elapsed_ns=times[-1] - start,
+        measured_transactions=len(times),
+        start_ns=start,
+        end_ns=times[-1],
+        n_cpus=n_cpus,
+        seed=1,
+        transaction_times=[(t, 0) for t in times],
+    )
+
+
+class TestWindowedSeries:
+    def test_uniform_rate(self):
+        times = [100 * (i + 1) for i in range(10)]
+        series = windowed_cycles_per_transaction(result_with_txn_times(times), window=5)
+        # Each 5-txn window spans 500 ns: 500 * 16 / 5 = 1600 per txn.
+        assert series == [1600.0, 1600.0]
+
+    def test_slowing_workload_visible(self):
+        times = [100, 200, 300, 1000, 2000, 3000]
+        series = windowed_cycles_per_transaction(result_with_txn_times(times), window=3)
+        assert series[1] > series[0]
+
+    def test_partial_window_dropped(self):
+        times = [100 * (i + 1) for i in range(7)]
+        series = windowed_cycles_per_transaction(result_with_txn_times(times), window=3)
+        assert len(series) == 2
+
+    def test_requires_transaction_times(self):
+        result = result_with_txn_times([100])
+        result.transaction_times = None
+        with pytest.raises(ValueError):
+            windowed_cycles_per_transaction(result, window=5)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_cycles_per_transaction(result_with_txn_times([100]), window=0)
+
+    def test_measurement_start_respected(self):
+        times = [1100, 1200, 1300, 1400]
+        series = windowed_cycles_per_transaction(
+            result_with_txn_times(times, start=1000), window=2
+        )
+        # First window: 1000 -> 1200 over 2 txns.
+        assert series[0] == 200 * 16 / 2
+
+
+class TestSystematicCounts:
+    def test_paper_shape(self):
+        """Figure 9a: ten starting points at 10K..100K transactions."""
+        counts = systematic_checkpoint_counts(100_000, 10)
+        assert counts == [10_000 * (i + 1) for i in range(10)]
+
+    def test_skip_initial(self):
+        counts = systematic_checkpoint_counts(100, 4, skip_initial=5)
+        assert counts == [5, 30, 55, 80]
+
+    def test_too_many_points_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_checkpoint_counts(5, 10)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            systematic_checkpoint_counts(0, 1)
+
+
+class TestRandomAndStratified:
+    def test_random_points_increasing_and_in_range(self):
+        points = random_checkpoint_counts(10_000, 8, seed=3)
+        assert points == sorted(points)
+        assert len(points) == len(set(points))
+        assert all(0 < p <= 10_000 + 8 for p in points)
+
+    def test_random_deterministic_per_seed(self):
+        assert random_checkpoint_counts(10_000, 5, seed=3) == random_checkpoint_counts(
+            10_000, 5, seed=3
+        )
+        assert random_checkpoint_counts(10_000, 5, seed=3) != random_checkpoint_counts(
+            10_000, 5, seed=4
+        )
+
+    def test_random_respects_skip_initial(self):
+        points = random_checkpoint_counts(1000, 5, seed=1, skip_initial=500)
+        assert all(p > 500 for p in points)
+
+    def test_random_validation(self):
+        with pytest.raises(ValueError):
+            random_checkpoint_counts(100, 0)
+        with pytest.raises(ValueError):
+            random_checkpoint_counts(100, 3, skip_initial=100)
+
+    def test_stratified_one_point_per_stratum(self):
+        points = stratified_checkpoint_counts(1000, 4, seed=2)
+        assert len(points) == 4
+        assert points == sorted(points)
+        # Each point falls in (or just past, after de-duplication) its
+        # own quarter of the lifetime.
+        for i, point in enumerate(points):
+            assert point > i * 250
+
+    def test_stratified_deterministic(self):
+        assert stratified_checkpoint_counts(1000, 4, seed=2) == (
+            stratified_checkpoint_counts(1000, 4, seed=2)
+        )
+
+    def test_stratified_validation(self):
+        with pytest.raises(ValueError):
+            stratified_checkpoint_counts(3, 10)
+
+
+class TestCheckpointStudy:
+    def _study(self) -> CheckpointStudy:
+        def sample(values):
+            results = [
+                SimulationResult(
+                    cycles_per_transaction=v,
+                    elapsed_ns=1,
+                    measured_transactions=1,
+                    start_ns=0,
+                    end_ns=1,
+                    n_cpus=16,
+                    seed=i,
+                )
+                for i, v in enumerate(values)
+            ]
+            return RunSample(config=SystemConfig(), workload_name="w", results=results)
+
+        return CheckpointStudy(
+            checkpoint_transactions=[100, 200],
+            samples=[sample([10.0, 10.5, 9.5]), sample([12.0, 12.5, 11.5])],
+        )
+
+    def test_groups_for_anova(self):
+        study = self._study()
+        assert study.groups == [[10.0, 10.5, 9.5], [12.0, 12.5, 11.5]]
+
+    def test_summaries(self):
+        means = [s.mean for s in self._study().summaries()]
+        assert means == [10.0, 12.0]
+
+    def test_between_checkpoint_spread(self):
+        # (12 - 10) / 10 = 20%.
+        assert self._study().between_checkpoint_spread_percent() == pytest.approx(20.0)

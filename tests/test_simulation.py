@@ -1,0 +1,132 @@
+"""Tests for the measurement protocol (run_simulation)."""
+
+import pytest
+
+from repro.config import RunConfig, SystemConfig
+from repro.system.simulation import run_simulation
+from repro.workloads.registry import make_workload
+
+
+def small_oltp():
+    return make_workload("oltp", threads_per_cpu=2)
+
+
+CONFIG = SystemConfig(n_cpus=4)
+
+
+class TestMetric:
+    def test_cycles_per_transaction_definition(self):
+        run = RunConfig(measured_transactions=20, seed=3)
+        result = run_simulation(CONFIG, small_oltp(), run)
+        expected = result.elapsed_ns * CONFIG.n_cpus / result.measured_transactions
+        assert result.cycles_per_transaction == pytest.approx(expected)
+
+    def test_transactions_per_second(self):
+        run = RunConfig(measured_transactions=20, seed=3)
+        result = run_simulation(CONFIG, small_oltp(), run)
+        assert result.transactions_per_second == pytest.approx(
+            20 * 1e9 / result.elapsed_ns
+        )
+
+    def test_workload_by_name(self):
+        run = RunConfig(measured_transactions=10, seed=3)
+        result = run_simulation(CONFIG, "oltp", run)
+        assert result.measured_transactions == 10
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_measurement(self):
+        cold = run_simulation(
+            CONFIG, small_oltp(), RunConfig(measured_transactions=20, seed=3)
+        )
+        warm = run_simulation(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=20, warmup_transactions=30, seed=3),
+        )
+        assert warm.start_ns > 0
+        assert warm.start_ns > cold.start_ns
+
+    def test_measured_count_exact(self):
+        result = run_simulation(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=25, warmup_transactions=10, seed=3),
+        )
+        assert result.measured_transactions == 25
+
+
+class TestCollection:
+    def test_transaction_times_within_window(self):
+        result = run_simulation(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=20, warmup_transactions=5, seed=3),
+            collect_transaction_times=True,
+        )
+        assert result.transaction_times is not None
+        assert len(result.transaction_times) >= 20
+        for t, _kind in result.transaction_times:
+            assert result.start_ns <= t <= result.end_ns
+
+    def test_schedule_trace_collected(self):
+        result = run_simulation(
+            CONFIG,
+            small_oltp(),
+            RunConfig(measured_transactions=10, seed=3),
+            collect_schedule_trace=True,
+        )
+        assert result.schedule_trace
+
+    def test_stats_exported(self):
+        result = run_simulation(
+            CONFIG, small_oltp(), RunConfig(measured_transactions=10, seed=3)
+        )
+        for key in ("l2_misses", "dispatches", "perturbation_total_ns"):
+            assert key in result.stats
+
+
+class TestSeeding:
+    def test_seed_changes_outcome(self):
+        results = [
+            run_simulation(
+                CONFIG,
+                small_oltp(),
+                RunConfig(measured_transactions=60, seed=seed),
+            ).elapsed_ns
+            for seed in (1, 2)
+        ]
+        assert results[0] != results[1]
+
+    def test_same_seed_reproducible(self):
+        results = [
+            run_simulation(
+                CONFIG, small_oltp(), RunConfig(measured_transactions=30, seed=9)
+            ).cycles_per_transaction
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+
+
+class TestCheckpointStart:
+    def test_run_from_checkpoint(self, warm_checkpoint):
+        result = run_simulation(
+            SystemConfig(n_cpus=4),
+            None if False else make_workload("oltp", threads_per_cpu=2),
+            RunConfig(measured_transactions=20, seed=3),
+            checkpoint=warm_checkpoint,
+        )
+        assert result.start_ns > 0
+        assert result.measured_transactions == 20
+
+    def test_checkpoint_runs_share_initial_conditions(self, warm_checkpoint):
+        starts = [
+            run_simulation(
+                SystemConfig(n_cpus=4),
+                make_workload("oltp", threads_per_cpu=2),
+                RunConfig(measured_transactions=10, seed=seed),
+                checkpoint=warm_checkpoint,
+            ).start_ns
+            for seed in (1, 2)
+        ]
+        assert starts[0] == starts[1]

@@ -1,0 +1,298 @@
+"""Tests for confidence intervals, hypothesis tests and ANOVA."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core.anova import one_way_anova, two_way_anova
+from repro.core.confidence import (
+    confidence_interval,
+    critical_t,
+    estimate_sample_size,
+    intervals_overlap,
+)
+from repro.core.hypothesis import TABLE5_LEVELS, runs_needed, two_sample_t_test
+
+
+class TestCriticalT:
+    def test_small_sample_uses_t(self):
+        # t(0.975, df=9) ~= 2.262.
+        assert critical_t(0.95, 10) == pytest.approx(2.262, abs=1e-3)
+
+    def test_large_sample_uses_normal(self):
+        # Paper rule: >= 50 runs use the normal deviate (1.96).
+        assert critical_t(0.95, 100) == pytest.approx(1.96, abs=1e-2)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            critical_t(1.5, 10)
+
+    def test_tiny_sample_rejected(self):
+        with pytest.raises(ValueError):
+            critical_t(0.95, 1)
+
+
+class TestConfidenceInterval:
+    def test_matches_scipy(self):
+        values = [10.0, 12.0, 9.0, 11.0, 10.5, 9.5, 12.5, 10.2]
+        ci = confidence_interval(values, 0.95)
+        low, high = scipy_stats.t.interval(
+            0.95, len(values) - 1,
+            loc=sum(values) / len(values),
+            scale=scipy_stats.sem(values),
+        )
+        assert ci.lower == pytest.approx(low, rel=1e-9)
+        assert ci.upper == pytest.approx(high, rel=1e-9)
+
+    def test_contains_mean(self):
+        ci = confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert ci.contains(ci.mean)
+
+    def test_tightens_with_confidence_reduction(self):
+        values = [10.0, 12.0, 9.0, 11.0, 10.5]
+        assert confidence_interval(values, 0.90).half_width < confidence_interval(
+            values, 0.99
+        ).half_width
+
+    def test_tightens_with_sample_size(self):
+        """Figure 10's behaviour: more runs, tighter interval."""
+        wide = confidence_interval([10.0, 12.0, 9.0, 11.0], 0.95)
+        narrow = confidence_interval([10.0, 12.0, 9.0, 11.0] * 5, 0.95)
+        assert narrow.half_width < wide.half_width
+
+    def test_single_run_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_str_renders(self):
+        assert "CI" in str(confidence_interval([1.0, 2.0, 3.0]))
+
+
+class TestOverlap:
+    def test_disjoint(self):
+        a = confidence_interval([1.0, 1.1, 0.9, 1.05])
+        b = confidence_interval([5.0, 5.1, 4.9, 5.05])
+        assert not intervals_overlap(a, b)
+
+    def test_overlapping(self):
+        a = confidence_interval([1.0, 2.0, 3.0])
+        b = confidence_interval([2.0, 3.0, 4.0])
+        assert intervals_overlap(a, b)
+
+    def test_symmetric(self):
+        a = confidence_interval([1.0, 2.0, 3.0])
+        b = confidence_interval([2.5, 3.5, 4.5])
+        assert intervals_overlap(a, b) == intervals_overlap(b, a)
+
+
+class TestSampleSize:
+    def test_paper_worked_example(self):
+        """Paper 5.1.1: r=4%, 95% confidence, CoV=9% -> ~20 runs."""
+        n = estimate_sample_size(0.09, 0.04, 0.95)
+        assert n == 20
+
+    def test_tighter_error_needs_more_runs(self):
+        assert estimate_sample_size(0.09, 0.02) > estimate_sample_size(0.09, 0.04)
+
+    def test_higher_variability_needs_more_runs(self):
+        assert estimate_sample_size(0.18, 0.04) > estimate_sample_size(0.09, 0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_sample_size(0.0, 0.04)
+        with pytest.raises(ValueError):
+            estimate_sample_size(0.09, 0.0)
+
+
+class TestTTest:
+    def test_matches_scipy_pooled_statistic_shape(self):
+        a = [10.0, 11.0, 12.0, 10.5, 11.5]
+        b = [9.0, 9.5, 10.0, 9.2, 9.8]
+        result = two_sample_t_test(a, b)
+        # scipy's one-sided independent t-test with equal_var has the same
+        # df (2n-2); the statistic differs only in the SE pooling formula,
+        # which coincides for equal n.
+        scipy_result = scipy_stats.ttest_ind(a, b, alternative="greater")
+        assert result.statistic == pytest.approx(scipy_result.statistic, rel=1e-9)
+        assert result.p_value == pytest.approx(scipy_result.pvalue, rel=1e-9)
+
+    def test_welch_matches_scipy(self):
+        a = [10.0, 11.0, 12.0, 10.5, 11.5]
+        b = [9.0, 9.5, 13.0, 9.2, 9.8]
+        result = two_sample_t_test(a, b, welch=True)
+        scipy_result = scipy_stats.ttest_ind(a, b, equal_var=False, alternative="greater")
+        assert result.statistic == pytest.approx(scipy_result.statistic, rel=1e-9)
+        assert result.p_value == pytest.approx(scipy_result.pvalue, rel=1e-6)
+
+    def test_clear_difference_rejects(self):
+        a = [10.0, 10.1, 9.9, 10.05, 9.95]
+        b = [5.0, 5.1, 4.9, 5.05, 4.95]
+        assert two_sample_t_test(a, b).rejects_at(0.01)
+
+    def test_identical_means_do_not_reject(self):
+        a = [10.0, 11.0, 9.0, 10.5]
+        b = [10.1, 10.9, 9.1, 10.4]
+        assert not two_sample_t_test(a, b).rejects_at(0.05)
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            two_sample_t_test([1.0], [2.0, 3.0])
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(ValueError):
+            two_sample_t_test([1.0, 1.0], [1.0, 1.0])
+
+    def test_wrong_conclusion_bound_is_p(self):
+        a = [10.0, 11.0, 12.0, 10.5]
+        b = [9.0, 9.5, 10.0, 9.2]
+        result = two_sample_t_test(a, b)
+        assert result.wrong_conclusion_bound == result.p_value
+
+
+class TestRunsNeeded:
+    def test_monotone_in_significance(self):
+        """Table 5's shape: stricter levels need at least as many runs."""
+        import random
+
+        rng = random.Random(4)
+        a = [10.0 + rng.gauss(0, 0.8) for _ in range(30)]
+        b = [9.0 + rng.gauss(0, 0.8) for _ in range(30)]
+        needed = runs_needed(a, b)
+        values = [needed[level] for level in TABLE5_LEVELS]
+        usable = [v for v in values if v is not None]
+        assert usable == sorted(usable)
+
+    def test_indistinguishable_samples_never_reject(self):
+        a = [10.0, 10.1, 9.9, 10.0, 10.1, 9.9]
+        b = [10.0, 10.1, 9.9, 10.05, 10.0, 9.95]
+        needed = runs_needed(a, b, significance_levels=(0.005,))
+        assert needed[0.005] is None
+
+    def test_prefix_evaluation(self):
+        # With a huge difference, two runs suffice at 10%.
+        a = [100.0, 101.0, 99.0, 100.5]
+        b = [1.0, 1.1, 0.9, 1.05]
+        needed = runs_needed(a, b, significance_levels=(0.10,))
+        assert needed[0.10] == 2
+
+
+class TestAnova:
+    def test_matches_scipy(self):
+        groups = [
+            [10.0, 11.0, 10.5, 9.8],
+            [12.0, 12.5, 11.8, 12.2],
+            [10.2, 10.8, 10.4, 10.6],
+        ]
+        result = one_way_anova(groups)
+        scipy_result = scipy_stats.f_oneway(*groups)
+        assert result.f_statistic == pytest.approx(scipy_result.statistic, rel=1e-9)
+        assert result.p_value == pytest.approx(scipy_result.pvalue, rel=1e-9)
+
+    def test_distinct_groups_significant(self):
+        groups = [[10.0, 10.1, 9.9], [20.0, 20.1, 19.9], [30.0, 30.1, 29.9]]
+        assert one_way_anova(groups).significant_at(0.01)
+
+    def test_identical_groups_not_significant(self):
+        groups = [[10.0, 11.0, 9.0], [10.1, 10.9, 9.1], [10.2, 10.8, 9.2]]
+        assert not one_way_anova(groups).significant_at(0.05)
+
+    def test_degenerate_no_within_variance(self):
+        result = one_way_anova([[1.0, 1.0], [2.0, 2.0]])
+        assert result.p_value == 0.0
+        assert result.significant_at(0.05)
+
+    def test_degenerate_all_identical(self):
+        result = one_way_anova([[1.0, 1.0], [1.0, 1.0]])
+        assert result.p_value == 1.0
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0, 2.0]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0], []])
+
+    def test_mean_squares(self):
+        groups = [[1.0, 2.0], [3.0, 4.0]]
+        result = one_way_anova(groups)
+        assert result.ms_between == result.ss_between / result.df_between
+        assert result.ms_within == result.ss_within / result.df_within
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+                min_size=3,
+                max_size=8,
+            ),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_property_f_nonnegative(self, groups):
+        result = one_way_anova(groups)
+        assert result.f_statistic >= 0.0
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestTwoWayAnova:
+    def _cells(self, a_effect=0.0, b_effect=0.0, interaction=0.0, noise=None):
+        import random
+
+        rng = random.Random(7)
+        noise = noise if noise is not None else 1.0
+        cells = []
+        for i in range(2):
+            row = []
+            for j in range(3):
+                base = 100 + a_effect * i + b_effect * j + interaction * i * j
+                row.append([base + rng.gauss(0, noise) for _ in range(5)])
+            cells.append(row)
+        return cells
+
+    def test_detects_factor_a(self):
+        result = two_way_anova(self._cells(a_effect=20.0))
+        assert result.p_a < 0.01
+        assert result.p_interaction > 0.01
+
+    def test_detects_factor_b(self):
+        result = two_way_anova(self._cells(b_effect=20.0))
+        assert result.p_b < 0.01
+
+    def test_detects_interaction(self):
+        result = two_way_anova(self._cells(interaction=25.0))
+        assert result.significant_interaction_at(0.01)
+
+    def test_null_case_not_strongly_significant(self):
+        # With pure noise a 5% false positive per factor is expected
+        # occasionally; a 1% threshold keeps the test deterministic for
+        # this fixed seed while still catching systematic errors.
+        result = two_way_anova(self._cells())
+        assert result.p_a > 0.01
+        assert result.p_b > 0.01
+        assert result.p_interaction > 0.01
+
+    def test_degrees_of_freedom(self):
+        result = two_way_anova(self._cells())
+        assert result.df_a == 1
+        assert result.df_b == 2
+        assert result.df_interaction == 2
+        assert result.df_within == 2 * 3 * (5 - 1)
+
+    def test_single_level_rejected(self):
+        with pytest.raises(ValueError):
+            two_way_anova([[[1.0, 2.0], [3.0, 4.0]]])
+
+    def test_unbalanced_rejected(self):
+        cells = self._cells()
+        cells[0][0] = cells[0][0][:3]
+        with pytest.raises(ValueError):
+            two_way_anova(cells)
+
+    def test_single_replicate_rejected(self):
+        cells = [[[1.0], [2.0]], [[3.0], [4.0]]]
+        with pytest.raises(ValueError):
+            two_way_anova(cells)

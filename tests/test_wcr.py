@@ -1,0 +1,80 @@
+"""Tests for the Wrong Conclusion Ratio (paper section 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.wcr import wrong_conclusion_ratio
+
+FLOATS = st.floats(min_value=1.0, max_value=1000.0, allow_nan=False)
+
+
+class TestWCR:
+    def test_fully_separated_samples_zero(self):
+        assert wrong_conclusion_ratio([1.0, 2.0], [10.0, 11.0]) == 0.0
+
+    def test_fully_reversed_pairs(self):
+        # A's mean is lower (A superior), but one A value exceeds one B.
+        a = [1.0, 9.0]
+        b = [5.0, 6.0]
+        # Pairs: (1,5) ok, (1,6) ok, (9,5) wrong, (9,6) wrong -> 2/4.
+        assert wrong_conclusion_ratio(a, b) == 50.0
+
+    def test_single_wrong_pair(self):
+        a = [1.0, 1.0, 4.0]
+        b = [3.0, 5.0, 5.0]
+        # mean(a)=2 < mean(b)=4.33: wrong pairs where a > b: (4,3) only.
+        assert wrong_conclusion_ratio(a, b) == pytest.approx(100.0 / 9.0)
+
+    def test_ties_count_half(self):
+        a = [1.0, 3.0]
+        b = [3.0, 5.0]
+        # Pairs: (1,3) ok, (1,5) ok, (3,3) tie=0.5, (3,5) ok.
+        assert wrong_conclusion_ratio(a, b) == pytest.approx(100.0 * 0.5 / 4)
+
+    def test_higher_is_better_orientation(self):
+        a = [10.0, 11.0]
+        b = [1.0, 12.0]
+        low = wrong_conclusion_ratio(a, b, lower_is_better=True)
+        high = wrong_conclusion_ratio(a, b, lower_is_better=False)
+        assert low + high == pytest.approx(100.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            wrong_conclusion_ratio([], [1.0])
+
+    def test_equal_means_rejected(self):
+        with pytest.raises(ValueError):
+            wrong_conclusion_ratio([1.0, 3.0], [2.0, 2.0])
+
+    @given(st.lists(FLOATS, min_size=2, max_size=15), st.lists(FLOATS, min_size=2, max_size=15))
+    def test_property_bounded(self, a, b):
+        from repro.core.metrics import mean
+
+        if mean(a) == mean(b):
+            return
+        wcr = wrong_conclusion_ratio(a, b)
+        assert 0.0 <= wcr <= 100.0
+
+    @given(st.lists(FLOATS, min_size=2, max_size=12), st.lists(FLOATS, min_size=2, max_size=12))
+    def test_property_symmetric(self, a, b):
+        """Swapping the samples cannot change the WCR: the set of wrongly
+        ordered pairs is the same."""
+        from repro.core.metrics import mean
+
+        if mean(a) == mean(b):
+            return
+        assert wrong_conclusion_ratio(a, b) == pytest.approx(
+            wrong_conclusion_ratio(b, a)
+        )
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=3, max_size=12, unique=True))
+    def test_property_self_comparison_large(self, ints):
+        """Comparing a sample against a barely shifted copy of itself
+        gives a large WCR (the configurations are 'close'): every pair
+        (v_i, v_j + eps) with v_i > v_j orders against the means."""
+        values = [float(v) for v in ints]
+        shifted = [v + 0.25 for v in values]
+        wcr = wrong_conclusion_ratio(values, shifted)
+        n = len(values)
+        # Wrong pairs are exactly the n(n-1)/2 strictly descending pairs.
+        assert wcr == pytest.approx(100.0 * (n - 1) / (2 * n))

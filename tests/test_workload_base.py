@@ -1,0 +1,77 @@
+"""Tests for the Workload factory base class."""
+
+import pytest
+
+from repro.workloads.base import Workload, WorkloadClock
+from repro.workloads.registry import make_workload
+
+
+class TestScaled:
+    def test_identity_at_one(self):
+        assert make_workload("oltp").scaled(40) == 40
+
+    def test_scales_up(self):
+        assert make_workload("oltp", scale=2.0).scaled(40) == 80
+
+    def test_never_below_one(self):
+        assert make_workload("oltp", scale=0.001).scaled(5) == 1
+
+    def test_fractional(self):
+        assert make_workload("oltp", scale=0.5).scaled(9) == 4
+
+
+class TestBranchContext:
+    def test_threads_share_code_seed(self):
+        """Same-workload threads run the same program text, so their
+        predictor-visible PC space must coincide."""
+        workload = make_workload("oltp")
+        assert (
+            workload.make_branch_context(0).code_seed
+            == workload.make_branch_context(7).code_seed
+        )
+
+    def test_workloads_have_distinct_code(self):
+        oltp = make_workload("oltp").make_branch_context(0)
+        apache = make_workload("apache").make_branch_context(0)
+        assert oltp.code_seed != apache.code_seed
+
+    def test_profile_follows_class_attributes(self):
+        barnes = make_workload("barnes")
+        ctx = barnes.make_branch_context(0)
+        assert ctx.static_branches == barnes.static_branches
+        assert ctx.taken_bias_milli == barnes.taken_bias_milli
+
+    def test_scientific_code_more_predictable(self):
+        barnes = make_workload("barnes").make_branch_context(0)
+        oltp = make_workload("oltp").make_branch_context(0)
+        assert barnes.flip_noise_milli < oltp.flip_noise_milli
+        assert barnes.static_branches < oltp.static_branches
+
+
+class TestThreadCounts:
+    def test_scales_with_cpus(self):
+        workload = make_workload("oltp")
+        assert workload.n_threads(4) == 4 * workload.threads_per_cpu
+        assert workload.n_threads(16) == 16 * workload.threads_per_cpu
+
+    def test_base_class_requires_make_program(self):
+        with pytest.raises(NotImplementedError):
+            Workload().make_program(0, WorkloadClock())
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            Workload(scale=-1.0)
+
+
+class TestWorkloadSeeds:
+    def test_seed_changes_content_stream(self):
+        clock_a, clock_b = WorkloadClock(), WorkloadClock()
+        a = make_workload("oltp", seed=1).make_program(0, clock_a)
+        b = make_workload("oltp", seed=2).make_program(0, clock_b)
+        assert a.next_ops(None) != b.next_ops(None)
+
+    def test_same_seed_same_stream(self):
+        clock_a, clock_b = WorkloadClock(), WorkloadClock()
+        a = make_workload("oltp", seed=1).make_program(0, clock_a)
+        b = make_workload("oltp", seed=1).make_program(0, clock_b)
+        assert a.next_ops(None) == b.next_ops(None)

@@ -1,0 +1,242 @@
+"""Deeper behavioural tests for each workload's structure.
+
+These pin down the *mechanisms* each workload was built around (see the
+module docstrings in repro.workloads.*): lock hierarchies, sharding, I/O
+placement, group commit, phase functions.  They protect the Table 3
+calibration: a refactor that accidentally serializes Apache on a global
+lock or removes Slashcode's long critical sections would shift the whole
+variability spectrum.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.base import WorkloadClock
+from repro.workloads.oltp import LOG_LOCK, DISTRICT_LOCK_BASE
+from repro.workloads.registry import make_workload
+
+
+def transactions(name, n, tid=0, **params):
+    workload = make_workload(name, **params)
+    workload.n_threads(16)
+    clock = WorkloadClock()
+    program = workload.make_program(tid, clock)
+    out = []
+    for _ in range(n):
+        ops = program.next_ops(None)
+        if not ops:
+            break
+        out.append(ops)
+        clock.total_transactions += 1
+    return out
+
+
+def ops_of_kind(txns, kind):
+    return [op for ops in txns for op in ops if op[0] == kind]
+
+
+class TestOLTPBehaviour:
+    def test_group_commit_fraction(self):
+        """Only ~30% of committing transactions take the log mutex."""
+        txns = transactions("oltp", 400)
+        committing = 0
+        leaders = 0
+        for ops in txns:
+            locks = [op[1] for op in ops if op[0] == "lock"]
+            has_log_records = any(
+                op[0] == "mem" and op[1] >= 0x6000_0000 and op[1] < 0x7000_0000
+                for op in ops
+            )
+            if has_log_records:
+                committing += 1
+                if LOG_LOCK in locks:
+                    leaders += 1
+        assert committing > 0
+        assert 0.1 < leaders / committing < 0.55
+
+    def test_district_locks_within_range(self):
+        txns = transactions("oltp", 300)
+        district_locks = {
+            op[1]
+            for ops in txns
+            for op in ops
+            if op[0] == "lock" and op[1] != LOG_LOCK
+        }
+        workload = make_workload("oltp")
+        for lock_id in district_locks:
+            assert DISTRICT_LOCK_BASE <= lock_id < DISTRICT_LOCK_BASE + workload.n_hot_districts
+
+    def test_no_io_inside_district_critical_sections(self):
+        """Two-phase structure: disk faults never hold a district lock."""
+        txns = transactions("oltp", 300)
+        for ops in txns:
+            held: set[int] = set()
+            for op in ops:
+                if op[0] == "lock":
+                    held.add(op[1])
+                elif op[0] == "unlock":
+                    held.discard(op[1])
+                elif op[0] == "io":
+                    district_held = [l for l in held if l != LOG_LOCK]
+                    assert not district_held, "io while holding a district lock"
+
+    def test_read_only_types_skip_locks(self):
+        txns = transactions("oltp", 500)
+        for ops in txns:
+            txn_type = next(op[1] for op in ops if op[0] == "txn_begin")
+            if txn_type in (2, 4):  # order_status, stock_level
+                assert not any(op[0] == "lock" for op in ops)
+
+    def test_pool_breathing_changes_footprint(self):
+        workload = make_workload("oltp")
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        clock.total_transactions = workload.phase_period_txns // 4
+        peak = program._pool_bytes()
+        clock.total_transactions = 3 * workload.phase_period_txns // 4
+        trough = program._pool_bytes()
+        assert peak > trough
+
+
+class TestApacheBehaviour:
+    def test_keepalive_skips_accept_lock(self):
+        txns = transactions("apache", 400)
+        with_accept = sum(
+            1 for ops in txns if any(op[0] == "lock" and op[1] == 400 for op in ops)
+        )
+        fraction = with_accept / len(txns)
+        assert 0.1 < fraction < 0.45  # new_connection_milli = 250
+
+    def test_access_log_is_per_worker(self):
+        """No cross-worker lock around the access-log append."""
+        a = ops_of_kind(transactions("apache", 50, tid=0), "mem")
+        b = ops_of_kind(transactions("apache", 50, tid=1), "mem")
+        log_a = {op[1] for op in a if op[1] >= 0x6000_0000 and op[1] < 0x7000_0000}
+        log_b = {op[1] for op in b if op[1] >= 0x6000_0000 and op[1] < 0x7000_0000}
+        assert log_a and log_b
+        assert not (log_a & log_b)
+
+    def test_popularity_churn_moves_hot_set(self):
+        workload = make_workload("apache")
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        early = program._page_cache()
+        clock.total_transactions = workload.churn_period_txns + 1
+        program.mem_counter = 0  # same counter, different epoch
+        late = program._page_cache()
+        assert early != late
+
+
+class TestSlashcodeBehaviour:
+    def test_story_sharded_locks(self):
+        txns = transactions("slashcode", 300)
+        locks = Counter(op[1] for ops in txns for op in ops if op[0] == "lock")
+        # Story and comment locks spread over the shard space.
+        assert len(locks) >= 6
+
+    def test_heavy_tailed_discussions(self):
+        workload = make_workload("slashcode")
+        program = workload.make_program(0, WorkloadClock())
+        sizes = set()
+        for i in range(300):
+            program.txn_key = i
+            sizes.add(program._discussion_size())
+        assert max(sizes) >= 4 * min(sizes)
+
+    def test_moderation_takes_nested_locks(self):
+        txns = transactions("slashcode", 600)
+        nested = 0
+        for ops in txns:
+            depth = 0
+            max_depth = 0
+            for op in ops:
+                if op[0] == "lock":
+                    depth += 1
+                    max_depth = max(max_depth, depth)
+                elif op[0] == "unlock":
+                    depth -= 1
+            if max_depth >= 3:
+                nested += 1
+        assert nested > 0  # moderations occur
+
+
+class TestECPerfBehaviour:
+    def test_transactions_are_uniform_in_size(self):
+        """The calibration invariant behind ECPerf's low 5-txn CoV."""
+        txns = transactions("ecperf", 100)
+        sizes = [len(ops) for ops in txns]
+        spread = (max(sizes) - min(sizes)) / (sum(sizes) / len(sizes))
+        assert spread < 0.5
+
+    def test_three_tier_lock_structure(self):
+        txns = transactions("ecperf", 100)
+        locks = {op[1] for ops in txns for op in ops if op[0] == "lock"}
+        assert 500 in locks                     # web pool
+        assert any(510 <= l < 530 for l in locks)  # entity beans
+        assert any(530 <= l < 550 for l in locks)  # db latches
+
+
+class TestSpecJbbBehaviour:
+    def test_threads_never_share_heap_addresses(self):
+        a = {op[1] for op in ops_of_kind(transactions("specjbb", 100, tid=0), "mem")}
+        b = {op[1] for op in ops_of_kind(transactions("specjbb", 100, tid=1), "mem")}
+        # Warehouse independence: only code addresses may coincide, and
+        # heap touches live in the private region.
+        shared = {addr for addr in (a & b) if addr >= 0x2000_0000}
+        assert not shared
+
+    def test_gc_epoch_sawtooth(self):
+        workload = make_workload("specjbb")
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        clock.total_transactions = workload.gc_period_txns - 1
+        before_gc = program._heap_bytes()
+        clock.total_transactions = workload.gc_period_txns + 1
+        after_gc = program._heap_bytes()
+        assert after_gc < before_gc  # collection shrank the live heap
+
+    def test_tenured_floor_rises(self):
+        workload = make_workload("specjbb")
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        clock.total_transactions = workload.gc_period_txns + 1
+        early_floor = program._heap_bytes()
+        clock.total_transactions = 5 * workload.gc_period_txns + 1
+        late_floor = program._heap_bytes()
+        assert late_floor > early_floor
+
+
+class TestScientificBehaviour:
+    def test_barnes_two_barriers_per_superstep(self):
+        workload = make_workload("barnes")
+        workload.n_threads(16)
+        program = workload.make_program(1, WorkloadClock())
+        ops = program.next_ops(None)
+        assert sum(1 for op in ops if op[0] == "barrier") == 2
+
+    def test_barnes_cell_locks_are_fine_grained(self):
+        workload = make_workload("barnes")
+        workload.n_threads(16)
+        locks = set()
+        for tid in range(4):
+            program = workload.make_program(tid, WorkloadClock())
+            for _ in range(workload.n_steps):
+                ops = program.next_ops(None)
+                locks |= {op[1] for op in ops if op[0] == "lock"}
+        assert len(locks) >= 3  # hashed over 8 cells
+
+    def test_ocean_has_no_locks(self):
+        workload = make_workload("ocean")
+        workload.n_threads(16)
+        program = workload.make_program(0, WorkloadClock())
+        for _ in range(workload.n_steps):
+            ops = program.next_ops(None)
+            assert not any(op[0] == "lock" for op in ops)
+
+    def test_ocean_reduction_accumulator_shared(self):
+        workload = make_workload("ocean")
+        workload.n_threads(16)
+        a = {op[1] for op in ops_of_kind([workload.make_program(0, WorkloadClock()).next_ops(None)], "mem")}
+        b = {op[1] for op in ops_of_kind([workload.make_program(5, WorkloadClock()).next_ops(None)], "mem")}
+        assert a & b  # the reduction accumulator block is shared

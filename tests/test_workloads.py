@@ -1,0 +1,246 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads.base import Op, WorkloadClock
+from repro.workloads.registry import (
+    PAPER_TRANSACTIONS,
+    available_workloads,
+    make_workload,
+)
+
+COMMERCIAL = ("oltp", "apache", "specjbb", "slashcode", "ecperf")
+SCIENTIFIC = ("barnes", "ocean")
+VALID_KINDS = {
+    "cpu", "mem", "lock", "unlock", "io", "barrier", "txn_begin", "txn_end", "yield",
+}
+
+
+def collect_ops(name: str, n_txns: int = 20, tid: int = 0, clock=None) -> list[list[Op]]:
+    workload = make_workload(name)
+    workload.n_threads(16)  # scientific workloads size barriers here
+    clock = clock or WorkloadClock()
+    program = workload.make_program(tid, clock)
+    transactions = []
+    for _ in range(n_txns):
+        ops = program.next_ops(None)
+        if not ops:
+            break
+        transactions.append(ops)
+        clock.total_transactions += 1
+    return transactions
+
+
+class TestRegistry:
+    def test_all_seven_available(self):
+        assert set(available_workloads()) == set(COMMERCIAL) | set(SCIENTIFIC)
+
+    def test_paper_transaction_counts(self):
+        # Table 3's #transactions row.
+        assert PAPER_TRANSACTIONS["barnes"] == 1
+        assert PAPER_TRANSACTIONS["slashcode"] == 30
+        assert PAPER_TRANSACTIONS["specjbb"] == 60000
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("nosuch")
+
+    def test_param_override(self):
+        workload = make_workload("oltp", n_hot_districts=4)
+        assert workload.n_hot_districts == 4
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("oltp", nonsense=3)
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            make_workload("oltp", scale=0)
+
+
+class TestOpStreams:
+    @pytest.mark.parametrize("name", COMMERCIAL + SCIENTIFIC)
+    def test_ops_well_formed(self, name):
+        for ops in collect_ops(name, n_txns=10):
+            for op in ops:
+                assert op[0] in VALID_KINDS
+                if op[0] == "mem":
+                    assert op[1] >= 0
+                    assert op[2] in (0, 1)
+                if op[0] == "cpu":
+                    assert op[1] > 0
+                if op[0] == "io":
+                    assert op[1] > 0
+
+    @pytest.mark.parametrize("name", COMMERCIAL)
+    def test_lock_unlock_balanced_per_transaction(self, name):
+        for ops in collect_ops(name, n_txns=30):
+            held: list[int] = []
+            for op in ops:
+                if op[0] == "lock":
+                    held.append(op[1])
+                elif op[0] == "unlock":
+                    assert op[1] in held, f"{name}: unlock of unheld {op[1]}"
+                    held.remove(op[1])
+            assert held == [], f"{name}: locks left held {held}"
+
+    @pytest.mark.parametrize("name", COMMERCIAL)
+    def test_commercial_txn_has_end_marker(self, name):
+        for ops in collect_ops(name, n_txns=10):
+            ends = [op for op in ops if op[0] == "txn_end"]
+            assert len(ends) <= 1
+        # Every commercial workload completes transactions continuously.
+        all_txns = collect_ops(name, n_txns=10)
+        assert any(op[0] == "txn_end" for ops in all_txns for op in ops)
+
+    def test_threads_per_cpu(self):
+        assert make_workload("oltp").n_threads(16) == 128
+        assert make_workload("specjbb").n_threads(16) == 16
+        assert make_workload("barnes").n_threads(16) == 16
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", COMMERCIAL + SCIENTIFIC)
+    def test_same_clock_same_stream(self, name):
+        a = collect_ops(name, n_txns=10, clock=WorkloadClock())
+        b = collect_ops(name, n_txns=10, clock=WorkloadClock())
+        assert a == b
+
+    def test_ticket_order_changes_content(self):
+        """Global-queue workloads: content follows the ticket, not the
+        thread, so a shifted ticket stream produces different work."""
+        workload = make_workload("oltp")
+        clock_a = WorkloadClock()
+        program_a = workload.make_program(0, clock_a)
+        first_a = program_a.next_ops(None)
+        clock_b = WorkloadClock()
+        clock_b.take_ticket()  # another thread claimed ticket 0
+        program_b = workload.make_program(0, clock_b)
+        first_b = program_b.next_ops(None)
+        assert first_a != first_b
+
+    def test_specjbb_content_thread_bound(self):
+        """Warehouse workloads ignore the ticket stream."""
+        workload = make_workload("specjbb")
+        clock_a = WorkloadClock()
+        program_a = workload.make_program(0, clock_a)
+        first_a = program_a.next_ops(None)
+        clock_b = WorkloadClock()
+        clock_b.take_ticket()
+        program_b = workload.make_program(0, clock_b)
+        first_b = program_b.next_ops(None)
+        assert first_a == first_b
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("name", COMMERCIAL + SCIENTIFIC)
+    def test_mid_stream_restore_continues_identically(self, name):
+        workload = make_workload(name)
+        workload.n_threads(16)
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        for _ in range(5):
+            program.next_ops(None)
+            clock.total_transactions += 1
+        state = program.snapshot()
+        clock_state = clock.snapshot()
+        expected = [program.next_ops(None) for _ in range(5)]
+
+        clock2 = WorkloadClock()
+        clock2.restore_state(clock_state)
+        program2 = workload.make_program(0, clock2)
+        program2.restore_state(state)
+        actual = [program2.next_ops(None) for _ in range(5)]
+        assert actual == expected
+
+
+class TestScientificStructure:
+    @pytest.mark.parametrize("name", SCIENTIFIC)
+    def test_terminates_with_single_transaction(self, name):
+        workload = make_workload(name)
+        workload.n_threads(16)
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        txn_ends = 0
+        steps = 0
+        while True:
+            ops = program.next_ops(None)
+            if not ops:
+                break
+            steps += 1
+            txn_ends += sum(1 for op in ops if op[0] == "txn_end")
+            assert steps < 1000
+        assert txn_ends == 1  # thread 0 reports the single transaction
+
+    @pytest.mark.parametrize("name", SCIENTIFIC)
+    def test_other_threads_silent(self, name):
+        workload = make_workload(name)
+        workload.n_threads(16)
+        program = workload.make_program(3, WorkloadClock())
+        ends = 0
+        while ops := program.next_ops(None):
+            ends += sum(1 for op in ops if op[0] == "txn_end")
+        assert ends == 0
+
+    @pytest.mark.parametrize("name", SCIENTIFIC)
+    def test_barriers_sized_to_thread_count(self, name):
+        workload = make_workload(name)
+        workload.n_threads(8)
+        program = workload.make_program(0, WorkloadClock())
+        ops = program.next_ops(None)
+        barriers = [op for op in ops if op[0] == "barrier"]
+        assert barriers
+        assert all(op[2] == 8 for op in barriers)
+
+
+class TestSpecJbbPhases:
+    def test_gc_pause_on_new_epoch(self):
+        workload = make_workload("specjbb")
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        baseline = len(program.next_ops(None))
+        # Jump the global clock past a GC period boundary.
+        clock.total_transactions = workload.gc_period_txns + 1
+        with_gc = len(program.next_ops(None))
+        assert with_gc > baseline
+
+    def test_heap_grows_within_epoch(self):
+        workload = make_workload("specjbb")
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        early = program._heap_bytes()
+        clock.total_transactions = workload.gc_period_txns - 1
+        late = program._heap_bytes()
+        assert late > early
+
+    def test_no_locks_or_io(self):
+        for ops in collect_ops("specjbb", n_txns=30):
+            assert all(op[0] not in ("lock", "unlock", "io") for op in ops)
+
+
+class TestOLTPStructure:
+    def test_five_transaction_types(self):
+        types = set()
+        for ops in collect_ops("oltp", n_txns=200):
+            for op in ops:
+                if op[0] == "txn_begin":
+                    types.add(op[1])
+        assert types == {0, 1, 2, 3, 4}
+
+    def test_mix_dominated_by_new_order_and_payment(self):
+        counts = [0] * 5
+        for ops in collect_ops("oltp", n_txns=300):
+            for op in ops:
+                if op[0] == "txn_begin":
+                    counts[op[1]] += 1
+        assert counts[0] + counts[1] > 0.75 * sum(counts)
+
+    def test_mix_drifts_with_lifetime(self):
+        workload = make_workload("oltp")
+        clock = WorkloadClock()
+        program = workload.make_program(0, clock)
+        clock.total_transactions = workload.phase_period_txns // 4  # peak
+        peak = program._mix_weights()
+        clock.total_transactions = 3 * workload.phase_period_txns // 4  # trough
+        trough = program._mix_weights()
+        assert peak[0] > trough[0]
