@@ -3,11 +3,17 @@
 Every bench regenerates one of the paper's tables or figures.  The
 experiments follow the paper's methodology: warm the workload once,
 checkpoint, and start every perturbed run from that checkpoint.
-Checkpoints are cached on disk (``benchmarks/.cache``) so re-running a
-bench does not repeat the warm-up.
+
+All persistence goes through the run store (:mod:`repro.store`,
+``$REPRO_STORE_DIR`` or ``~/.cache/repro``): warm-up checkpoints are
+cached under ``checkpoints/`` so re-running a bench does not repeat the
+warm-up, and every perturbed run is content-addressed in the store --
+interrupting a bench and re-running it reuses all completed runs and
+executes only the missing seeds.
 
 Environment knobs:
 
+- ``REPRO_STORE_DIR``: run-store root (default ``~/.cache/repro``).
 - ``REPRO_BENCH_RUNS``: runs per configuration (default 20, the paper's
   sample size; set lower for a quick pass).
 - ``REPRO_BENCH_TXNS``: measured transactions for the standard OLTP
@@ -28,11 +34,16 @@ from pathlib import Path
 
 from repro.config import RunConfig, SystemConfig
 from repro.core.runner import RunSample, run_space
+from repro.store import RunStore
 from repro.system.checkpoint import Checkpoint
 from repro.system.machine import Machine
 from repro.workloads.registry import make_workload
 
-CACHE_DIR = Path(__file__).parent / ".cache"
+#: the shared persistent run store (honours $REPRO_STORE_DIR)
+STORE = RunStore()
+
+#: warm-up checkpoints live beside the run store, not in the repo tree
+CACHE_DIR = STORE.root / "checkpoints"
 
 #: runs per configuration (paper: twenty)
 N_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "20"))
@@ -63,7 +74,7 @@ def warm_checkpoint(
     config = config or SystemConfig()
     warmup = warmup if warmup is not None else WARMUP_TXNS
     params = workload_params or {}
-    CACHE_DIR.mkdir(exist_ok=True)
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
     key = _cache_key("v5", workload_name, config, warmup, sorted(params.items()))
     path = CACHE_DIR / f"{workload_name}-{key}.ckpt"
     if path.exists():
@@ -86,7 +97,12 @@ def sample_runs(
     workload_name: str = "oltp",
     workload_params: dict | None = None,
 ) -> RunSample:
-    """N perturbed runs of one configuration from a shared checkpoint."""
+    """N perturbed runs of one configuration from a shared checkpoint.
+
+    Backed by the run store: completed runs persist as they finish, so
+    an interrupted bench reuses them on the next invocation and only
+    executes the missing seeds.
+    """
     run = RunConfig(
         measured_transactions=txns if txns is not None else N_TXNS,
         warmup_transactions=0,
@@ -100,6 +116,7 @@ def sample_runs(
         n_runs if n_runs is not None else N_RUNS,
         checkpoint=checkpoint,
         workload_params=workload_params or {},
+        store=STORE,
     )
 
 

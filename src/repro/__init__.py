@@ -54,13 +54,22 @@ from repro.core import (
     two_sample_t_test,
     wrong_conclusion_ratio,
 )
+from repro.campaign import Campaign, CampaignPlan, CampaignReport, CampaignSpec
 from repro.core.experiment import compare_samples
+from repro.core.runner import (
+    DEFAULT_WORKLOAD_SEED,
+    RunFailure,
+    RunSpaceError,
+    WorkloadSpec,
+)
 from repro.core.sampling import (
+    AdaptiveStopRule,
     CheckpointStudy,
     checkpoint_study,
     systematic_checkpoint_counts,
     windowed_cycles_per_transaction,
 )
+from repro.store import RunStore, default_store_dir, run_key
 from repro.realsys import HardwareCounters, RealMeasurement, SunE5000
 from repro.system import (
     Checkpoint,
@@ -98,10 +107,22 @@ __all__ = [
     "summarize",
     "two_sample_t_test",
     "wrong_conclusion_ratio",
+    "AdaptiveStopRule",
     "CheckpointStudy",
     "checkpoint_study",
     "systematic_checkpoint_counts",
     "windowed_cycles_per_transaction",
+    "Campaign",
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignSpec",
+    "DEFAULT_WORKLOAD_SEED",
+    "RunFailure",
+    "RunSpaceError",
+    "WorkloadSpec",
+    "RunStore",
+    "default_store_dir",
+    "run_key",
     "HardwareCounters",
     "RealMeasurement",
     "SunE5000",

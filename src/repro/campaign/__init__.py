@@ -1,0 +1,25 @@
+"""Resumable experiment campaigns over the persistent run store.
+
+A campaign turns the paper's "N runs per configuration" methodology into
+a durable, restartable service: the grid of (configuration × workload ×
+seed) runs is planned against :mod:`repro.store`, only missing runs
+execute (fault-tolerantly, in parallel), every completion is persisted
+immediately, and sample sizes can adapt to the measured variance via
+:class:`repro.core.sampling.AdaptiveStopRule` instead of being fixed up
+front.  ``python -m repro campaign`` is the CLI entry point.
+"""
+
+from repro.campaign.campaign import Campaign, CampaignReport, CellResult
+from repro.campaign.executor import execute_jobs
+from repro.campaign.plan import CampaignPlan, CampaignSpec, PlannedRun, plan_campaign
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "CellResult",
+    "execute_jobs",
+    "CampaignPlan",
+    "CampaignSpec",
+    "PlannedRun",
+    "plan_campaign",
+]

@@ -1,0 +1,141 @@
+"""Campaign specification and planning.
+
+A campaign is a grid: (configuration × workload × perturbation seed).
+Planning resolves every grid point to its content-addressed store key
+and classifies it as *cached* (a prior execution is stored) or
+*pending*.  The plan is what ``--dry-run`` prints, and the subtraction
+``pending = grid - cached`` is the whole resume story: a rerun after an
+interrupt plans the same grid and only executes what is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.runner import WorkloadSpec
+from repro.core.sampling import AdaptiveStopRule
+from repro.store import RunStore, run_key
+
+
+@dataclass
+class CampaignSpec:
+    """What a campaign will run.
+
+    ``configs`` is a list of (label, config) pairs; ``workloads`` a list
+    of :class:`~repro.core.runner.WorkloadSpec`.  With ``stop_rule``
+    unset, every cell runs exactly ``n_runs`` perturbed simulations with
+    seeds ``run.seed + 0..n_runs-1`` (bit-identical to ``run_space``);
+    with a rule, each cell grows in batches until the rule stops it.
+    """
+
+    configs: list = field(default_factory=list)  # [(label, SystemConfig)]
+    workloads: list = field(default_factory=list)  # [WorkloadSpec]
+    run: RunConfig = field(default_factory=RunConfig)
+    n_runs: int = 20
+    stop_rule: AdaptiveStopRule | None = None
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if not self.configs:
+            raise ValueError("campaign needs at least one configuration")
+        if not self.workloads:
+            raise ValueError("campaign needs at least one workload")
+        if self.stop_rule is None and self.n_runs <= 0:
+            raise ValueError("n_runs must be positive")
+
+    def cells(self):
+        """The (label, config, workload spec) grid, in declaration order."""
+        for label, config in self.configs:
+            for wspec in self.workloads:
+                yield label, config, wspec
+
+    def initial_seed_count(self) -> int:
+        """Seeds a cell starts with (fixed N, or the adaptive minimum)."""
+        if self.stop_rule is None:
+            return self.n_runs
+        return self.stop_rule.min_runs
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One grid point resolved against the store."""
+
+    config_label: str
+    workload: str
+    seed: int
+    key: str
+    cached: bool
+
+
+@dataclass
+class CampaignPlan:
+    """The resolved grid, ready to print or execute."""
+
+    runs: list[PlannedRun]
+    adaptive_max_runs: int | None = None
+
+    @property
+    def n_cached(self) -> int:
+        """Grid points already satisfied by the store."""
+        return sum(1 for r in self.runs if r.cached)
+
+    @property
+    def n_pending(self) -> int:
+        """Grid points that still need execution."""
+        return sum(1 for r in self.runs if not r.cached)
+
+    def render(self) -> str:
+        """A per-cell cached/pending table."""
+        from repro.analysis.tables import format_table
+
+        cells: dict[tuple[str, str], list[PlannedRun]] = {}
+        for planned in self.runs:
+            cells.setdefault((planned.config_label, planned.workload), []).append(planned)
+        rows = []
+        for (label, workload), members in cells.items():
+            cached = sum(1 for m in members if m.cached)
+            rows.append([label, workload, len(members), cached, len(members) - cached])
+        table = format_table(
+            ["config", "workload", "runs", "cached", "pending"],
+            rows,
+            title=f"campaign plan: {self.n_cached} cached, {self.n_pending} pending",
+        )
+        if self.adaptive_max_runs is not None:
+            table += (
+                f"\n(adaptive: planned seeds are the per-cell minimum; cells may "
+                f"grow to {self.adaptive_max_runs} runs until the CI target is met)"
+            )
+        return table
+
+
+def plan_campaign(spec: CampaignSpec, store: RunStore) -> CampaignPlan:
+    """Resolve the campaign grid against the store."""
+    runs: list[PlannedRun] = []
+    n_seeds = spec.initial_seed_count()
+    for label, config, wspec in spec.cells():
+        for i in range(n_seeds):
+            seed = spec.run.seed + i
+            key = run_key(
+                config,
+                replace(spec.run, seed=seed),
+                wspec.name,
+                wspec.seed,
+                wspec.scale,
+                wspec.params_dict,
+            )
+            runs.append(
+                PlannedRun(
+                    config_label=label,
+                    workload=wspec.name,
+                    seed=seed,
+                    key=key,
+                    cached=store.contains(key),
+                )
+            )
+    return CampaignPlan(
+        runs=runs,
+        adaptive_max_runs=(
+            spec.stop_rule.max_runs if spec.stop_rule is not None else None
+        ),
+    )

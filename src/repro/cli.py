@@ -6,19 +6,26 @@ Usage examples::
     python -m repro run --workload oltp --txns 200 --warmup 300
     python -m repro space --workload oltp --runs 10 --txns 200
     python -m repro compare --vary l2-assoc --a 2 --b 4 --runs 10
+    python -m repro campaign --vary l2-assoc --values 2 4 --runs 10
+    python -m repro campaign --adaptive --target 0.02 --max-runs 40
 
 The CLI wraps the same public API the examples use; it exists so the
-methodology can be driven from shell scripts and sweeps.
+methodology can be driven from shell scripts and sweeps.  ``space`` and
+``compare`` take ``--json`` to emit the serialized result objects for
+scripting; ``campaign`` runs (and, after an interrupt, *resumes*) a grid
+of runs against the persistent store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.config import RunConfig, SystemConfig
 from repro.core.experiment import compare_configurations
-from repro.core.runner import run_space
+from repro.core.runner import DEFAULT_WORKLOAD_SEED, run_space
 from repro.system.simulation import run_simulation
 from repro.workloads.registry import PAPER_TRANSACTIONS, available_workloads
 
@@ -92,6 +99,9 @@ def cmd_space(args: argparse.Namespace) -> int:
         args.runs,
         n_jobs=args.jobs,
     )
+    if args.json:
+        print(json.dumps(sample.to_dict(), indent=2))
+        return 0
     for result in sample.results:
         print(f"seed {result.seed:4d}: {result.cycles_per_transaction:,.0f} cycles/txn")
     print(sample.summary())
@@ -115,6 +125,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         confidence=args.confidence,
         n_jobs=args.jobs,
     )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.conclusion_is_safe else 1
     print(result.report())
     if result.conclusion_is_safe:
         print(f"\nconclusion: {result.faster} is faster "
@@ -122,6 +135,81 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 0
     print("\nconclusion: not statistically significant; run more simulations")
     return 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run (or resume) a persistent experiment campaign.
+
+    Completed runs live in the store (``--store`` or ``REPRO_STORE_DIR``
+    or ``~/.cache/repro``), so re-invoking an interrupted campaign
+    executes only the missing runs.  ``--dry-run`` prints the
+    cached-vs-pending plan without simulating.  Exit code 0 on success,
+    1 when any run failed.
+    """
+    from repro.campaign import Campaign, CampaignSpec
+    from repro.core.runner import WorkloadSpec
+    from repro.core.sampling import AdaptiveStopRule
+    from repro.store import RunStore
+
+    base = _base_config(args)
+    if args.vary:
+        if not args.values or len(args.values) < 1:
+            print("campaign: --vary needs --values", file=sys.stderr)
+            return 2
+        configs = [
+            (f"{args.vary}={value}", _vary(base, args.vary, value))
+            for value in args.values
+        ]
+    else:
+        configs = [("base", base)]
+    workloads = [
+        WorkloadSpec.resolve(name, workload_seed=args.workload_seed)
+        for name in (args.workloads or [args.workload])
+    ]
+    try:
+        stop_rule = None
+        if args.adaptive:
+            stop_rule = AdaptiveStopRule(
+                target_fraction=args.target,
+                confidence=args.confidence,
+                min_runs=args.min_runs,
+                max_runs=args.max_runs,
+                batch_size=args.batch,
+            )
+        spec = CampaignSpec(
+            configs=configs,
+            workloads=workloads,
+            run=_run_config(args),
+            n_runs=args.runs,
+            stop_rule=stop_rule,
+            name=args.name,
+        )
+    except ValueError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    store = RunStore(args.store)
+    campaign = Campaign(
+        spec, store, n_jobs=args.jobs, timeout_s=args.timeout
+    )
+    print(campaign.plan().render())
+    if args.dry_run:
+        return 0
+    print()
+    try:
+        report = campaign.run(progress=print)
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted -- completed runs are saved in {store.root}; "
+            "re-run the same command to resume",
+            file=sys.stderr,
+        )
+        return 130
+    print()
+    print(report.render())
+    if report.n_failures:
+        print(f"\n{report.n_failures} runs failed; rerun to retry them")
+        return 1
+    return 0
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
@@ -182,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="one measured simulation run")
     _add_run_arguments(run_parser)
+    run_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers (a single run is serial; accepted so sweep "
+             "scripts can pass --jobs to every subcommand uniformly)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     space_parser = subparsers.add_parser(
@@ -190,6 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_arguments(space_parser)
     space_parser.add_argument("--runs", type=int, default=10)
     space_parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    space_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the serialized RunSample as JSON for scripting",
+    )
     space_parser.set_defaults(func=cmd_space)
 
     compare_parser = subparsers.add_parser(
@@ -205,7 +302,67 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--runs", type=int, default=10)
     compare_parser.add_argument("--confidence", type=float, default=0.95)
     compare_parser.add_argument("--jobs", type=int, default=1)
+    compare_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the serialized ComparisonResult as JSON for scripting",
+    )
     compare_parser.set_defaults(func=cmd_compare)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run or resume a persistent experiment campaign (store-backed)",
+    )
+    _add_run_arguments(campaign_parser)
+    campaign_parser.add_argument(
+        "--workloads", nargs="*", choices=available_workloads(),
+        help="workloads in the grid (default: the single --workload)",
+    )
+    campaign_parser.add_argument(
+        "--vary", choices=("l2-assoc", "dram", "rob"),
+        help="configuration dimension to sweep (with --values)",
+    )
+    campaign_parser.add_argument(
+        "--values", nargs="*", type=int,
+        help="values of the --vary dimension, one configuration each",
+    )
+    campaign_parser.add_argument("--runs", type=int, default=10,
+                                 help="fixed runs per cell (ignored with --adaptive)")
+    campaign_parser.add_argument(
+        "--workload-seed", type=int, default=DEFAULT_WORKLOAD_SEED,
+        help="workload content seed (default %(default)s)",
+    )
+    campaign_parser.add_argument(
+        "--adaptive", action="store_true",
+        help="grow each cell until the CI half-width target is met",
+    )
+    campaign_parser.add_argument(
+        "--target", type=float, default=0.02,
+        help="adaptive: CI half-width target as a fraction of the mean",
+    )
+    campaign_parser.add_argument("--confidence", type=float, default=0.95)
+    campaign_parser.add_argument("--min-runs", type=int, default=4,
+                                 help="adaptive: runs before the rule is consulted")
+    campaign_parser.add_argument("--max-runs", type=int, default=40,
+                                 help="adaptive: per-cell run cap")
+    campaign_parser.add_argument("--batch", type=int, default=4,
+                                 help="adaptive: runs added per batch")
+    campaign_parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    campaign_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run wall-clock timeout in seconds",
+    )
+    campaign_parser.add_argument(
+        "--store", default=None,
+        help="store directory (default: $REPRO_STORE_DIR or ~/.cache/repro)",
+    )
+    campaign_parser.add_argument(
+        "--name", default="campaign", help="campaign name recorded in the journal"
+    )
+    campaign_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the cached-vs-pending plan and exit without simulating",
+    )
+    campaign_parser.set_defaults(func=cmd_campaign)
 
     survey_parser = subparsers.add_parser(
         "survey", help="survey workload space variability (Table 3 protocol)"
@@ -238,7 +395,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

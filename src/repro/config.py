@@ -15,12 +15,32 @@ runs with equal configs and seeds are bit-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Literal
 
 
+class _SerializableConfig:
+    """JSON round-trip mixin for the flat (non-nested) config dataclasses.
+
+    ``to_dict``/``from_dict`` are the serialization contract the run store
+    (:mod:`repro.store`) builds its content-addressed keys on: the dict
+    holds every field by name, so two configs are equal iff their dicts
+    are equal.  Adding a field changes serialized form and therefore
+    store keys -- old cache entries simply miss, which is safe.
+    """
+
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-serializable) form of this config."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        """Rebuild a config from its :meth:`to_dict` form."""
+        return cls(**data)
+
+
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(_SerializableConfig):
     """Geometry and hit latency of one cache."""
 
     size_bytes: int
@@ -44,7 +64,7 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
-class MemoryConfig:
+class MemoryConfig(_SerializableConfig):
     """Latency parameters of the interconnect and DRAM (paper 3.2.1)."""
 
     dram_latency_ns: int = 80
@@ -65,7 +85,7 @@ class MemoryConfig:
 
 
 @dataclass(frozen=True)
-class ProcessorConfig:
+class ProcessorConfig(_SerializableConfig):
     """Processor core model selection and parameters.
 
     ``model='simple'`` is the fast blocking model: one instruction per cycle
@@ -92,7 +112,7 @@ class ProcessorConfig:
 
 
 @dataclass(frozen=True)
-class OSConfig:
+class OSConfig(_SerializableConfig):
     """Operating-system model parameters.
 
     The quantum and costs are scaled to the synthetic workloads' op-stream
@@ -116,7 +136,7 @@ class OSConfig:
 
 
 @dataclass(frozen=True)
-class PerturbationConfig:
+class PerturbationConfig(_SerializableConfig):
     """Random timing perturbation injected on L2 misses (paper 3.3).
 
     A uniformly distributed pseudo-random integer in [0, max_ns] is added
@@ -214,9 +234,28 @@ class SystemConfig:
         """Return a copy using a different coherence protocol."""
         return replace(self, coherence_protocol=protocol)
 
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-serializable) form of the full configuration."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Rebuild a configuration from its :meth:`to_dict` form."""
+        return cls(
+            n_cpus=data["n_cpus"],
+            l1i=CacheConfig.from_dict(data["l1i"]),
+            l1d=CacheConfig.from_dict(data["l1d"]),
+            l2=CacheConfig.from_dict(data["l2"]),
+            memory=MemoryConfig.from_dict(data["memory"]),
+            processor=ProcessorConfig.from_dict(data["processor"]),
+            os=OSConfig.from_dict(data["os"]),
+            perturbation=PerturbationConfig.from_dict(data["perturbation"]),
+            coherence_protocol=data["coherence_protocol"],
+        )
+
 
 @dataclass(frozen=True)
-class RunConfig:
+class RunConfig(_SerializableConfig):
     """Measurement protocol for a single simulation run (paper 3.1).
 
     A run warms up for ``warmup_transactions`` and then measures the

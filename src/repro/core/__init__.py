@@ -40,7 +40,15 @@ from repro.core.confidence import (
 from repro.core.experiment import ComparisonResult, compare_configurations
 from repro.core.hypothesis import TTestResult, runs_needed, two_sample_t_test
 from repro.core.metrics import VariabilitySummary, summarize
-from repro.core.runner import RunSample, run_space
+from repro.core.runner import (
+    DEFAULT_WORKLOAD_SEED,
+    RunFailure,
+    RunSample,
+    RunSpaceError,
+    WorkloadSpec,
+    run_space,
+)
+from repro.core.sampling import AdaptiveStopRule
 from repro.core.survey import Survey, SurveyEntry, survey_workload, survey_workloads
 from repro.core.wcr import wrong_conclusion_ratio
 
@@ -64,8 +72,13 @@ __all__ = [
     "two_sample_t_test",
     "VariabilitySummary",
     "summarize",
+    "DEFAULT_WORKLOAD_SEED",
+    "RunFailure",
     "RunSample",
+    "RunSpaceError",
+    "WorkloadSpec",
     "run_space",
+    "AdaptiveStopRule",
     "Survey",
     "SurveyEntry",
     "survey_workload",

@@ -68,6 +68,32 @@ class ComparisonResult:
         """The tighter (hypothesis-test) wrong-conclusion bound."""
         return self.t_test.wrong_conclusion_bound
 
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-serializable) form for ``--json`` scripting.
+
+        Samples round-trip via :meth:`RunSample.from_dict`; the derived
+        statistics are one-way exports (recompute them from the samples).
+        """
+        from dataclasses import asdict
+
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "sample_a": self.sample_a.to_dict(),
+            "sample_b": self.sample_b.to_dict(),
+            "summary_a": asdict(self.summary_a),
+            "summary_b": asdict(self.summary_b),
+            "wcr_percent": self.wcr_percent,
+            "interval_a": asdict(self.interval_a),
+            "interval_b": asdict(self.interval_b),
+            "intervals_separate": self.intervals_separate,
+            "t_test": asdict(self.t_test),
+            "confidence": self.confidence,
+            "faster": self.faster,
+            "speedup_percent": self.speedup_percent,
+            "conclusion_is_safe": self.conclusion_is_safe,
+        }
+
     def report(self) -> str:
         """A compact human-readable report."""
         lines = [
@@ -103,13 +129,23 @@ def compare_configurations(
     confidence: float = 0.95,
     checkpoint=None,
     n_jobs: int = 1,
+    workload_seed: int | None = None,
+    store=None,
 ) -> ComparisonResult:
-    """Run the full comparison methodology between two configurations."""
+    """Run the full comparison methodology between two configurations.
+
+    ``workload_seed`` and ``store`` pass through to :func:`run_space`:
+    the former pins the workload content stream when ``workload`` is a
+    name, the latter enables persistent run caching so repeated or
+    interrupted comparisons reuse completed runs.
+    """
     sample_a = run_space(
-        config_a, workload, run, n_runs, checkpoint=checkpoint, n_jobs=n_jobs
+        config_a, workload, run, n_runs, checkpoint=checkpoint, n_jobs=n_jobs,
+        workload_seed=workload_seed, store=store,
     )
     sample_b = run_space(
-        config_b, workload, run, n_runs, checkpoint=checkpoint, n_jobs=n_jobs
+        config_b, workload, run, n_runs, checkpoint=checkpoint, n_jobs=n_jobs,
+        workload_seed=workload_seed, store=store,
     )
     return compare_samples(
         sample_a,

@@ -50,7 +50,13 @@ def range_of_variability(values: Sequence[float]) -> float:
 
 @dataclass(frozen=True)
 class VariabilitySummary:
-    """Summary statistics for one sample of runs."""
+    """Summary statistics for one sample of runs.
+
+    ``n_timed_out`` counts member runs that hit the simulated-time cap
+    before completing their transaction quota -- such runs understate
+    true cost, so a non-zero count taints the sample and is surfaced in
+    the rendered summary.
+    """
 
     n: int
     mean: float
@@ -59,16 +65,20 @@ class VariabilitySummary:
     maximum: float
     coefficient_of_variation: float
     range_of_variability: float
+    n_timed_out: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"n={self.n} mean={self.mean:.4g} sd={self.stddev:.3g} "
             f"CoV={self.coefficient_of_variation:.2f}% "
             f"range={self.range_of_variability:.2f}%"
         )
+        if self.n_timed_out:
+            text += f" TIMED-OUT={self.n_timed_out}"
+        return text
 
 
-def summarize(values: Sequence[float]) -> VariabilitySummary:
+def summarize(values: Sequence[float], *, n_timed_out: int = 0) -> VariabilitySummary:
     """Build the full variability summary of a sample."""
     if not values:
         raise ValueError("cannot summarize an empty sample")
@@ -80,4 +90,5 @@ def summarize(values: Sequence[float]) -> VariabilitySummary:
         maximum=max(values),
         coefficient_of_variation=coefficient_of_variation(values),
         range_of_variability=range_of_variability(values),
+        n_timed_out=n_timed_out,
     )

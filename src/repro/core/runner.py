@@ -11,18 +11,126 @@ coarse-grain parallelism, provided that multiple simulation hosts are
 available"; ``n_jobs`` runs the sample across processes, one simulation
 per worker, with results returned in seed order regardless of completion
 order (determinism is preserved).
+
+Two robustness layers sit on top:
+
+- jobs are submitted individually with worker-side error capture, so a
+  failing run reports *which seed* failed (:class:`RunSpaceError`) while
+  the rest of the sample completes;
+- with ``store=`` (a :class:`repro.store.RunStore`), completed runs are
+  persisted as they finish and cached runs are never re-executed, so an
+  interrupted sample resumes where it stopped.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
 
 from repro.config import RunConfig, SystemConfig
 from repro.core.metrics import VariabilitySummary, summarize
 from repro.system.simulation import SimulationResult, run_simulation
 from repro.workloads.base import Workload
 from repro.workloads.registry import make_workload
+
+#: the workload content seed used when a workload is passed by name and no
+#: explicit ``workload_seed`` is given -- the registry default, so
+#: ``run_space(cfg, "oltp", ...)`` and ``run_space(cfg, make_workload("oltp"), ...)``
+#: sample the same stream.
+DEFAULT_WORKLOAD_SEED = 12345
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload identity as plain data: what a worker process rebuilds.
+
+    ``params`` holds class-attribute overrides as a sorted tuple of
+    (name, value) pairs so the spec is hashable and deterministic.
+    """
+
+    name: str
+    seed: int = DEFAULT_WORKLOAD_SEED
+    scale: float = 1.0
+    params: tuple = ()
+
+    @property
+    def params_dict(self) -> dict:
+        """The parameter overrides as a dict."""
+        return dict(self.params)
+
+    @classmethod
+    def resolve(
+        cls,
+        workload: Workload | str,
+        *,
+        workload_seed: int | None = None,
+        workload_params: dict | None = None,
+    ) -> "WorkloadSpec":
+        """Normalize a workload instance or name into a spec.
+
+        A workload *instance* carries its own seed/scale/overrides; an
+        explicit ``workload_seed`` that contradicts the instance is an
+        error (silent precedence hid bugs).  A workload *name* uses
+        ``workload_seed`` (default :data:`DEFAULT_WORKLOAD_SEED`).
+        """
+        if isinstance(workload, Workload):
+            if workload_seed is not None and workload_seed != workload.seed:
+                raise ValueError(
+                    f"workload instance has seed {workload.seed} but "
+                    f"workload_seed={workload_seed} was passed; drop one"
+                )
+            name = workload.name
+            seed = workload.seed
+            scale = workload.scale
+            # Instance-level parameter overrides travel with the job so
+            # worker processes rebuild the exact same workload.
+            instance_params = {
+                key: value
+                for key, value in vars(workload).items()
+                if key not in ("seed", "scale") and hasattr(type(workload), key)
+            }
+        else:
+            name = workload
+            seed = DEFAULT_WORKLOAD_SEED if workload_seed is None else workload_seed
+            scale = 1.0
+            instance_params = {}
+        params = {**instance_params, **(workload_params or {})}
+        return cls(
+            name=name, seed=seed, scale=scale, params=tuple(sorted(params.items()))
+        )
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One failed run within a sample."""
+
+    seed: int
+    error: str
+    kind: str = "error"  # "error" | "timeout" | "crash"
+
+    def __str__(self) -> str:
+        return f"seed {self.seed} [{self.kind}]: {self.error}"
+
+
+class RunSpaceError(RuntimeError):
+    """Some runs of a sample failed; names the seeds and causes.
+
+    Successfully completed runs were persisted to the store (when one
+    was given) before this was raised, so a retry re-executes only the
+    failed seeds.
+    """
+
+    def __init__(self, failures: list[RunFailure], *, completed: int, total: int):
+        self.failures = list(failures)
+        self.completed = completed
+        self.total = total
+        detail = "; ".join(str(f) for f in self.failures[:5])
+        if len(self.failures) > 5:
+            detail += f"; ... {len(self.failures) - 5} more"
+        super().__init__(
+            f"{len(self.failures)} of {total} runs failed "
+            f"({completed} completed): {detail}"
+        )
 
 
 @dataclass
@@ -38,9 +146,14 @@ class RunSample:
         """Cycles per transaction of each run, in seed order."""
         return [r.cycles_per_transaction for r in self.results]
 
+    @property
+    def n_timed_out(self) -> int:
+        """Runs that hit the simulated-time cap before finishing."""
+        return sum(1 for r in self.results if r.timed_out)
+
     def summary(self) -> VariabilitySummary:
-        """Variability summary of the sample."""
-        return summarize(self.values)
+        """Variability summary of the sample (flags timed-out runs)."""
+        return summarize(self.values, n_timed_out=self.n_timed_out)
 
     def subsample(self, n: int) -> "RunSample":
         """The first ``n`` runs (for sample-size sweeps)."""
@@ -52,6 +165,47 @@ class RunSample:
             results=self.results[:n],
         )
 
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-serializable) form of this sample."""
+        return {
+            "config": self.config.to_dict(),
+            "workload_name": self.workload_name,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSample":
+        """Rebuild a sample from its :meth:`to_dict` form."""
+        return cls(
+            config=SystemConfig.from_dict(data["config"]),
+            workload_name=data["workload_name"],
+            results=[SimulationResult.from_dict(r) for r in data["results"]],
+        )
+
+
+def make_job(
+    config: SystemConfig,
+    spec: WorkloadSpec,
+    run: RunConfig,
+    seed: int,
+    checkpoint=None,
+) -> tuple:
+    """Build the picklable job tuple :func:`_one_run` executes.
+
+    The campaign executor builds jobs through this same function, which
+    is what makes a fixed-N campaign bit-for-bit identical to
+    ``run_space``: same inputs, same worker, same result.
+    """
+    return (
+        config,
+        spec.name,
+        spec.seed,
+        spec.scale,
+        spec.params_dict,
+        replace(run, seed=seed),
+        checkpoint,
+    )
+
 
 def _one_run(args) -> SimulationResult:
     """Worker body (module-level for pickling)."""
@@ -60,6 +214,19 @@ def _one_run(args) -> SimulationResult:
         workload_name, seed=workload_seed, scale=workload_scale, **workload_params
     )
     return run_simulation(config, workload, run, checkpoint=checkpoint)
+
+
+def _one_run_captured(args) -> tuple:
+    """Worker body with in-worker error capture.
+
+    Returns ``("ok", result)`` or ``("error", message)`` so an exception
+    in one run is attributed to its seed instead of surfacing as an
+    opaque pool failure (a hard worker crash still breaks the pool; the
+    caller maps that onto the affected seeds)."""
+    try:
+        return ("ok", _one_run(args))
+    except Exception as exc:  # noqa: BLE001 -- report, don't kill the sample
+        return ("error", f"{type(exc).__name__}: {exc}")
 
 
 def run_space(
@@ -72,54 +239,101 @@ def run_space(
     checkpoint=None,
     n_jobs: int = 1,
     workload_params: dict | None = None,
+    workload_seed: int | None = None,
+    store=None,
 ) -> RunSample:
     """Run ``n_runs`` perturbed simulations and collect the sample.
 
     Each run differs only in its perturbation seed (``seeds`` defaults to
     ``run.seed + 0..n_runs-1``); workload content and initial conditions
     are identical across runs, as in the paper's methodology.
+
+    ``workload_seed`` sets the workload *content* seed when ``workload``
+    is a name (default :data:`DEFAULT_WORKLOAD_SEED`); it must not
+    contradict a workload instance's own seed.
+
+    ``store`` (a :class:`repro.store.RunStore`) enables persistent
+    caching: runs already stored are loaded instead of executed, and
+    every completed run is persisted immediately, so an interrupted
+    sample resumes from where it stopped on the next call.
     """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
-    if isinstance(workload, Workload):
-        workload_name = workload.name
-        workload_seed = workload.seed
-        workload_scale = workload.scale
-        # Instance-level parameter overrides travel with the job so worker
-        # processes rebuild the exact same workload.
-        instance_params = {
-            key: value
-            for key, value in vars(workload).items()
-            if key not in ("seed", "scale") and hasattr(type(workload), key)
-        }
-    else:
-        workload_name = workload
-        workload_seed = 12345
-        workload_scale = 1.0
-        instance_params = {}
-    params = {**instance_params, **(workload_params or {})}
+    spec = WorkloadSpec.resolve(
+        workload, workload_seed=workload_seed, workload_params=workload_params
+    )
     if seeds is None:
         seeds = [run.seed + i for i in range(n_runs)]
     if len(seeds) != n_runs:
         raise ValueError(f"need {n_runs} seeds, got {len(seeds)}")
 
-    from dataclasses import replace
+    keys: dict[int, str] = {}
+    results: dict[int, SimulationResult] = {}
+    pending: list[int] = []
+    if store is not None:
+        from repro.store import run_key
 
-    jobs = [
-        (
-            config,
-            workload_name,
-            workload_seed,
-            workload_scale,
-            params,
-            replace(run, seed=seed),
-            checkpoint,
-        )
-        for seed in seeds
-    ]
-    if n_jobs > 1:
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            results = list(pool.map(_one_run, jobs))
+        ckpt_digest = checkpoint.digest() if checkpoint is not None else None
+        for seed in seeds:
+            keys[seed] = run_key(
+                config,
+                replace(run, seed=seed),
+                spec.name,
+                spec.seed,
+                spec.scale,
+                spec.params_dict,
+                checkpoint_digest=ckpt_digest,
+            )
+            cached = store.get(keys[seed])
+            if cached is not None:
+                results[seed] = cached
+            else:
+                pending.append(seed)
     else:
-        results = [_one_run(job) for job in jobs]
-    return RunSample(config=config, workload_name=workload_name, results=results)
+        pending = list(seeds)
+
+    def record(seed: int, result: SimulationResult) -> None:
+        results[seed] = result
+        if store is not None:
+            store.put(keys[seed], result, workload=spec.name)
+
+    failures: list[RunFailure] = []
+    if pending:
+        jobs = {seed: make_job(config, spec, run, seed, checkpoint) for seed in pending}
+        if n_jobs > 1:
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                futures = {
+                    pool.submit(_one_run_captured, job): seed
+                    for seed, job in jobs.items()
+                }
+                for future in as_completed(futures):
+                    seed = futures[future]
+                    try:
+                        status, payload = future.result()
+                    except Exception as exc:  # pool-level crash (e.g. OOM kill)
+                        failures.append(
+                            RunFailure(
+                                seed=seed,
+                                error=f"{type(exc).__name__}: {exc}",
+                                kind="crash",
+                            )
+                        )
+                        continue
+                    if status == "ok":
+                        record(seed, payload)
+                    else:
+                        failures.append(RunFailure(seed=seed, error=payload))
+        else:
+            for seed, job in jobs.items():
+                status, payload = _one_run_captured(job)
+                if status == "ok":
+                    record(seed, payload)
+                else:
+                    failures.append(RunFailure(seed=seed, error=payload))
+    if failures:
+        raise RunSpaceError(failures, completed=len(results), total=n_runs)
+    return RunSample(
+        config=config,
+        workload_name=spec.name,
+        results=[results[seed] for seed in seeds],
+    )

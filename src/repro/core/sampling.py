@@ -8,19 +8,96 @@ Tools for studying how performance varies across a workload's lifetime:
   across the lifetime (the paper's systematic sampling, section 5.2);
 - :func:`checkpoint_study` -- N perturbed runs from each of several
   checkpoints (the paper's Figure 9 data), whose groups feed directly
-  into :func:`repro.core.anova.one_way_anova`.
+  into :func:`repro.core.anova.one_way_anova`;
+- :class:`AdaptiveStopRule` -- the paper's sample-size estimator
+  (section 5.1.1) turned into a *sequential* stopping rule: instead of
+  fixing N up front from a prior CoV estimate, run batches and stop when
+  the confidence interval is tight enough.  :class:`repro.campaign.Campaign`
+  executes this rule against the run store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.config import RunConfig, SystemConfig
-from repro.core.metrics import VariabilitySummary, summarize
+from repro.core.confidence import confidence_interval, estimate_sample_size
+from repro.core.metrics import (
+    VariabilitySummary,
+    mean,
+    sample_stddev,
+    summarize,
+)
 from repro.core.runner import RunSample, run_space
 from repro.system.checkpoint import Checkpoint, make_checkpoints
 from repro.system.simulation import SimulationResult
 from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class AdaptiveStopRule:
+    """Sequential sample-size control (paper 5.1.1, made adaptive).
+
+    Stop collecting runs once the two-sided confidence interval's
+    half-width is at most ``target_fraction`` of the sample mean -- the
+    same precision criterion Cochran's formula targets, but evaluated on
+    the *measured* variance as runs arrive instead of a prior estimate
+    (Table 5 shows the right N varies per workload by an order of
+    magnitude, so any fixed N over- or under-shoots somewhere).
+    ``max_runs`` caps cost when the target is unreachable.
+    """
+
+    target_fraction: float = 0.02
+    confidence: float = 0.95
+    min_runs: int = 4
+    max_runs: int = 100
+    batch_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.target_fraction <= 0:
+            raise ValueError("target_fraction must be positive")
+        if not 0 < self.confidence < 1:
+            raise ValueError("confidence must be in (0, 1)")
+        if self.min_runs < 2:
+            raise ValueError("min_runs must be at least 2 (variance needs two runs)")
+        if self.max_runs < self.min_runs:
+            raise ValueError("max_runs must be >= min_runs")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+
+    def satisfied_by(self, values: Sequence[float]) -> bool:
+        """Whether the precision target is met by these observations."""
+        if len(values) < max(2, self.min_runs):
+            return False
+        ci = confidence_interval(values, self.confidence)
+        if ci.mean == 0:
+            return True
+        return ci.half_width <= self.target_fraction * abs(ci.mean)
+
+    def next_batch(self, values: Sequence[float]) -> int:
+        """How many more runs to execute (0 = stop).
+
+        Below ``min_runs``, fill to the minimum.  Afterwards, project the
+        total sample size from the measured coefficient of variation
+        (Cochran's n = (t*S/(r*Y))^2, the paper's estimator) and advance
+        toward it at most ``batch_size`` runs at a time, never exceeding
+        ``max_runs``.
+        """
+        n = len(values)
+        if n >= self.max_runs:
+            return 0
+        if n < self.min_runs:
+            return min(self.min_runs - n, self.max_runs - n)
+        if self.satisfied_by(values):
+            return 0
+        m = mean(values)
+        s = sample_stddev(values)
+        if m == 0 or s == 0:
+            return 0
+        projected = estimate_sample_size(s / abs(m), self.target_fraction, self.confidence)
+        needed = max(1, projected - n)
+        return min(needed, self.batch_size, self.max_runs - n)
 
 
 def windowed_cycles_per_transaction(

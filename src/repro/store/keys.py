@@ -1,0 +1,74 @@
+"""Content-addressed run keys.
+
+A *run key* names one simulation outcome by its complete cause: the
+system configuration, the measurement protocol (including the
+perturbation seed), the workload identity (name, seed, scale, parameter
+overrides), and -- when the run starts from captured initial conditions
+-- the checkpoint digest.  Two runs with equal keys are bit-identical
+(the simulator is deterministic given these inputs), so the store can
+return a cached result in place of re-execution.
+
+Key stability guarantees:
+
+- keys depend only on field *names and values* via the configs'
+  ``to_dict`` forms and canonical JSON (sorted keys, no whitespace);
+  dict insertion order, Python hash randomization, and process identity
+  do not affect them;
+- adding a config field (or bumping :data:`KEY_VERSION` on a semantic
+  change to the simulator) changes keys, so stale cache entries miss
+  rather than alias -- the failure mode is always re-execution, never a
+  wrong cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from repro.config import RunConfig, SystemConfig
+
+#: bump when the meaning of identical inputs changes (simulator semantics)
+KEY_VERSION = 1
+
+
+def canonical_json(obj) -> str:
+    """Serialize to the canonical JSON form keys are hashed over."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def digest(obj, *, length: int = 32) -> str:
+    """SHA-256 (truncated) of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()[:length]
+
+
+def run_key(
+    config: SystemConfig,
+    run: RunConfig,
+    workload_name: str,
+    workload_seed: int,
+    workload_scale: float,
+    workload_params: Mapping | None = None,
+    *,
+    checkpoint_digest: str | None = None,
+) -> str:
+    """The content-addressed key of one simulation run.
+
+    ``run.seed`` is the perturbation seed of *this* run (callers pass
+    ``replace(run, seed=...)`` per sample member, as ``run_space`` does).
+    ``checkpoint_digest`` is :meth:`repro.system.checkpoint.Checkpoint.digest`
+    when the run starts from a checkpoint, ``None`` for a cold boot.
+    """
+    payload = {
+        "v": KEY_VERSION,
+        "system": config.to_dict(),
+        "run": run.to_dict(),
+        "workload": {
+            "name": workload_name,
+            "seed": workload_seed,
+            "scale": workload_scale,
+            "params": dict(workload_params or {}),
+        },
+        "checkpoint": checkpoint_digest,
+    }
+    return digest(payload)

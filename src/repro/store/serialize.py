@@ -1,0 +1,72 @@
+"""JSON serialization for results and configs.
+
+The round-trip contract -- ``from_*(to_*(x)) == x`` -- is what makes the
+store trustworthy: a cached run must be indistinguishable from a fresh
+one.  The implementations live as ``to_dict``/``from_dict`` methods on
+the dataclasses themselves (:class:`repro.config.SystemConfig`,
+:class:`repro.config.RunConfig`,
+:class:`repro.system.simulation.SimulationResult`,
+:class:`repro.core.runner.RunSample`); this module presents them as a
+functional API and adds one-way exports for the analysis objects
+(summaries, intervals, test results) used by ``--json`` CLI output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+
+from repro.config import RunConfig, SystemConfig
+from repro.system.simulation import SimulationResult
+
+
+def system_config_to_dict(config: SystemConfig) -> dict:
+    """JSON form of a :class:`SystemConfig`."""
+    return config.to_dict()
+
+
+def system_config_from_dict(data: dict) -> SystemConfig:
+    """Inverse of :func:`system_config_to_dict`."""
+    return SystemConfig.from_dict(data)
+
+
+def run_config_to_dict(run: RunConfig) -> dict:
+    """JSON form of a :class:`RunConfig`."""
+    return run.to_dict()
+
+
+def run_config_from_dict(data: dict) -> RunConfig:
+    """Inverse of :func:`run_config_to_dict`."""
+    return RunConfig.from_dict(data)
+
+
+def simulation_result_to_dict(result: SimulationResult) -> dict:
+    """JSON form of a :class:`SimulationResult`."""
+    return result.to_dict()
+
+
+def simulation_result_from_dict(data: dict) -> SimulationResult:
+    """Inverse of :func:`simulation_result_to_dict`."""
+    return SimulationResult.from_dict(data)
+
+
+def run_sample_to_dict(sample) -> dict:
+    """JSON form of a :class:`repro.core.runner.RunSample`."""
+    return sample.to_dict()
+
+
+def run_sample_from_dict(data: dict):
+    """Inverse of :func:`run_sample_to_dict`."""
+    from repro.core.runner import RunSample
+
+    return RunSample.from_dict(data)
+
+
+def analysis_to_dict(obj) -> dict:
+    """One-way JSON form of an analysis dataclass (summary, CI, t-test).
+
+    These objects are derived from samples, so they never need to be
+    loaded back: recompute them from the deserialized sample instead.
+    """
+    if not is_dataclass(obj):
+        raise TypeError(f"not a dataclass: {type(obj).__name__}")
+    return asdict(obj)

@@ -1,0 +1,159 @@
+"""The persistent run store.
+
+Layout, under a root directory (default ``~/.cache/repro``, overridden
+by the ``REPRO_STORE_DIR`` environment variable or an explicit path):
+
+- ``runs/<key>.json`` -- one file per completed run, written atomically
+  (temp file + ``os.replace``), holding the serialized
+  :class:`~repro.system.simulation.SimulationResult` plus metadata.
+  These files are the source of truth.
+- ``journal.jsonl`` -- an append-only line journal, one JSON object per
+  stored run.  The journal is an audit trail (how many runs executed,
+  when, for which workload) and the cheap way to inventory a campaign
+  without opening every run file; each line is written with a single
+  ``write()`` on an ``O_APPEND`` descriptor, so concurrent writers
+  interleave whole lines rather than bytes.
+- ``checkpoints/`` -- warm-up checkpoints (pickles), managed by the
+  benchmark harness.
+
+Robustness rules: readers never trust a file.  A corrupt or truncated
+run file or journal line (e.g. from a power cut mid-rename on a
+non-atomic filesystem) is skipped with a :class:`RuntimeWarning`, never
+raised -- losing one cached run costs a re-execution, not the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+
+from repro.system.simulation import SimulationResult
+
+#: environment variable naming the store root
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+
+def default_store_dir() -> Path:
+    """The store root: ``$REPRO_STORE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(STORE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write a file so readers see either the old content or the new,
+    never a torn mix (write temp in the same directory, then rename)."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class RunStore:
+    """Content-addressed persistence for simulation runs.
+
+    Safe for concurrent use by multiple processes sharing one directory:
+    run files are written atomically under content-addressed names (two
+    writers racing on the same key write identical bytes), and journal
+    appends are single whole-line writes.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_store_dir()
+        self.runs_dir = self.root / "runs"
+        self.journal_path = self.root / "journal.jsonl"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Run files
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """The run file path for a key."""
+        return self.runs_dir / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """Whether a run with this key has been stored."""
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The stored result for a key, or ``None`` (missing or corrupt)."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return SimulationResult.from_dict(payload["result"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as exc:
+            warnings.warn(
+                f"run store: skipping corrupt entry {path.name}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def put(self, key: str, result: SimulationResult, **meta) -> None:
+        """Store a completed run and journal the event.
+
+        ``meta`` (e.g. ``workload='oltp'``) is recorded alongside the
+        result and in the journal line; it does not affect the key.
+        """
+        payload = {"key": key, "result": result.to_dict(), "meta": dict(meta)}
+        _atomic_write_text(self.path_for(key), json.dumps(payload))
+        self._append_journal(
+            {
+                "key": key,
+                "seed": result.seed,
+                "cycles_per_transaction": result.cycles_per_transaction,
+                "timed_out": result.timed_out,
+                "stored_at": time.time(),
+                **meta,
+            }
+        )
+
+    def keys(self) -> list[str]:
+        """All stored run keys, sorted."""
+        return sorted(p.stem for p in self.runs_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.runs_dir.glob("*.json"))
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def _append_journal(self, entry: dict) -> None:
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        # A single write on an O_APPEND descriptor: concurrent writers
+        # interleave whole lines (POSIX guarantees append atomicity for
+        # writes well under PIPE_BUF-scale sizes on local filesystems).
+        with open(self.journal_path, "a", encoding="utf-8") as f:
+            f.write(line)
+
+    def journal_entries(self) -> list[dict]:
+        """All journal entries, oldest first, skipping corrupt lines."""
+        if not self.journal_path.exists():
+            return []
+        entries: list[dict] = []
+        with open(self.journal_path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    warnings.warn(
+                        f"run store: skipping corrupt journal line {lineno}: {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        return entries
+
+    def journal_length(self) -> int:
+        """Number of valid journal entries (executions recorded)."""
+        return len(self.journal_entries())

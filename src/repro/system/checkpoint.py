@@ -22,6 +22,25 @@ from repro.workloads.base import Workload
 from repro.workloads.registry import make_workload
 
 
+def _canonicalize(obj):
+    """Rewrite state into a form whose pickle bytes are content-stable.
+
+    A ``set``'s iteration order depends on its insertion history, so two
+    equal sets (e.g. one freshly built and one rebuilt by unpickling) can
+    pickle to different bytes; hashing that would give a checkpoint a
+    different digest after every save/load round-trip.  Sorting set
+    elements (snapshot state only holds sortable primitives in sets)
+    makes the digest a pure function of content.
+    """
+    if isinstance(obj, (set, frozenset)):
+        return ("__set__", sorted(_canonicalize(x) for x in obj))
+    if isinstance(obj, dict):
+        return ("__dict__", [(k, _canonicalize(v)) for k, v in obj.items()])
+    if isinstance(obj, (list, tuple)):
+        return (type(obj).__name__, [_canonicalize(x) for x in obj])
+    return obj
+
+
 @dataclass
 class Checkpoint:
     """A captured machine state plus what is needed to rebuild it."""
@@ -80,6 +99,32 @@ class Checkpoint:
                 f"{self.workload_name}/{self.workload_seed}/{self.workload_scale})"
             )
         return Machine.from_snapshot(config, workload, self.state)
+
+    def digest(self) -> str:
+        """A content hash identifying this checkpoint's initial conditions.
+
+        The run store mixes this into its keys so runs started from
+        different checkpoints (even of the same workload) never collide.
+        The hash covers the captured machine state and the workload
+        identity; it is stable across processes and across save/load
+        round-trips for a checkpoint captured by the same code version,
+        which is exactly the cache-reuse window we want (a code change
+        conservatively invalidates cached runs).
+        """
+        import hashlib
+
+        payload = pickle.dumps(
+            (
+                self.workload_name,
+                self.workload_seed,
+                self.workload_scale,
+                sorted((self.workload_params or {}).items()),
+                self.taken_at_transactions,
+                _canonicalize(self.state),
+            ),
+            protocol=4,
+        )
+        return hashlib.sha256(payload).hexdigest()[:32]
 
     # ------------------------------------------------------------------
     # Persistence

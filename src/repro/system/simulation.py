@@ -51,6 +51,63 @@ class SimulationResult:
             return 0.0
         return self.measured_transactions * 1e9 / self.elapsed_ns
 
+    def to_dict(self) -> dict:
+        """Plain-data (JSON-serializable) form of this result.
+
+        The run store persists this form; :meth:`from_dict` inverts it
+        exactly (tuples become lists in JSON and are restored).
+        """
+        return {
+            "cycles_per_transaction": self.cycles_per_transaction,
+            "elapsed_ns": self.elapsed_ns,
+            "measured_transactions": self.measured_transactions,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "n_cpus": self.n_cpus,
+            "seed": self.seed,
+            "timed_out": self.timed_out,
+            "stats": dict(self.stats),
+            "transaction_times": (
+                [[t, k] for t, k in self.transaction_times]
+                if self.transaction_times is not None
+                else None
+            ),
+            "schedule_trace": (
+                [[e.time_ns, e.cpu, e.tid] for e in self.schedule_trace]
+                if self.schedule_trace is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        from repro.osmodel.scheduler import ScheduleEvent
+
+        transaction_times = data.get("transaction_times")
+        schedule_trace = data.get("schedule_trace")
+        return cls(
+            cycles_per_transaction=data["cycles_per_transaction"],
+            elapsed_ns=data["elapsed_ns"],
+            measured_transactions=data["measured_transactions"],
+            start_ns=data["start_ns"],
+            end_ns=data["end_ns"],
+            n_cpus=data["n_cpus"],
+            seed=data["seed"],
+            timed_out=data["timed_out"],
+            stats=dict(data["stats"]),
+            transaction_times=(
+                [(t, k) for t, k in transaction_times]
+                if transaction_times is not None
+                else None
+            ),
+            schedule_trace=(
+                [ScheduleEvent(time_ns=t, cpu=c, tid=tid) for t, c, tid in schedule_trace]
+                if schedule_trace is not None
+                else None
+            ),
+        )
+
 
 def run_simulation(
     config: SystemConfig,

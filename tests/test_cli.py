@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -29,6 +31,17 @@ class TestParser:
             build_parser().parse_args(
                 ["compare", "--vary", "nonsense", "--a", "1", "--b", "2"]
             )
+
+    def test_run_accepts_jobs(self):
+        args = build_parser().parse_args(["run", "--jobs", "4"])
+        assert args.jobs == 4
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.command == "campaign"
+        assert args.runs == 10
+        assert not args.adaptive
+        assert not args.dry_run
 
 
 class TestCommands:
@@ -75,3 +88,50 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "CoV=0.00%" in out
+
+    def test_space_json(self, capsys):
+        code = main(
+            ["space", "--workload", "oltp", "--txns", "20", "--warmup", "10",
+             "--cpus", "4", "--runs", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload_name"] == "oltp"
+        assert len(payload["results"]) == 2
+
+    def test_compare_json(self, capsys):
+        code = main(
+            ["compare", "--vary", "dram", "--a", "80", "--b", "200",
+             "--workload", "oltp", "--txns", "40", "--warmup", "20",
+             "--cpus", "4", "--runs", "4", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert {"sample_a", "sample_b", "conclusion_is_safe"} <= payload.keys()
+        assert code in (0, 1)
+
+
+class TestCampaignCommand:
+    def test_dry_run_prints_plan(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "--workloads", "oltp", "--txns", "10", "--cpus", "4",
+             "--runs", "3", "--store", str(tmp_path), "--dry-run"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 pending" in out
+
+    def test_campaign_runs_then_resumes_from_store(self, tmp_path, capsys):
+        argv = ["campaign", "--workloads", "oltp", "--txns", "10", "--cpus", "4",
+                "--runs", "3", "--store", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "3 cached, 0 pending" in out
+
+    def test_vary_without_values_errors(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "--vary", "dram", "--store", str(tmp_path), "--dry-run"]
+        )
+        assert code == 2
+        assert "--values" in capsys.readouterr().err
