@@ -1,0 +1,159 @@
+"""Hot-path microbenchmark: simulated ops/sec and events/sec per workload.
+
+Measures the raw speed of the simulation core (the ``Machine`` event
+loop, op dispatch, and the memory-hierarchy access path) by running a
+fixed, deterministic scenario per workload and timing it with
+``time.perf_counter``.  Because every scenario is a pure function of
+(config, seed), the executed op stream is bit-identical across code
+versions, so wall-clock ratios are exact throughput ratios.
+
+Writes ``BENCH_hotpath.json`` at the repo root so future PRs have a perf
+trajectory.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py             # measure + write
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --baseline  # store as baseline
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick     # 1 rep (CI smoke)
+
+``--baseline`` records the current measurements under the ``baseline``
+key (this was run once on the pre-refactor tree); subsequent default
+runs record under ``current`` and report the speedup against the stored
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.config import SystemConfig
+from repro.system.machine import Machine
+from repro.workloads.registry import make_workload
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: deterministic scenarios: workload params + transaction target
+SCENARIOS: dict[str, dict] = {
+    "oltp": {"workload": "oltp", "params": {"threads_per_cpu": 2}, "txns": 600},
+    "apache": {"workload": "apache", "params": {"threads_per_cpu": 2}, "txns": 3000},
+    "specjbb": {"workload": "specjbb", "params": {}, "txns": 3000},
+    "slashcode": {"workload": "slashcode", "params": {"threads_per_cpu": 2}, "txns": 700},
+    "barnes": {"workload": "barnes", "params": {}, "scale": 6.0, "txns": 1},
+}
+
+SEED = 1234
+
+
+def build_machine(scenario: dict) -> Machine:
+    config = SystemConfig(n_cpus=4)
+    workload = make_workload(
+        scenario["workload"], scale=scenario.get("scale", 1.0), **scenario["params"]
+    )
+    machine = Machine(config, workload)
+    machine.hierarchy.seed_perturbation(SEED)
+    return machine
+
+
+def ops_consumed(machine: Machine) -> int | None:
+    """Total workload ops executed, when the machine tracks them."""
+    total = 0
+    for thread in machine.scheduler.threads.values():
+        fetched = getattr(thread, "ops_fetched", None)
+        if fetched is None:
+            return None  # pre-refactor tree: no op accounting
+        total += fetched - (len(thread.op_buffer) - thread.op_index)
+    return total
+
+
+def run_scenario(scenario: dict, *, probes: bool = False) -> dict:
+    machine = build_machine(scenario)
+    if probes:
+        from repro.probes import ProbeBus
+
+        machine.attach_probes(ProbeBus())  # empty bus: zero hooks installed
+    wall = time.perf_counter()
+    machine.run_until_transactions(scenario["txns"], max_time_ns=10**14)
+    wall = time.perf_counter() - wall
+    ops = ops_consumed(machine)
+    events = getattr(machine, "events_processed", None)
+    return {
+        "wall_s": wall,
+        "sim_ns": machine.clock.now,
+        "transactions": machine.completed_transactions,
+        "ops": ops,
+        "events": events,
+        "ops_per_sec": ops / wall if ops else None,
+        "events_per_sec": events / wall if events else None,
+    }
+
+
+def measure(reps: int, *, probes: bool = False) -> dict[str, dict]:
+    """Best-of-``reps`` measurement for every scenario."""
+    results: dict[str, dict] = {}
+    for name, scenario in SCENARIOS.items():
+        best: dict | None = None
+        for _ in range(reps):
+            sample = run_scenario(scenario, probes=probes)
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        results[name] = best
+        rate = best["ops_per_sec"]
+        print(
+            f"{name:10s} wall={best['wall_s']:.3f}s "
+            f"ops/s={rate and int(rate) or 'n/a'} "
+            f"events/s={best['events_per_sec'] and int(best['events_per_sec']) or 'n/a'}"
+        )
+    return results
+
+
+def probe_overhead_pct(reps: int) -> float | None:
+    """Overhead of attaching an empty ProbeBus on the oltp scenario."""
+    try:
+        import repro.probes  # noqa: F401
+    except ImportError:
+        return None
+    scenario = SCENARIOS["oltp"]
+    plain = min(run_scenario(scenario)["wall_s"] for _ in range(reps))
+    probed = min(run_scenario(scenario, probes=True)["wall_s"] for _ in range(reps))
+    return (probed / plain - 1.0) * 100.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", action="store_true", help="store results as the baseline")
+    parser.add_argument("--quick", action="store_true", help="single rep (CI smoke)")
+    parser.add_argument("--reps", type=int, default=5)
+    args = parser.parse_args()
+    reps = 1 if args.quick else args.reps
+
+    doc: dict = {}
+    if OUT_PATH.exists():
+        doc = json.loads(OUT_PATH.read_text())
+
+    results = measure(reps)
+    if args.baseline:
+        doc["baseline"] = results
+    else:
+        doc["current"] = results
+        baseline = doc.get("baseline")
+        if baseline:
+            speedups = {}
+            for name, sample in results.items():
+                base = baseline.get(name)
+                if base and base["wall_s"]:
+                    # Identical deterministic op stream: wall ratio == ops/sec ratio.
+                    speedups[name] = round(base["wall_s"] / sample["wall_s"], 3)
+            doc["speedup_vs_baseline"] = speedups
+            print("speedup vs baseline:", speedups)
+        overhead = probe_overhead_pct(reps)
+        if overhead is not None:
+            doc["empty_probe_bus_overhead_pct"] = round(overhead, 2)
+            print(f"empty probe-bus overhead: {overhead:.2f}%")
+
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

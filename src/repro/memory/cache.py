@@ -6,9 +6,10 @@ coherence *protocol* live elsewhere (:mod:`repro.memory.hierarchy` and
 :mod:`repro.memory.coherence`); this module is pure bookkeeping, which
 keeps it easy to test exhaustively.
 
-Sets are stored sparsely (created on first touch) as ordered dicts mapping
-block number to :class:`CacheLine`; dict order is recency order with the
-most recently used line last.
+Sets are stored as a preallocated list (indexed by set number) of ordered
+dicts mapping block number to :class:`CacheLine`; dict order is recency
+order with the most recently used line last.  The list form keeps the hot
+lookup path to one index plus one dict probe, with no exists-yet branch.
 """
 
 from __future__ import annotations
@@ -18,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """State of one resident cache block."""
 
@@ -27,7 +28,7 @@ class CacheLine:
     dirty: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters for one cache."""
 
@@ -58,7 +59,7 @@ class SetAssociativeCache:
         self.associativity = config.associativity
         self.stats = CacheStats()
         # set index -> {block: CacheLine}, dict order == LRU order (MRU last)
-        self._sets: dict[int, dict[int, CacheLine]] = {}
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.n_sets)]
 
     def set_index(self, block: int) -> int:
         """Return the set a block maps to."""
@@ -71,12 +72,12 @@ class SetAssociativeCache:
         (coherence snoops probe with ``count=False`` so remote traffic does
         not pollute local demand statistics).
         """
-        lines = self._sets.get(self.set_index(block))
-        if lines is None or block not in lines:
+        lines = self._sets[block % self.n_sets]
+        line = lines.get(block)
+        if line is None:
             if count:
                 self.stats.misses += 1
             return None
-        line = lines[block]
         if update_lru:
             # Re-insert to move the block to MRU position.
             del lines[block]
@@ -87,7 +88,32 @@ class SetAssociativeCache:
 
     def peek(self, block: int) -> CacheLine | None:
         """Probe for a line without touching LRU order or counters."""
-        return self.lookup(block, update_lru=False, count=False)
+        return self._sets[block % self.n_sets].get(block)
+
+    def fill(self, block: int, state: str, dirty: bool = False) -> None:
+        """Install or refresh ``block`` at MRU, dropping any LRU victim.
+
+        Equivalent to ``evict(block)`` followed by ``insert(block, ...)``
+        with the capacity victim discarded -- an already-resident line is
+        updated in place, and an evicted line object is recycled for the
+        incoming block instead of being reallocated.  This is the L1 fill
+        path, taken on every L1 miss: L1 victims always fold into the
+        inclusive L2 copy, so no caller needs them.
+        """
+        lines = self._sets[block % self.n_sets]
+        line = lines.pop(block, None)
+        if line is None:
+            if len(lines) >= self.associativity:
+                # LRU victim is the first (oldest) entry; recycle it.
+                line = lines.pop(next(iter(lines)))
+                self.stats.evictions += 1
+                line.block = block
+            else:
+                lines[block] = CacheLine(block=block, state=state, dirty=dirty)
+                return
+        line.state = state
+        line.dirty = dirty
+        lines[block] = line
 
     def insert(self, block: int, state: str, dirty: bool = False) -> CacheLine | None:
         """Install a block, returning the evicted victim line if any.
@@ -96,8 +122,7 @@ class SetAssociativeCache:
         the block (inserting a block that is already resident is a protocol
         bug and raises).
         """
-        index = self.set_index(block)
-        lines = self._sets.setdefault(index, {})
+        lines = self._sets[self.set_index(block)]
         if block in lines:
             raise ValueError(f"{self.name}: block {block} already resident")
         victim = None
@@ -111,25 +136,22 @@ class SetAssociativeCache:
 
     def evict(self, block: int) -> CacheLine | None:
         """Remove a block (coherence invalidation or recall), if resident."""
-        lines = self._sets.get(self.set_index(block))
-        if lines is None:
-            return None
-        return lines.pop(block, None)
+        return self._sets[block % self.n_sets].pop(block, None)
 
     def resident_blocks(self) -> list[int]:
         """Return every resident block number (test/diagnostic helper)."""
         blocks: list[int] = []
-        for lines in self._sets.values():
+        for lines in self._sets:
             blocks.extend(lines.keys())
         return blocks
 
     def occupancy(self) -> int:
         """Return the number of resident lines."""
-        return sum(len(lines) for lines in self._sets.values())
+        return sum(len(lines) for lines in self._sets)
 
     def clear(self) -> None:
         """Drop all contents and reset statistics (used on restore)."""
-        self._sets.clear()
+        self._sets = [{} for _ in range(self.n_sets)]
         self.stats = CacheStats()
 
     def snapshot(self) -> dict:
@@ -137,7 +159,7 @@ class SetAssociativeCache:
         return {
             "sets": {
                 index: [(line.block, line.state, line.dirty) for line in lines.values()]
-                for index, lines in self._sets.items()
+                for index, lines in enumerate(self._sets)
                 if lines
             },
             "stats": (self.stats.hits, self.stats.misses, self.stats.evictions),
@@ -148,7 +170,7 @@ class SetAssociativeCache:
         """Rebuild a cache array from a :meth:`snapshot` value."""
         cache = cls(config, name=name)
         for index, lines in state["sets"].items():
-            cache._sets[index] = {
+            cache._sets[int(index)] = {
                 block: CacheLine(block=block, state=line_state, dirty=dirty)
                 for block, line_state, dirty in lines
             }

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.config import MemoryConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DramStats:
     """Request counters for all memory controllers."""
 
@@ -58,10 +58,20 @@ class MemoryController:
         return queue_ns
 
     def read(self, block: int, now: int) -> int:
-        """Latency for the home controller to provide ``block`` at ``now``."""
-        queue_ns = self._queue_ns(self.home_of(block), now)
-        self.stats.reads += 1
-        self.stats.total_queue_ns += queue_ns
+        """Latency for the home controller to provide ``block`` at ``now``.
+
+        ``_queue_ns`` is inlined: this runs once per memory fetch.
+        """
+        home = block % self.n_nodes
+        window = now // self.WINDOW_NS
+        if window != self._window_start[home]:
+            self._window_start[home] = window
+            self._window_count[home] = 0
+        queue_ns = self._window_count[home] * self.OCCUPANCY_NS
+        self._window_count[home] += 1
+        stats = self.stats
+        stats.reads += 1
+        stats.total_queue_ns += queue_ns
         return queue_ns + self.config.dram_latency_ns
 
     def writeback(self, block: int, now: int) -> None:

@@ -32,8 +32,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import SystemConfig
-from repro.memory.cache import SetAssociativeCache
+from repro.isa import (
+    SOURCE_NAMES,
+    SRC_CACHE,
+    SRC_L1,
+    SRC_L2,
+    SRC_MEMORY,
+    SRC_UPGRADE,
+)
+from repro.memory.cache import CacheLine, SetAssociativeCache
 from repro.memory.coherence import (
+    CoherenceError,
     MOSIState,
     PROTOCOL_HAS_E,
     PROTOCOL_OWNER_STATES,
@@ -52,16 +61,18 @@ from repro.sim.rng import RandomStream
 L1_READ_ONLY = "RO"
 L1_READ_WRITE = "RW"
 
+#: hot-path constant: lines store coherence state as the enum value string
+_M_VALUE = MOSIState.M.value
 
-@dataclass
-class AccessResult:
-    """Outcome of one memory reference."""
+#: shared empty sharer set (read-only uses only; avoids a set() per miss)
+_EMPTY_SET: frozenset = frozenset()
 
-    latency_ns: int
-    source: str  # "l1" | "l2" | "cache" | "memory" | "upgrade"
+#: access outcomes are plain ``(latency_ns, source)`` tuples on the hot
+#: path; this alias documents intent (``source`` is a repro.isa SRC_* code)
+AccessResult = tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Aggregate counters across the whole hierarchy."""
 
@@ -103,6 +114,24 @@ class MemoryHierarchy:
         self._table = transitions_for(self.protocol)
         self._owner_states = PROTOCOL_OWNER_STATES[self.protocol]
         self._has_exclusive = PROTOCOL_HAS_E[self.protocol]
+        # Value-keyed views of the protocol table.  Lines store their
+        # state as the enum *value* string, so keying transitions on that
+        # string (instead of reconstructing the enum member per event)
+        # removes two dict hops from every L2 access.  ``_l2_demand`` is
+        # (load_map, store_map): state value -> (is_hit, next state value).
+        self._table_v = {
+            (state.value, event): transition
+            for (state, event), transition in self._table.items()
+        }
+        self._l2_demand = tuple(
+            {
+                state.value: ("hit" in tr.actions, tr.next_state.value)
+                for (state, event), tr in self._table.items()
+                if event is demand
+            }
+            for demand in (ProtocolEvent.LOAD, ProtocolEvent.STORE)
+        )
+        self._owner_state_values = frozenset(s.value for s in self._owner_states)
         # Directory derived from L2 states: block -> owner node (M or O
         # copy), block -> set of nodes with any readable copy.
         self._owner: dict[int, int] = {}
@@ -112,6 +141,19 @@ class MemoryHierarchy:
         # Perturbation stream; reseeded per run by the runner.
         self._perturb = RandomStream(seed=0)
         self._perturb_max = config.perturbation.max_ns
+        # Hot-path precomputation: block geometry and the constant
+        # L1-hit results (the fast path returns these cached tuples
+        # instead of allocating a result object per access).
+        self._block_bytes = config.l1d.block_bytes
+        self._cache_provide_ns = config.memory.cache_provide_ns
+        self._fetch_cap_ns = config.memory.memory_fetch_ns
+        self._l1d_hit = (config.l1d.hit_latency_ns, SRC_L1)
+        self._l1i_hit = (config.l1i.hit_latency_ns, SRC_L1)
+        self._miss_base_d = config.l1d.hit_latency_ns + config.l2.hit_latency_ns
+        self._miss_base_i = config.l1i.hit_latency_ns + config.l2.hit_latency_ns
+        # Probe-bus hook: fired per global (L2-miss) transaction when a
+        # cache probe is attached; None costs one check off the fast path.
+        self._probe_cache = None
 
     # ------------------------------------------------------------------
     # Run setup
@@ -119,6 +161,16 @@ class MemoryHierarchy:
     def seed_perturbation(self, seed: int) -> None:
         """Install the per-run perturbation stream (paper 3.3)."""
         self._perturb = RandomStream(seed=seed)
+
+    def set_cache_probe(self, callback) -> None:
+        """Install (or clear, with None) the cache-event probe hook.
+
+        The callback fires once per global coherence transaction (L2
+        miss/upgrade) as ``callback(now, node, block, source, latency_ns,
+        is_write)``.  L1/L2 hits are not probed: they are the fast path,
+        and the interesting coherence behaviour is in the misses.
+        """
+        self._probe_cache = callback
 
     # ------------------------------------------------------------------
     # The access path
@@ -129,66 +181,108 @@ class MemoryHierarchy:
         address: int,
         is_write: bool,
         now: int,
-        *,
         is_instruction: bool = False,
-    ) -> AccessResult:
-        """Perform one memory reference and return its latency."""
-        self.stats.accesses += 1
-        block = address // self.config.l1d.block_bytes
+    ) -> tuple:
+        """Perform one memory reference.
+
+        Returns ``(latency_ns, source)`` where ``source`` is a
+        :mod:`repro.isa` ``SRC_*`` code.  The L1-hit fast path returns a
+        cached constant tuple: no allocation per access.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        block = address // self._block_bytes
         l1 = self.l1i[node] if is_instruction else self.l1d[node]
 
-        line = l1.lookup(block)
-        if line is not None and (not is_write or line.state == L1_READ_WRITE):
-            if is_write:
-                line.dirty = True
-            self.stats.l1_hits += 1
-            return AccessResult(latency_ns=l1.config.hit_latency_ns, source="l1")
-
-        # L1 miss (or write to a read-only L1 line): go to the local L2.
-        latency = l1.config.hit_latency_ns + self.config.l2.hit_latency_ns
-        result = self._l2_access(node, block, is_write, now + latency)
-        latency += result.latency_ns
-
-        # Fill the L1 under inclusion.  A write-permission change replaces
-        # any stale read-only copy.  L1 write permission requires the L2
-        # copy to be M specifically: an E copy is *upgradable* without bus
-        # traffic, but the upgrade must pass through the L2 so its state
-        # (and dirtiness) tracks the modification.
-        l1.evict(block)
-        l2_line = self.l2[node].peek(block)
-        writable = l2_line is not None and MOSIState(l2_line.state) is MOSIState.M
-        victim = l1.insert(
-            block,
-            L1_READ_WRITE if writable else L1_READ_ONLY,
-            dirty=is_write,
-        )
-        # A dirty L1 victim folds into the L2 copy (inclusion guarantees the
-        # L2 holds the block in M, which is already dirty).
-        del victim
-        return AccessResult(latency_ns=latency, source=result.source)
-
-    def _l2_access(self, node: int, block: int, is_write: bool, now: int) -> AccessResult:
-        """Handle a reference that reached the node's L2."""
-        cache = self.l2[node]
-        line = cache.lookup(block)
-        event = ProtocolEvent.STORE if is_write else ProtocolEvent.LOAD
-        if line is not None:
-            state = MOSIState(line.state)
-            transition = apply_event(state, event, self._table)
-            if "hit" in transition.actions:
-                line.state = transition.next_state.value
+        # Inlined l1.lookup(block): this runs once per simulated memory
+        # reference, and the call (plus its kwarg defaults) is measurable.
+        # Semantics are identical -- hit/miss counters and the MRU move
+        # fire exactly as SetAssociativeCache.lookup would.
+        lines = l1._sets[block % l1.n_sets]
+        line = lines.get(block)
+        if line is None:
+            l1.stats.misses += 1
+        else:
+            del lines[block]
+            lines[block] = line
+            l1.stats.hits += 1
+            if not is_write or line.state == L1_READ_WRITE:
                 if is_write:
                     line.dirty = True
+                stats.l1_hits += 1
+                return self._l1i_hit if is_instruction else self._l1d_hit
+
+        # L1 miss (or write to a read-only L1 line): go to the local L2.
+        # The L2 lookup and demand transition are inlined here (one call
+        # per L1 miss is measurable); counters and LRU behave exactly as
+        # SetAssociativeCache.lookup would.
+        latency = self._miss_base_i if is_instruction else self._miss_base_d
+        l2 = self.l2[node]
+        l2_lines = l2._sets[block % l2.n_sets]
+        l2_line = l2_lines.get(block)
+        if l2_line is not None:
+            del l2_lines[block]
+            l2_lines[block] = l2_line
+            l2.stats.hits += 1
+            entry = self._l2_demand[1 if is_write else 0].get(l2_line.state)
+            if entry is None:
+                raise CoherenceError(
+                    f"illegal demand {'STORE' if is_write else 'LOAD'} "
+                    f"in state {l2_line.state}"
+                )
+            hit, next_value = entry
+            l2_line.state = next_value
+            if hit:
+                if is_write:
+                    l2_line.dirty = True
                 self.stats.l2_hits += 1
-                return AccessResult(latency_ns=0, source="l2")
-            # Upgrade path: the line stays resident in a transient state
-            # while the GetM is outstanding.
-            line.state = transition.next_state.value
-            return self._global_transaction(node, block, is_write, now, upgrading=line)
-        # Full miss from I.
-        transition = apply_event(MOSIState.I, event, self._table)
-        assert transition.next_state in (MOSIState.IS_D, MOSIState.IM_D)
-        return self._global_transaction(node, block, is_write, now, upgrading=None)
+                source = SRC_L2
+                writable = next_value == _M_VALUE
+            else:
+                # Upgrade path: the line stays resident in a transient
+                # state while the GetM is outstanding; OWN_ACK lands the
+                # requestor's copy in M, so the L1 fill is writable.
+                miss_latency, source = self._global_transaction(
+                    node, block, is_write, now + latency, upgrading=l2_line
+                )
+                latency += miss_latency
+                writable = True
+        else:
+            # Full miss from I (the table maps it to IS_D/IM_D + a
+            # request).  A GetM fills the L2 in M (writable); a GetS
+            # fills S or E, neither of which grants L1 write permission
+            # (an E copy upgrades through the L2, not in the L1).
+            l2.stats.misses += 1
+            miss_latency, source = self._global_transaction(
+                node, block, is_write, now + latency, upgrading=None
+            )
+            latency += miss_latency
+            writable = is_write
+
+        # Fill the L1 under inclusion (l1.fill inlined; runs once per L1
+        # miss).  A write-permission change replaces any stale read-only
+        # copy -- ``line``, still at MRU from the lookup above, is
+        # refreshed in place.  L1 write permission requires the L2 copy
+        # to be M specifically.  A dirty L1 victim folds into the L2 copy
+        # (inclusion guarantees the L2 holds the block in M, which is
+        # already dirty), so the victim is recycled for the incoming
+        # block.  The global transaction never touches this node's L1
+        # copy of ``block``, so ``lines``/``line`` remain valid.
+        state = L1_READ_WRITE if writable else L1_READ_ONLY
+        if line is not None:
+            line.state = state
+            line.dirty = is_write
+        else:
+            if len(lines) >= l1.associativity:
+                line = lines.pop(next(iter(lines)))
+                l1.stats.evictions += 1
+                line.block = block
+                line.state = state
+                line.dirty = is_write
+                lines[block] = line
+            else:
+                lines[block] = CacheLine(block=block, state=state, dirty=is_write)
+        return (latency, source)
 
     def _global_transaction(
         self,
@@ -197,7 +291,7 @@ class MemoryHierarchy:
         is_write: bool,
         now: int,
         upgrading,
-    ) -> AccessResult:
+    ) -> tuple:
         """Resolve a GetS/GetM on the interconnect.
 
         ``upgrading`` is the requestor's resident L2 line when the request
@@ -212,59 +306,72 @@ class MemoryHierarchy:
         # timestamp skew as contention.
         busy_until = self._block_busy.get(block, 0)
         if busy_until > now:
-            stall = min(busy_until - now, self.config.memory.memory_fetch_ns)
+            stall = min(busy_until - now, self._fetch_cap_ns)
             latency += stall
             now += stall
             self.stats.block_race_stalls += 1
 
         # Paper 3.3: uniformly distributed pseudo-random 0..max on every
-        # L2 miss.  This is the injected variability.
+        # L2 miss.  This is the injected variability.  Bit-identical to
+        # ``self._perturb.randint(0, self._perturb_max)``.
         if self._perturb_max > 0:
-            jitter = self._perturb.randint(0, self._perturb_max)
+            jitter = self._perturb.next_u64() % (self._perturb_max + 1)
             latency += jitter
             self.stats.perturbation_total_ns += jitter
 
         owner = self._owner.get(block)
-        sharers = self._sharers.get(block, set())
+        sharers = self._sharers.get(block) or _EMPTY_SET
 
         if is_write:
-            result = self._resolve_getm(node, block, now + latency, owner, sharers, upgrading)
+            resolved, source = self._resolve_getm(
+                node, block, now + latency, owner, sharers, upgrading
+            )
         else:
-            result = self._resolve_gets(node, block, now + latency, owner, sharers)
-        latency += result.latency_ns
+            resolved, source = self._resolve_gets(node, block, now + latency, owner, sharers)
+        latency += resolved
 
         self._block_busy[block] = now + latency
-        return AccessResult(latency_ns=latency, source=result.source)
+        if self._probe_cache is not None:
+            self._probe_cache(now, node, block, source, latency, is_write)
+        return (latency, source)
 
     def _resolve_gets(
         self, node: int, block: int, now: int, owner: int | None, sharers: set[int]
-    ) -> AccessResult:
+    ) -> tuple:
         """Resolve a load miss: data from the owner cache or from memory."""
         if owner is not None and owner != node:
             # Owner observes OTHER_GETS: M -> O (MOSI/MOESI) or M -> S
             # with writeback (MESI); E -> S.  It supplies the data.
             self._apply_remote(owner, block, ProtocolEvent.OTHER_GETS)
-            latency = self.crossbar.round_trip(now) + self.config.memory.cache_provide_ns
-            source = "cache"
+            latency = self.crossbar.round_trip(now) + self._cache_provide_ns
+            source = SRC_CACHE
             self.stats.cache_to_cache += 1
             # The supplier may have dropped out of the owner states
             # (MESI M->S): ownership reverts to memory.
             supplier = self.l2[owner].peek(block)
-            if supplier is None or MOSIState(supplier.state) not in self._owner_states:
+            if supplier is None or supplier.state not in self._owner_state_values:
                 self._owner.pop(block, None)
         else:
             latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
-            source = "memory"
+            source = SRC_MEMORY
             self.stats.memory_fetches += 1
         # Requestor: IS_D + OWN_DATA -> S; with no other copy and an
         # E-capable protocol, IS_D + OWN_DATA_EXCL -> E.
-        exclusive = self._has_exclusive and owner is None and not (sharers - {node})
+        exclusive = (
+            self._has_exclusive
+            and owner is None
+            and (not sharers or not (sharers - {node}))
+        )
         fill_state = MOSIState.E if exclusive else MOSIState.S
         self._fill(node, block, fill_state, dirty=False)
-        self._sharers.setdefault(block, set()).add(node)
+        current = self._sharers.get(block)
+        if current is None:
+            self._sharers[block] = {node}
+        else:
+            current.add(node)
         if exclusive:
             self._owner[block] = node
-        return AccessResult(latency_ns=latency, source=source)
+        return (latency, source)
 
     def _resolve_getm(
         self,
@@ -274,56 +381,67 @@ class MemoryHierarchy:
         owner: int | None,
         sharers: set[int],
         upgrading,
-    ) -> AccessResult:
+    ) -> tuple:
         """Resolve a store miss/upgrade: invalidate all other copies."""
         # Remote copies observe OTHER_GETM.
         data_from_cache = False
-        for sharer in sorted(sharers - {node}):
-            self._apply_remote(sharer, block, ProtocolEvent.OTHER_GETM)
+        if sharers:
+            for sharer in sorted(sharers - {node}):
+                self._apply_remote(sharer, block, ProtocolEvent.OTHER_GETM)
         if owner is not None and owner != node:
             data_from_cache = True
 
         if upgrading is not None:
             # SM_D/OM_D + OWN_ACK -> M.  Invalidation round trip only; the
             # requestor already holds the data.
-            transition = apply_event(MOSIState(upgrading.state), ProtocolEvent.OWN_ACK, self._table)
+            transition = self._apply_value(upgrading.state, ProtocolEvent.OWN_ACK)
             upgrading.state = transition.next_state.value
             upgrading.dirty = True
             latency = self.crossbar.round_trip(now)
-            source = "upgrade"
+            source = SRC_UPGRADE
             self.stats.upgrades += 1
         elif data_from_cache:
-            latency = self.crossbar.round_trip(now) + self.config.memory.cache_provide_ns
-            source = "cache"
+            latency = self.crossbar.round_trip(now) + self._cache_provide_ns
+            source = SRC_CACHE
             self.stats.cache_to_cache += 1
             self._fill(node, block, MOSIState.M, dirty=True)
         else:
             latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
-            source = "memory"
+            source = SRC_MEMORY
             self.stats.memory_fetches += 1
             self._fill(node, block, MOSIState.M, dirty=True)
 
         # Directory: the requestor is now the sole owner.
         self._owner[block] = node
         self._sharers[block] = {node}
-        return AccessResult(latency_ns=latency, source=source)
+        return (latency, source)
 
     # ------------------------------------------------------------------
     # Protocol plumbing
     # ------------------------------------------------------------------
+    def _apply_value(self, state_value: str, event: ProtocolEvent):
+        """:func:`apply_event` keyed on the stored state-value string."""
+        transition = self._table_v.get((state_value, event))
+        if transition is None:
+            raise CoherenceError(
+                f"illegal event {event.value} in state {state_value}"
+            )
+        return transition
+
     def _apply_remote(self, node: int, block: int, event: ProtocolEvent) -> None:
         """Apply a remote-observed event at one node's L2 (and L1s)."""
-        line = self.l2[node].peek(block)
+        l2 = self.l2[node]
+        line = l2._sets[block % l2.n_sets].get(block)
         if line is None:
             return
-        transition = apply_event(MOSIState(line.state), event, self._table)
+        transition = self._apply_value(line.state, event)
         if "writeback" in transition.actions:
             # MESI: a read-shared M copy flushes to memory (no O state).
             self.dram.writeback(block, self._block_busy.get(block, 0))
             self.stats.writebacks += 1
             line.dirty = False
         if "deallocate" in transition.actions:
-            self.l2[node].evict(block)
+            l2._sets[block % l2.n_sets].pop(block, None)
             self._drop_l1(node, block)
             self._directory_remove(node, block)
         else:
@@ -336,27 +454,37 @@ class MemoryHierarchy:
             self._demote_l1(node, block)
 
     def _fill(self, node: int, block: int, state: MOSIState, dirty: bool) -> None:
-        """Install an arriving block in a node's L2, handling the victim."""
+        """Install an arriving block in a node's L2, handling the victim.
+
+        Fused peek + insert over the set dict (one pass; runs once per
+        L2 fill).  An existing line is overwritten in place *without* an
+        LRU move -- IM_D after a racing OTHER_GETM stripped us while
+        upgrading leaves the line object resident -- exactly as the
+        peek-then-insert form behaved.
+        """
         cache = self.l2[node]
-        existing = cache.peek(block)
+        lines = cache._sets[block % cache.n_sets]
+        existing = lines.get(block)
         if existing is not None:
-            # IM_D after a racing OTHER_GETM stripped us while upgrading:
-            # the line object is still resident; just overwrite its state.
             existing.state = state.value
             existing.dirty = dirty
             return
-        victim = cache.insert(block, state.value, dirty=dirty)
+        victim = None
+        if len(lines) >= cache.associativity:
+            # LRU victim is the first (oldest) entry.
+            victim = lines.pop(next(iter(lines)))
+            cache.stats.evictions += 1
+        lines[block] = CacheLine(block=block, state=state.value, dirty=dirty)
         if victim is not None:
             self._handle_l2_eviction(node, victim)
 
     def _handle_l2_eviction(self, node: int, victim) -> None:
         """Run the replacement leg of the protocol for an evicted line."""
-        state = MOSIState(victim.state)
-        transition = apply_event(state, ProtocolEvent.REPLACEMENT, self._table)
+        transition = self._apply_value(victim.state, ProtocolEvent.REPLACEMENT)
         if "issue_putm" in transition.actions:
             # MI_A/OI_A + WB_ACK -> writeback to the home controller, off
             # the requestor's critical path.
-            apply_event(transition.next_state, ProtocolEvent.WB_ACK, self._table)
+            self._apply_value(transition.next_state.value, ProtocolEvent.WB_ACK)
             self.dram.writeback(victim.block, self._block_busy.get(victim.block, 0))
             self.stats.writebacks += 1
         self._drop_l1(node, victim.block)
@@ -374,14 +502,48 @@ class MemoryHierarchy:
 
     def _drop_l1(self, node: int, block: int) -> None:
         """Invalidate a block in both L1s of a node (inclusion)."""
-        self.l1i[node].evict(block)
-        self.l1d[node].evict(block)
+        cache = self.l1i[node]
+        cache._sets[block % cache.n_sets].pop(block, None)
+        cache = self.l1d[node]
+        cache._sets[block % cache.n_sets].pop(block, None)
 
     def _demote_l1(self, node: int, block: int) -> None:
         """Strip write permission from an L1 copy after an L2 demotion."""
-        line = self.l1d[node].peek(block)
+        cache = self.l1d[node]
+        line = cache._sets[block % cache.n_sets].get(block)
         if line is not None:
             line.state = L1_READ_ONLY
+
+    # ------------------------------------------------------------------
+    # Directory maintenance
+    # ------------------------------------------------------------------
+    def rebuild_directory(self) -> None:
+        """Derive the owner/sharer directory from current L2 contents.
+
+        Used after cache contents are replayed into a new geometry or
+        protocol (checkpoint restore across configurations): every
+        resident L2 copy becomes a sharer, and lines in this protocol's
+        owner states claim ownership.  If a replay surfaced two stale
+        owners for one block (set-mapping changes can do this), the
+        later node's copy is demoted to Shared so the single-owner
+        invariant holds.
+        """
+        owner: dict[int, int] = {}
+        sharers: dict[int, set[int]] = {}
+        owner_states = self._owner_states
+        for node in range(self.config.n_cpus):
+            cache = self.l2[node]
+            for block in cache.resident_blocks():
+                line = cache.peek(block)
+                mosi = MOSIState(line.state)
+                sharers.setdefault(block, set()).add(node)
+                if mosi in owner_states:
+                    if block in owner:
+                        line.state = MOSIState.S.value
+                    else:
+                        owner[block] = node
+        self._owner = owner
+        self._sharers = sharers
 
     # ------------------------------------------------------------------
     # Invariant checking (tests + debugging)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.config import MemoryConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class InterconnectStats:
     """Traffic counters for the crossbar."""
 
@@ -62,6 +62,7 @@ class Crossbar:
         self.stats = InterconnectStats()
         self._window_start = 0
         self._window_count = 0
+        self._hop_ns = config.network_hop_ns
 
     def traverse(self, now: int) -> int:
         """Return the latency of one network traversal starting at ``now``."""
@@ -73,17 +74,26 @@ class Crossbar:
         self._window_count += 1
         self.stats.transactions += 1
         self.stats.total_queue_ns += queue_ns
-        return queue_ns + self.config.network_hop_ns
+        return queue_ns + self._hop_ns
 
     def round_trip(self, now: int) -> int:
         """Latency of a request/response pair (two traversals).
 
         The response traversal begins after the request completes; queueing
         is assessed once because the response path is reserved with the
-        request in a circuit-switched crossbar.
+        request in a circuit-switched crossbar.  ``traverse`` is inlined:
+        this runs once per global coherence transaction.
         """
-        first = self.traverse(now)
-        return first + self.config.network_hop_ns
+        window = now // self.WINDOW_NS
+        if window != self._window_start:
+            self._window_start = window
+            self._window_count = 0
+        queue_ns = self._window_count * self.OCCUPANCY_NS
+        self._window_count += 1
+        stats = self.stats
+        stats.transactions += 1
+        stats.total_queue_ns += queue_ns
+        return queue_ns + self._hop_ns + self._hop_ns
 
     def snapshot(self) -> dict:
         """Return the checkpointable interconnect state."""

@@ -42,6 +42,17 @@ class Scheduler:
         self.trace_enabled = False
         self.dispatches = 0
         self.migrations = 0
+        #: probe-bus "sched" hook; None when no probe is attached
+        self._probe = None
+
+    def set_probe(self, callback) -> None:
+        """Install (or clear, with None) the dispatch-decision probe.
+
+        The callback fires as ``callback(now, cpu, tid)`` on every
+        dispatch; it is None-checked on the dispatch path only, which is
+        already dominated by queue manipulation.
+        """
+        self._probe = callback
 
     # ------------------------------------------------------------------
     # Thread registration
@@ -116,6 +127,8 @@ class Scheduler:
         self.dispatches += 1
         if self.trace_enabled:
             self.trace.append(ScheduleEvent(time_ns=now, cpu=cpu, tid=tid))
+        if self._probe is not None:
+            self._probe(now, cpu, tid)
         return thread
 
     def _most_loaded_queue(self, thief: int) -> int | None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.isa import encode_ops
 from repro.proc.base import BranchContext
 
 
@@ -62,6 +63,8 @@ class SimThread:
     quantum_deadline: int = 0
     #: lock id the thread is blocked on, if any
     blocked_on_lock: int | None = None
+    #: lifetime count of ops fetched into the buffer (perf accounting)
+    ops_fetched: int = 0
     stats: ThreadStats = field(default_factory=ThreadStats)
 
     def pending_ops(self) -> bool:
@@ -80,13 +83,19 @@ class SimThread:
         """Fetch the next operation segment from the program.
 
         Returns False when the program has finished (scientific workloads
-        terminate; throughput workloads never do).
+        terminate; throughput workloads never do).  Programs that still
+        emit legacy string op kinds (third-party stubs, old checkpoints)
+        are transparently translated to the integer op ISA here, so the
+        machine's dispatch table only ever sees opcodes.
         """
         ops = self.program.next_ops(self)
         if not ops:
             return False
+        if type(ops[0][0]) is not int:
+            ops = encode_ops(ops)
         self.op_buffer = ops
         self.op_index = 0
+        self.ops_fetched += len(ops)
         return True
 
     def snapshot(self) -> dict:
@@ -101,6 +110,7 @@ class SimThread:
             "last_cpu": self.last_cpu,
             "quantum_deadline": self.quantum_deadline,
             "blocked_on_lock": self.blocked_on_lock,
+            "ops_fetched": self.ops_fetched,
             "branch_ctx": self.branch_ctx.snapshot(),
             "program": self.program.snapshot(),
             "stats": (
@@ -115,11 +125,13 @@ class SimThread:
     def restore_from(self, state: dict) -> None:
         """Restore in place from a :meth:`snapshot` value."""
         self.state = ThreadState(state["state"])
-        self.op_buffer = list(state["op_buffer"])
+        # Pre-refactor checkpoints buffered string-kinded ops; translate.
+        self.op_buffer = encode_ops([tuple(op) for op in state["op_buffer"]])
         self.op_index = state["op_index"]
         self.last_cpu = state["last_cpu"]
         self.quantum_deadline = state["quantum_deadline"]
         self.blocked_on_lock = state["blocked_on_lock"]
+        self.ops_fetched = state.get("ops_fetched", 0)
         self.branch_ctx = BranchContext.restore(state["branch_ctx"])
         self.program.restore_state(state["program"])
         (

@@ -1,0 +1,57 @@
+"""Zero-cost instrumentation for the simulation hot path.
+
+A :class:`ProbeBus` carries callbacks for the machine's typed hook
+points.  The design goal is that instrumentation costs *nothing* when it
+is not attached -- the hot path must stay as fast as an uninstrumented
+build -- and close to nothing per untouched hook when it is:
+
+- The **op** hook (every dispatched operation) is installed by swapping
+  the machine's dispatch-table entries for wrapping closures
+  (:meth:`repro.system.machine.Machine.attach_probes`).  A machine
+  without an op probe dispatches through the raw handlers; there is no
+  per-op ``if`` to pay.
+- The remaining hooks (**cache**, **lock**, **sched**, **txn**) fire on
+  cold(er) paths -- an L2-miss global transaction, a lock block or
+  hand-off, a scheduler dispatch, a transaction completion -- where a
+  single ``is not None`` check is already noise against the work the
+  path does.
+
+Hook points and callback signatures:
+
+===========  =========================================================
+``op``       ``cb(now, cpu, tid, op)`` -- before every dispatched op
+``cache``    ``cb(now, node, block, source, latency_ns, is_write)``
+             -- one global (beyond-L2) coherence transaction
+``lock``     ``cb(event, now, tid, lock_id)`` -- ``event`` is
+             ``"block"`` (acquire failed, thread blocks) or
+             ``"handoff"`` (release woke a waiter)
+``sched``    ``cb(now, cpu, tid)`` -- one dispatch decision
+``txn``      ``cb(now, tid, type_id)`` -- one completed transaction
+===========  =========================================================
+
+Probes observe; they must not mutate simulation state.  Attaching an
+*empty* bus installs no callbacks anywhere, so it is behaviorally and
+(near) performance-wise identical to no bus at all -- this is asserted
+by the hot-path benchmark's empty-bus overhead measurement.
+
+Ready-made collectors live in :mod:`repro.probes.collectors`.
+"""
+
+from repro.probes.bus import HOOKS, ProbeBus
+from repro.probes.collectors import (
+    CacheTrafficProbe,
+    LockContentionProbe,
+    OpCountProbe,
+    ScheduleTraceProbe,
+    TransactionLogProbe,
+)
+
+__all__ = [
+    "HOOKS",
+    "ProbeBus",
+    "OpCountProbe",
+    "CacheTrafficProbe",
+    "LockContentionProbe",
+    "ScheduleTraceProbe",
+    "TransactionLogProbe",
+]

@@ -1,0 +1,108 @@
+"""The probe bus: typed hook points with fan-out merging.
+
+See :mod:`repro.probes` for the hook catalogue and the zero-cost
+attachment contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: the valid hook points, in hot-to-cold order
+HOOKS: tuple[str, ...] = ("op", "cache", "lock", "sched", "txn")
+
+
+class ProbeBus:
+    """A set of callbacks keyed by hook point.
+
+    The bus itself is passive: consumers (the machine, the hierarchy,
+    the scheduler) pull callbacks out via :meth:`callbacks` /
+    :meth:`merged` at attach time and wire them into their own paths.
+    Registering or removing callbacks after attaching therefore has no
+    effect until :meth:`repro.system.machine.Machine.attach_probes` is
+    called again.
+    """
+
+    def __init__(self) -> None:
+        self._hooks: dict[str, list[Callable]] = {hook: [] for hook in HOOKS}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def on(self, hook: str, callback: Callable) -> "ProbeBus":
+        """Register ``callback`` on ``hook``; returns self for chaining."""
+        if hook not in self._hooks:
+            raise ValueError(f"unknown hook {hook!r}; valid hooks: {HOOKS}")
+        self._hooks[hook].append(callback)
+        return self
+
+    def on_op(self, callback: Callable) -> "ProbeBus":
+        """``callback(now, cpu, tid, op)`` before every dispatched op."""
+        return self.on("op", callback)
+
+    def on_cache(self, callback: Callable) -> "ProbeBus":
+        """``callback(now, node, block, source, latency_ns, is_write)``
+        per global coherence transaction."""
+        return self.on("cache", callback)
+
+    def on_lock(self, callback: Callable) -> "ProbeBus":
+        """``callback(event, now, tid, lock_id)`` on lock block/hand-off."""
+        return self.on("lock", callback)
+
+    def on_sched(self, callback: Callable) -> "ProbeBus":
+        """``callback(now, cpu, tid)`` per dispatch decision."""
+        return self.on("sched", callback)
+
+    def on_txn(self, callback: Callable) -> "ProbeBus":
+        """``callback(now, tid, type_id)`` per completed transaction."""
+        return self.on("txn", callback)
+
+    def attach(self, collector) -> "ProbeBus":
+        """Register a collector object on every hook it implements.
+
+        A collector exposes any subset of ``on_<hook>`` methods (e.g.
+        :class:`repro.probes.collectors.LockContentionProbe` implements
+        ``on_lock``); each one found is registered on its hook.
+        """
+        found = False
+        for hook in HOOKS:
+            method = getattr(collector, f"on_{hook}", None)
+            if method is not None:
+                self._hooks[hook].append(method)
+                found = True
+        if not found:
+            raise ValueError(
+                f"{type(collector).__name__} implements no on_<hook> method"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Consumption (used by the machine at attach time)
+    # ------------------------------------------------------------------
+    def callbacks(self, hook: str) -> list[Callable]:
+        """The callbacks registered on ``hook`` (possibly empty)."""
+        return list(self._hooks[hook])
+
+    def merged(self, hook: str):
+        """A single callable fanning out to ``hook``'s callbacks.
+
+        Returns None when the hook is empty (consumers keep their
+        None-check fast path), the callback itself when there is exactly
+        one (no fan-out indirection), or a fan-out closure otherwise.
+        """
+        callbacks = self._hooks[hook]
+        if not callbacks:
+            return None
+        if len(callbacks) == 1:
+            return callbacks[0]
+        fixed = tuple(callbacks)
+
+        def fan_out(*args):
+            for callback in fixed:
+                callback(*args)
+
+        return fan_out
+
+    def __bool__(self) -> bool:
+        """True when any hook has a callback registered."""
+        return any(self._hooks.values())

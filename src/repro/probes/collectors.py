@@ -1,0 +1,111 @@
+"""Ready-made probe collectors.
+
+Each collector is a plain object exposing ``on_<hook>`` methods;
+``ProbeBus.attach(collector)`` wires every one it finds onto the
+matching hook.  Collectors only accumulate plain data, so their results
+are trivially serializable for the run store.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.isa import N_OPCODES, OP_NAMES, SOURCE_NAMES
+
+
+class OpCountProbe:
+    """Counts dispatched operations per opcode (the hot ``op`` hook)."""
+
+    def __init__(self) -> None:
+        self.counts = [0] * N_OPCODES
+
+    def on_op(self, now, cpu, tid, op) -> None:
+        self.counts[op[0]] += 1
+
+    @property
+    def total(self) -> int:
+        """Total operations dispatched."""
+        return sum(self.counts)
+
+    def by_name(self) -> dict[str, int]:
+        """Counts keyed by op mnemonic (zero entries omitted)."""
+        return {
+            OP_NAMES[code]: count
+            for code, count in enumerate(self.counts)
+            if count
+        }
+
+
+class CacheTrafficProbe:
+    """Tallies global (beyond-L2) coherence transactions."""
+
+    def __init__(self) -> None:
+        self.by_source = [0] * len(SOURCE_NAMES)
+        self.writes = 0
+        self.reads = 0
+        self.latency_ns_total = 0
+        self.hot_blocks: Counter = Counter()
+
+    def on_cache(self, now, node, block, source, latency_ns, is_write) -> None:
+        self.by_source[source] += 1
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.latency_ns_total += latency_ns
+        self.hot_blocks[block] += 1
+
+    def by_source_name(self) -> dict[str, int]:
+        """Transaction counts keyed by access-source name."""
+        return {
+            SOURCE_NAMES[code]: count
+            for code, count in enumerate(self.by_source)
+            if count
+        }
+
+
+class LockContentionProbe:
+    """Per-lock contention: how often threads block, and hand-off pairs."""
+
+    def __init__(self) -> None:
+        self.blocks: Counter = Counter()
+        self.handoffs: Counter = Counter()
+
+    def on_lock(self, event, now, tid, lock_id) -> None:
+        if event == "block":
+            self.blocks[lock_id] += 1
+        else:
+            self.handoffs[lock_id] += 1
+
+    def hottest(self, n: int = 5) -> list[tuple[int, int]]:
+        """The ``n`` most-blocked-on lock ids as (lock_id, blocks)."""
+        return self.blocks.most_common(n)
+
+
+class ScheduleTraceProbe:
+    """Records every dispatch decision as ``(now, cpu, tid)``.
+
+    This is the paper's Figure 1 data, collected without enabling the
+    scheduler's built-in trace (the two mechanisms are independent).
+    """
+
+    def __init__(self) -> None:
+        self.decisions: list[tuple[int, int, int]] = []
+
+    def on_sched(self, now, cpu, tid) -> None:
+        self.decisions.append((now, cpu, tid))
+
+
+class TransactionLogProbe:
+    """Records every transaction completion as ``(now, tid, type_id)``."""
+
+    def __init__(self) -> None:
+        self.completions: list[tuple[int, int, int]] = []
+
+    def on_txn(self, now, tid, type_id) -> None:
+        self.completions.append((now, tid, type_id))
+
+    def latencies_between(self) -> list[int]:
+        """Inter-completion gaps in nanoseconds (throughput jitter)."""
+        times = [now for now, _, _ in self.completions]
+        return [b - a for a, b in zip(times, times[1:])]

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 
 from repro.config import SystemConfig
+from repro.isa import SRC_L1
 from repro.proc.base import BranchContext, CoreModel, branch_outcome
 from repro.proc.branch import (
     CascadedIndirectPredictor,
@@ -132,19 +133,19 @@ class OOOCore(CoreModel):
 
     def fetch_stall(self, latency_ns: int, source: str) -> int:
         """Fetch-ahead buffers hide roughly half of an I-miss."""
-        if source == "l1":
+        if source == SRC_L1:
             return 0
         return latency_ns // 2
 
     def load_stall(self, latency_ns: int, source: str) -> int:
         """Load misses overlap under the ROB; L1 hits are fully pipelined."""
-        if source == "l1":
+        if source == SRC_L1:
             return 0
         return int(latency_ns / self._mlp())
 
     def store_stall(self, latency_ns: int, source: str) -> int:
         """Stores drain through the store buffer, mostly off the path."""
-        if source == "l1":
+        if source == SRC_L1:
             return 0
         return int(latency_ns * STORE_VISIBILITY / self._mlp())
 

@@ -2,97 +2,124 @@
 
 The machine model (:mod:`repro.system.machine`) is event-driven: each
 pending activity (a core resuming execution, a thread waking from I/O, a
-scheduler timer) is an :class:`Event` in a binary heap ordered by
-``(time, sequence)``.  The sequence number gives deterministic FIFO
-tie-breaking for simultaneous events, which is essential for
-reproducibility: two events at the same nanosecond always fire in the order
-they were scheduled.
+scheduler timer) is a plain tuple ``(time, sequence, kind, payload)`` in
+a binary heap.  The sequence number gives deterministic FIFO tie-breaking
+for simultaneous events, which is essential for reproducibility: two
+events at the same nanosecond always fire in the order they were
+scheduled.  Because sequence numbers are unique, tuple comparison never
+reaches ``kind``/``payload``, so any payload type is allowed.
+
+Events used to be an ``@dataclass(order=True)``; heap pushes and pops
+called its generated ``__lt__`` (which builds comparison tuples per
+call) several times per operation.  Plain tuples compare natively in C,
+which is one of the hot-path wins of the dispatch-table refactor.
+
+Machine event kinds are small integers (:data:`EV_CORE`, :data:`EV_READY`)
+for the same reason the op ISA is integer-coded; the queue itself is
+generic and accepts any kind value.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any
 
+#: machine event kinds (integer-coded, mirroring the op ISA)
+EV_CORE = 0  # payload: cpu index -- the CPU is ready to execute
+EV_READY = 1  # payload: tid -- a thread wakes and joins a run queue
 
-@dataclass(order=True)
-class Event:
-    """A scheduled simulation event.
+#: kind -> mnemonic, and the legacy string spellings accepted on restore
+EV_NAMES: tuple[str, ...] = ("core", "ready")
+EV_KINDS: dict[str, int] = {name: code for code, name in enumerate(EV_NAMES)}
 
-    Events compare by ``(time, sequence)`` so the heap pops them in
-    deterministic order.  ``kind`` and ``payload`` are interpreted by the
-    machine's dispatch loop; keeping them as plain data (rather than bound
-    callbacks) makes the queue checkpointable.
-    """
-
-    time: int
-    sequence: int
-    kind: str = field(compare=False)
-    payload: Any = field(compare=False, default=None)
-    cancelled: bool = field(compare=False, default=False)
+#: a scheduled event is exactly this tuple shape
+Event = tuple  # (time, sequence, kind, payload)
 
 
 class EventQueue:
-    """A deterministic event queue.
+    """A deterministic event queue over plain-tuple events.
 
-    Cancellation is lazy: :meth:`cancel` marks the event and :meth:`pop`
-    skips cancelled entries.  This keeps scheduling O(log n) without
-    heap surgery.
+    Cancellation is lazy: :meth:`cancel` records the event's sequence
+    number and :meth:`pop` skips cancelled entries.  This keeps
+    scheduling O(log n) without heap surgery.  ``len(queue)`` is O(1):
+    a live-event counter is maintained on schedule/cancel/pop instead of
+    scanning the heap.
     """
 
+    __slots__ = ("_heap", "_sequence", "_cancelled", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._sequence = 0
+        self._cancelled: set[int] = set()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
-    def schedule(self, time: int, kind: str, payload: Any = None) -> Event:
+    def schedule(self, time: int, kind: Any, payload: Any = None) -> tuple:
         """Add an event at absolute ``time`` and return its handle."""
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        event = Event(time=time, sequence=self._sequence, kind=kind, payload=payload)
+        event = (time, self._sequence, kind, payload)
         self._sequence += 1
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
-    def cancel(self, event: Event) -> None:
-        """Mark an event so it will be skipped when reached."""
-        event.cancelled = True
+    def cancel(self, event: tuple) -> None:
+        """Mark a pending event so it will be skipped when reached."""
+        sequence = event[1]
+        if sequence not in self._cancelled:
+            self._cancelled.add(sequence)
+            self._live -= 1
 
-    def pop(self) -> Event | None:
+    def pop(self) -> tuple | None:
         """Remove and return the earliest live event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            event = heapq.heappop(heap)
+            if cancelled and event[1] in cancelled:
+                cancelled.discard(event[1])
+                continue
+            self._live -= 1
+            return event
         return None
 
     def peek_time(self) -> int | None:
         """Return the time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and heap[0][1] in cancelled:
+            cancelled.discard(heapq.heappop(heap)[1])
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def snapshot(self) -> dict:
         """Return a checkpointable copy of the queue state."""
         live = [
-            (event.time, event.sequence, event.kind, event.payload)
+            list(event)
             for event in sorted(self._heap)
-            if not event.cancelled
+            if event[1] not in self._cancelled
         ]
         return {"events": live, "sequence": self._sequence}
 
     @classmethod
     def restore(cls, state: dict) -> "EventQueue":
-        """Rebuild a queue from a :meth:`snapshot` value."""
+        """Rebuild a queue from a :meth:`snapshot` value.
+
+        Tolerates pre-refactor snapshots whose kinds are the legacy
+        strings ``"core"``/``"ready"`` by mapping them to the integer
+        codes the machine dispatches on.
+        """
         queue = cls()
         for time, sequence, kind, payload in state["events"]:
-            event = Event(time=time, sequence=sequence, kind=kind, payload=payload)
-            heapq.heappush(queue._heap, event)
+            if type(kind) is str:
+                kind = EV_KINDS.get(kind, kind)
+            heapq.heappush(queue._heap, (time, sequence, kind, payload))
+            queue._live += 1
         queue._sequence = state["sequence"]
         return queue
 

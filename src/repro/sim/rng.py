@@ -48,11 +48,31 @@ def hash_u64(*keys: int) -> int:
 
     Used for counter-based (stateless) draws: the result is a pure function
     of the keys, so callers get reproducible "randomness" without carrying
-    any state.
+    any state.  The SplitMix64 round is inlined: workload generators call
+    this for every address draw, so the per-key function call is worth
+    eliminating (bit-identical to ``splitmix64(acc ^ key)`` per key).
     """
-    acc = 0x9E3779B97F4A7C15
+    acc = _GAMMA
     for key in keys:
-        acc = splitmix64((acc ^ (key & _MASK64)) & _MASK64)
+        z = ((acc ^ (key & _MASK64)) + _GAMMA) & _MASK64
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+        acc = z ^ (z >> 31)
+    return acc
+
+
+def hash_extend(acc: int, *keys: int) -> int:
+    """Continue a :func:`hash_u64` fold from a precomputed accumulator.
+
+    ``hash_u64(a, b, c) == hash_extend(hash_u64(a, b), c)`` -- callers
+    that draw many values under a common key prefix (e.g. a workload
+    transaction) can hash the prefix once and extend it per draw.
+    """
+    for key in keys:
+        z = ((acc ^ (key & _MASK64)) + _GAMMA) & _MASK64
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+        acc = z ^ (z >> 31)
     return acc
 
 
@@ -88,10 +108,17 @@ class RandomStream:
     counter: int = 0
 
     def next_u64(self) -> int:
-        """Return the next uniform 64-bit value."""
-        value = splitmix64((self.seed + self.counter * _GAMMA) & _MASK64)
+        """Return the next uniform 64-bit value.
+
+        The SplitMix64 round is inlined (bit-identical to
+        ``splitmix64((seed + counter * gamma) & mask)``): the memory
+        hierarchy draws from a stream on every L2 miss.
+        """
+        z = (self.seed + self.counter * _GAMMA + _GAMMA) & _MASK64
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
         self.counter += 1
-        return value
+        return z ^ (z >> 31)
 
     def randint(self, low: int, high: int) -> int:
         """Return a uniform integer in the inclusive range [low, high]."""

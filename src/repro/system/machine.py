@@ -3,13 +3,25 @@
 :class:`Machine` binds the substrates together and runs the event loop.
 Two event kinds drive everything:
 
-- ``("core", cpu)`` -- the CPU is ready to execute at the event time.  The
-  handler dispatches a thread if needed and runs it for a bounded *slice*
-  (so cross-CPU interleaving stays fine-grained), consuming workload
-  operations and converting them to time through the core model and the
-  memory hierarchy.
-- ``("ready", tid)`` -- a thread wakes (I/O done, lock granted, barrier
-  released) and is placed on a run queue; an idle CPU is kicked.
+- ``EV_CORE`` (payload: cpu) -- the CPU is ready to execute at the event
+  time.  The handler dispatches a thread if needed and runs it for a
+  bounded *slice* (so cross-CPU interleaving stays fine-grained),
+  consuming workload operations and converting them to time through the
+  core model and the memory hierarchy.
+- ``EV_READY`` (payload: tid) -- a thread wakes (I/O done, lock granted,
+  barrier released) and is placed on a run queue; an idle CPU is kicked.
+
+Operations are executed by per-opcode handler methods bound through
+``self._dispatch``, a table indexed by the integer opcodes of
+:mod:`repro.isa`.  Each handler returns the advanced ``now``, or ``-1``
+when the slice ended inside the handler (the thread blocked, yielded,
+finished, or hit the transaction target) -- in that case the handler has
+already done the time accounting and scheduled the follow-up events.
+The dispatch table is also the instrumentation seam: attaching a
+:class:`repro.probes.ProbeBus` with op callbacks swaps the table entries
+for wrapping closures, so a machine with no probes attached runs the
+exact unwrapped hot path (instrumentation is compiled out, not checked
+per op).
 
 Everything is deterministic: the event queue breaks ties FIFO, scheduler
 scans are ordered, and all workload content is counter-based.  The only
@@ -20,12 +32,26 @@ stream, exactly as in the paper's methodology (section 3.3).
 from __future__ import annotations
 
 from repro.config import SystemConfig
+from repro.isa import (
+    N_OPCODES,
+    OP_BARRIER,
+    OP_CPU,
+    OP_IO,
+    OP_LOCK,
+    OP_MEM,
+    OP_TXN_BEGIN,
+    OP_TXN_END,
+    OP_UNLOCK,
+    OP_YIELD,
+    op_name,
+)
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.osmodel.locks import LockTable
 from repro.osmodel.scheduler import Scheduler
 from repro.osmodel.thread import SimThread, ThreadState
 from repro.proc import make_core
-from repro.sim.events import EventQueue, SimulationClock
+from repro.proc.simple import SimpleCore
+from repro.sim.events import EV_CORE, EV_READY, EventQueue, SimulationClock
 from repro.sim.rng import stream_seed
 from repro.workloads.base import Workload, WorkloadClock
 
@@ -33,6 +59,9 @@ from repro.workloads.base import Workload, WorkloadClock
 #: via OSConfig.interleave_ns), keeping cross-CPU interleaving
 #: fine-grained relative to transaction lengths
 INTERLEAVE_NS = 2_000
+
+#: sentinel quantum deadline when preemption is impossible this slice
+_NEVER = 1 << 62
 
 
 class SimulationStall(Exception):
@@ -56,11 +85,18 @@ class Machine:
         self.completed_transactions = 0
         self.live_threads = 0
         self.timed_out = False
+        #: events processed by :meth:`run_until_transactions` (perf metric)
+        self.events_processed = 0
         #: optional (time_ns, txn_type) log of completions for windowing
         self.transaction_log: list[tuple[int, int]] | None = None
+        #: the attached ProbeBus, if any (see :meth:`attach_probes`)
+        self.probes = None
+        self._probe_lock = None
+        self._probe_txn = None
         self._idle_cpus: set[int] = set()
         self._target: int | None = None
         self._target_time: int | None = None
+        self._build_dispatch()
         if build_threads:
             self._build_threads()
             self._boot()
@@ -84,7 +120,81 @@ class Machine:
 
     def _boot(self) -> None:
         for cpu in range(self.config.n_cpus):
-            self.events.schedule(0, "core", cpu)
+            self.events.schedule(0, EV_CORE, cpu)
+
+    def _build_dispatch(self) -> None:
+        """(Re)build the opcode -> bound-handler dispatch table.
+
+        When every core is exactly the blocking :class:`SimpleCore`
+        (whose stall hooks are identity functions), the mem/cpu entries
+        use specialized closure handlers with the core model inlined and
+        the hierarchy's ``access`` pre-bound -- several attribute loads
+        and method calls fewer per memory op, zero behaviour difference.
+        A core-model subclass gets the generic handlers.  The closures
+        are created once and cached so detach_probes restores the exact
+        same table entries.
+        """
+        simple = all(type(core) is SimpleCore for core in self.cores)
+        if simple and getattr(self, "_simple_handlers", None) is None:
+            self._simple_handlers = self._make_simple_handlers()
+        table: list = [None] * N_OPCODES
+        if simple:
+            table[OP_CPU], table[OP_MEM] = self._simple_handlers
+        else:
+            table[OP_CPU] = self._op_cpu
+            table[OP_MEM] = self._op_mem
+        table[OP_LOCK] = self._op_lock
+        table[OP_UNLOCK] = self._op_unlock
+        table[OP_IO] = self._op_io
+        table[OP_BARRIER] = self._op_barrier
+        table[OP_TXN_BEGIN] = self._op_txn_begin
+        table[OP_TXN_END] = self._op_txn_end
+        table[OP_YIELD] = self._op_yield
+        self._dispatch = table
+
+    # ------------------------------------------------------------------
+    # Instrumentation (the probe bus)
+    # ------------------------------------------------------------------
+    def attach_probes(self, bus) -> None:
+        """Attach a :class:`repro.probes.ProbeBus` to this machine.
+
+        Hook points with no registered callbacks cost nothing: the op
+        hook is installed by wrapping dispatch-table entries (so the
+        unprobed table keeps the raw handlers), and the remaining hooks
+        are ``None``-checked only on cold paths (lock block/hand-off,
+        transaction completion, L2-miss transactions, dispatches).
+        """
+        self.detach_probes()
+        self.probes = bus
+        op_cbs = bus.callbacks("op")
+        if op_cbs:
+            self._dispatch = [
+                self._wrap_op_handler(handler, op_cbs) for handler in self._dispatch
+            ]
+        self._probe_lock = bus.merged("lock")
+        self._probe_txn = bus.merged("txn")
+        self.hierarchy.set_cache_probe(bus.merged("cache"))
+        self.scheduler.set_probe(bus.merged("sched"))
+
+    def detach_probes(self) -> None:
+        """Remove any attached probe bus and restore the raw hot path."""
+        self.probes = None
+        self._probe_lock = None
+        self._probe_txn = None
+        self._build_dispatch()
+        self.hierarchy.set_cache_probe(None)
+        self.scheduler.set_probe(None)
+
+    @staticmethod
+    def _wrap_op_handler(handler, callbacks):
+        """Wrap one dispatch entry so op callbacks fire per dispatched op."""
+
+        def dispatched(cpu, thread, op, now, start, _handler=handler, _cbs=tuple(callbacks)):
+            for cb in _cbs:
+                cb(now, cpu, thread.tid, op)
+            return _handler(cpu, thread, op, now, start)
+
+        return dispatched
 
     # ------------------------------------------------------------------
     # The event loop
@@ -102,8 +212,12 @@ class Machine:
             return self.clock.now
         self._target = total
         self._target_time = None
+        events = self.events
+        clock = self.clock
+        handle_core = self._handle_core
+        handle_ready = self._handle_ready
         while self._target_time is None:
-            event = self.events.pop()
+            event = events.pop()
             if event is None:
                 if self.live_threads > 0:
                     states = {
@@ -115,16 +229,19 @@ class Machine:
                         f"threads; states: {states}"
                     )
                 break  # all threads finished before reaching the target
-            if event.time > max_time_ns:
+            time = event[0]
+            if time > max_time_ns:
                 self.timed_out = True
                 break
-            self.clock.advance_to(event.time)
-            if event.kind == "core":
-                self._handle_core(event.payload, event.time)
-            elif event.kind == "ready":
-                self._handle_ready(event.payload, event.time)
+            clock.advance_to(time)
+            self.events_processed += 1
+            kind = event[2]
+            if kind == EV_CORE:
+                handle_core(event[3], time)
+            elif kind == EV_READY:
+                handle_ready(event[3], time)
             else:
-                raise ValueError(f"unknown event kind {event.kind!r}")
+                raise ValueError(f"unknown event kind {kind!r}")
         completion = self._target_time if self._target_time is not None else self.clock.now
         self._target = None
         self._target_time = None
@@ -140,7 +257,7 @@ class Machine:
         target_cpu = self.scheduler.make_ready(thread)
         if target_cpu in self._idle_cpus:
             self._idle_cpus.discard(target_cpu)
-            self.events.schedule(now, "core", target_cpu)
+            self.events.schedule(now, EV_CORE, target_cpu)
 
     def _handle_core(self, cpu: int, now: int) -> None:
         current_tid = self.scheduler.current[cpu]
@@ -156,141 +273,212 @@ class Machine:
 
     def _run_slice(self, cpu: int, thread: SimThread, now: int) -> None:
         """Execute the thread on ``cpu`` until it blocks, is preempted, the
-        interleave slice expires, or the transaction target is reached."""
-        core = self.cores[cpu]
-        hierarchy = self.hierarchy
+        interleave slice expires, or the transaction target is reached.
+
+        The loop body is deliberately minimal: fetch the next op from the
+        thread's buffer and dispatch it through the opcode-indexed table.
+        Everything op-specific lives in the ``_op_*`` handler methods.
+        """
         os_cfg = self.config.os
         slice_end = now + (os_cfg.interleave_ns or INTERLEAVE_NS)
         start = now
+        dispatch = self._dispatch
+        # The scheduler mutates this queue in place, so the reference
+        # stays valid for the whole slice.
+        run_queue = self.scheduler.run_queues[cpu]
+        schedule = self.events.schedule
+        # Quantum expiry preempts only if someone is waiting locally.
+        # Both the deadline (set in pick_next) and the run queue (fed by
+        # EV_READY handlers, never mid-slice) are frozen while the slice
+        # runs, so the per-op check is one compare against a local.
+        deadline = thread.quantum_deadline if run_queue else _NEVER
 
         while True:
-            # Quantum expiry: preempt only if someone is waiting locally.
-            if now >= thread.quantum_deadline and self.scheduler.run_queues[cpu]:
+            if now >= deadline:
                 thread.stats.cpu_time_ns += now - start
                 self.scheduler.preempt(cpu, thread)
-                self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
+                schedule(now + os_cfg.context_switch_ns, EV_CORE, cpu)
                 return
 
-            if not thread.pending_ops():
+            buf = thread.op_buffer
+            i = thread.op_index
+            if i >= len(buf):
                 if not thread.refill():
                     self._finish_thread(cpu, thread, now, start)
                     return
+                buf = thread.op_buffer
+                i = 0
 
-            op = thread.next_op()
-            kind = op[0]
-
-            if kind == "mem":
-                result = hierarchy.access(cpu, op[1], bool(op[2]), now)
-                if op[2]:
-                    now += core.store_stall(result.latency_ns, result.source)
-                else:
-                    now += core.load_stall(result.latency_ns, result.source)
-                thread.consume_op()
-
-            elif kind == "cpu":
-                now += core.instruction_time(op[1], thread.branch_ctx)
-                fetch = hierarchy.access(cpu, op[2], False, now, is_instruction=True)
-                now += core.fetch_stall(fetch.latency_ns, fetch.source)
-                thread.stats.instructions += op[1]
-                thread.consume_op()
-
-            elif kind == "lock":
-                mutex = self.locks.mutex(op[1])
-                # The test&set is a store to the lock word: coherence
-                # traffic that ping-pongs the line between contenders.
-                result = hierarchy.access(cpu, mutex.address, True, now)
-                now += result.latency_ns
-                if mutex.try_acquire(thread.tid):
-                    thread.blocked_on_lock = None
-                    thread.consume_op()
-                else:
-                    # Adaptive mutex: spin briefly, then block.  The op is
-                    # NOT consumed -- the woken thread re-executes the
-                    # acquire and may find the lock stolen by a barger.
-                    now += os_cfg.spin_before_block_ns
-                    mutex.enqueue_waiter(thread.tid)
-                    thread.blocked_on_lock = mutex.lock_id
-                    thread.stats.lock_blocks += 1
-                    thread.stats.cpu_time_ns += now - start
-                    self.scheduler.block(cpu, thread, ThreadState.BLOCKED_LOCK)
-                    self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
-                    return
-
-            elif kind == "unlock":
-                mutex = self.locks.mutex(op[1])
-                result = hierarchy.access(cpu, mutex.address, True, now)
-                now += result.latency_ns
-                next_tid = mutex.release(thread.tid)
-                thread.consume_op()
-                if next_tid is not None:
-                    # The woken waiter races any barging acquirer that
-                    # arrives during the wake-up latency window.
-                    self.events.schedule(
-                        now + os_cfg.wakeup_latency_ns, "ready", next_tid
-                    )
-
-            elif kind == "io":
-                thread.consume_op()
-                thread.stats.cpu_time_ns += now - start
-                self.scheduler.block(cpu, thread, ThreadState.BLOCKED_IO)
-                self.events.schedule(now + op[1], "ready", thread.tid)
-                self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
-                return
-
-            elif kind == "barrier":
-                barrier = self.locks.barrier(op[1], op[2])
-                thread.consume_op()
-                released = barrier.arrive(thread.tid)
-                if released is None:
-                    thread.stats.cpu_time_ns += now - start
-                    self.scheduler.block(cpu, thread, ThreadState.BLOCKED_BARRIER)
-                    self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
-                    return
-                for other in released:
-                    if other != thread.tid:
-                        self.events.schedule(
-                            now + os_cfg.wakeup_latency_ns, "ready", other
-                        )
-
-            elif kind == "txn_end":
-                thread.consume_op()
-                self.completed_transactions += 1
-                self.workload_clock.total_transactions += 1
-                thread.stats.transactions += 1
-                if self.transaction_log is not None:
-                    self.transaction_log.append((now, op[1]))
-                if self._target is not None and self.completed_transactions >= self._target:
-                    self._target_time = now
-                    thread.stats.cpu_time_ns += now - start
-                    # Leave the thread running; a resumed simulation
-                    # continues from this exact state.
-                    self.events.schedule(now, "core", cpu)
-                    return
-
-            elif kind == "txn_begin":
-                thread.consume_op()
-
-            elif kind == "yield":
-                thread.consume_op()
-                thread.stats.cpu_time_ns += now - start
-                self.scheduler.preempt(cpu, thread)
-                self.events.schedule(now + os_cfg.context_switch_ns, "core", cpu)
-                return
-
-            else:
-                raise ValueError(f"unknown op kind {kind!r}")
+            op = buf[i]
+            now = dispatch[op[0]](cpu, thread, op, now, start)
+            if now < 0:
+                return  # the handler ended the slice (block/yield/target)
 
             if now >= slice_end:
                 thread.stats.cpu_time_ns += now - start
-                self.events.schedule(now, "core", cpu)
+                schedule(now, EV_CORE, cpu)
                 return
+
+    # ------------------------------------------------------------------
+    # Op handlers (dispatch-table targets)
+    #
+    # Signature: (cpu, thread, op, now, start) -> new ``now``, or -1 when
+    # the handler ended the slice (having accounted cpu_time and
+    # scheduled follow-ups itself).  Handlers consume their op by
+    # advancing ``thread.op_index`` -- except the lock handler on the
+    # blocking path, where the woken thread must re-execute the acquire.
+    # ------------------------------------------------------------------
+    def _op_mem(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        core = self.cores[cpu]
+        if op[2]:
+            latency, source = self.hierarchy.access(cpu, op[1], True, now)
+            now += core.store_stall(latency, source)
+        else:
+            latency, source = self.hierarchy.access(cpu, op[1], False, now)
+            now += core.load_stall(latency, source)
+        thread.op_index += 1
+        return now
+
+    def _make_simple_handlers(self) -> tuple:
+        """Build the (cpu, mem) closure handlers for all-SimpleCore
+        machines.  ``self.hierarchy`` and ``self.cores`` are assigned
+        once in ``__init__`` (restore mutates them in place), so binding
+        them here is safe for the machine's lifetime."""
+        access = self.hierarchy.access
+        cores = self.cores
+
+        def op_mem_simple(cpu, thread, op, now, start):
+            """:meth:`_op_mem` with SimpleCore inlined (full-latency stalls)."""
+            if op[2]:
+                now += access(cpu, op[1], True, now)[0]
+            else:
+                now += access(cpu, op[1], False, now)[0]
+            thread.op_index += 1
+            return now
+
+        def op_cpu_simple(cpu, thread, op, now, start):
+            """:meth:`_op_cpu` with SimpleCore inlined: IPC = 1, blocking
+            fetch, and the branch counter advancing exactly as
+            ``SimpleCore.instruction_time`` does."""
+            n = op[1]
+            cores[cpu].instructions_retired += n
+            thread.branch_ctx.counter += n // 5
+            now += n
+            now += access(cpu, op[2], False, now, True)[0]
+            thread.stats.instructions += n
+            thread.op_index += 1
+            return now
+
+        return (op_cpu_simple, op_mem_simple)
+
+    def _op_cpu(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        core = self.cores[cpu]
+        now += core.instruction_time(op[1], thread.branch_ctx)
+        latency, source = self.hierarchy.access(cpu, op[2], False, now, True)
+        now += core.fetch_stall(latency, source)
+        thread.stats.instructions += op[1]
+        thread.op_index += 1
+        return now
+
+    def _op_lock(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        mutex = self.locks.mutex(op[1])
+        # The test&set is a store to the lock word: coherence traffic
+        # that ping-pongs the line between contenders.
+        now += self.hierarchy.access(cpu, mutex.address, True, now)[0]
+        if mutex.try_acquire(thread.tid):
+            thread.blocked_on_lock = None
+            thread.op_index += 1
+            return now
+        # Adaptive mutex: spin briefly, then block.  The op is NOT
+        # consumed -- the woken thread re-executes the acquire and may
+        # find the lock stolen by a barger.
+        os_cfg = self.config.os
+        now += os_cfg.spin_before_block_ns
+        mutex.enqueue_waiter(thread.tid)
+        thread.blocked_on_lock = mutex.lock_id
+        thread.stats.lock_blocks += 1
+        thread.stats.cpu_time_ns += now - start
+        if self._probe_lock is not None:
+            self._probe_lock("block", now, thread.tid, mutex.lock_id)
+        self.scheduler.block(cpu, thread, ThreadState.BLOCKED_LOCK)
+        self.events.schedule(now + os_cfg.context_switch_ns, EV_CORE, cpu)
+        return -1
+
+    def _op_unlock(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        mutex = self.locks.mutex(op[1])
+        now += self.hierarchy.access(cpu, mutex.address, True, now)[0]
+        next_tid = mutex.release(thread.tid)
+        thread.op_index += 1
+        if next_tid is not None:
+            # The woken waiter races any barging acquirer that arrives
+            # during the wake-up latency window.
+            if self._probe_lock is not None:
+                self._probe_lock("handoff", now, next_tid, mutex.lock_id)
+            self.events.schedule(
+                now + self.config.os.wakeup_latency_ns, EV_READY, next_tid
+            )
+        return now
+
+    def _op_io(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        thread.op_index += 1
+        thread.stats.cpu_time_ns += now - start
+        self.scheduler.block(cpu, thread, ThreadState.BLOCKED_IO)
+        self.events.schedule(now + op[1], EV_READY, thread.tid)
+        self.events.schedule(now + self.config.os.context_switch_ns, EV_CORE, cpu)
+        return -1
+
+    def _op_barrier(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        barrier = self.locks.barrier(op[1], op[2])
+        thread.op_index += 1
+        released = barrier.arrive(thread.tid)
+        if released is None:
+            thread.stats.cpu_time_ns += now - start
+            self.scheduler.block(cpu, thread, ThreadState.BLOCKED_BARRIER)
+            self.events.schedule(
+                now + self.config.os.context_switch_ns, EV_CORE, cpu
+            )
+            return -1
+        wakeup = now + self.config.os.wakeup_latency_ns
+        for other in released:
+            if other != thread.tid:
+                self.events.schedule(wakeup, EV_READY, other)
+        return now
+
+    def _op_txn_begin(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        thread.op_index += 1
+        return now
+
+    def _op_txn_end(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        thread.op_index += 1
+        self.completed_transactions += 1
+        self.workload_clock.total_transactions += 1
+        thread.stats.transactions += 1
+        if self.transaction_log is not None:
+            self.transaction_log.append((now, op[1]))
+        if self._probe_txn is not None:
+            self._probe_txn(now, thread.tid, op[1])
+        if self._target is not None and self.completed_transactions >= self._target:
+            self._target_time = now
+            thread.stats.cpu_time_ns += now - start
+            # Leave the thread running; a resumed simulation continues
+            # from this exact state.
+            self.events.schedule(now, EV_CORE, cpu)
+            return -1
+        return now
+
+    def _op_yield(self, cpu: int, thread: SimThread, op, now: int, start: int) -> int:
+        thread.op_index += 1
+        thread.stats.cpu_time_ns += now - start
+        self.scheduler.preempt(cpu, thread)
+        self.events.schedule(now + self.config.os.context_switch_ns, EV_CORE, cpu)
+        return -1
 
     def _finish_thread(self, cpu: int, thread: SimThread, now: int, start: int) -> None:
         thread.stats.cpu_time_ns += now - start
         self.scheduler.block(cpu, thread, ThreadState.FINISHED)
         self.live_threads -= 1
         self.events.schedule(
-            now + self.config.os.context_switch_ns, "core", cpu
+            now + self.config.os.context_switch_ns, EV_CORE, cpu
         )
 
     # ------------------------------------------------------------------
@@ -392,7 +580,7 @@ def _replay_caches(hierarchy: MemoryHierarchy, state: dict, config: SystemConfig
     the target protocol are demoted to legal equivalents (E -> S clean;
     O -> S with an implied writeback when the target lacks Owned).
     """
-    from repro.memory.coherence import MOSIState, OWNER_STATES, transitions_for
+    from repro.memory.coherence import MOSIState, transitions_for
 
     target_table = transitions_for(config.coherence_protocol)
     legal_states = {key[0].value for key in target_table}
@@ -413,23 +601,6 @@ def _replay_caches(hierarchy: MemoryHierarchy, state: dict, config: SystemConfig
                 del victim  # dropped: replay is warming, not coherence
     # Rebuild the directory from what survived, using the target
     # protocol's owner-state set (E owns under MESI/MOESI).
-    owner: dict[int, int] = {}
-    sharers: dict[int, set[int]] = {}
-    del OWNER_STATES  # superseded by the per-protocol set
-    owner_states = hierarchy._owner_states
-    for node in range(config.n_cpus):
-        for block in hierarchy.l2[node].resident_blocks():
-            line = hierarchy.l2[node].peek(block)
-            mosi = MOSIState(line.state)
-            sharers.setdefault(block, set()).add(node)
-            if mosi in owner_states:
-                if block in owner:
-                    # Set-mapping changes can surface two stale owners;
-                    # demote the later one to S.
-                    line.state = MOSIState.S.value
-                else:
-                    owner[block] = node
-    hierarchy._owner = owner
-    hierarchy._sharers = sharers
+    hierarchy.rebuild_directory()
     hierarchy.crossbar.restore_state(state["crossbar"])
     hierarchy.dram.restore_state(state["dram"])

@@ -118,6 +118,7 @@ def run_simulation(
     collect_transaction_times: bool = False,
     collect_schedule_trace: bool = False,
     workload_scale: float = 1.0,
+    probes=None,
 ) -> SimulationResult:
     """Execute one measured run and return its result.
 
@@ -126,6 +127,10 @@ def run_simulation(
     cold.  ``run.seed`` selects the perturbation stream only -- workload
     content is identical across seeds, so the space of runs differs purely
     in injected timing, as in the paper.
+
+    ``probes`` (a :class:`repro.probes.ProbeBus`) attaches instrumentation
+    for the whole run, warm-up included; probes observe without
+    perturbing, so results are bit-identical with or without them.
     """
     if isinstance(workload, str):
         workload = make_workload(workload, scale=workload_scale)
@@ -134,6 +139,8 @@ def run_simulation(
     else:
         machine = Machine(config, workload)
     machine.hierarchy.seed_perturbation(stream_seed(run.seed, "perturbation"))
+    if probes is not None:
+        machine.attach_probes(probes)
     if collect_transaction_times:
         machine.transaction_log = []
     if collect_schedule_trace:

@@ -24,9 +24,17 @@ machine configurations.  Patterns provided:
 
 from __future__ import annotations
 
-from repro.sim.rng import hash_u64
+from repro.sim.rng import _GAMMA, _MASK64, _MIX1, _MIX2, hash_u64
 
 BLOCK = 64
+
+# Per-seed first-round accumulators.  Every generator here hashes
+# (seed, counter, salt); the seed round of that fold is constant per
+# workload, so it is computed once and the remaining two SplitMix64
+# rounds are inlined at each call site (bit-identical to the full
+# ``hash_u64(seed, counter, salt)``).  Seeds are per-workload/thread
+# constants, so the cache stays tiny.
+_SEED_ACC: dict[int, int] = {}
 
 # Region bases are offset from their power-of-two segment starts by
 # distinct odd block counts (page colouring): without this, every
@@ -58,10 +66,21 @@ def code_address(
     path runs, with occasional excursions across the full footprint (cold
     paths, rarely-taken handlers).
     """
-    region_blocks = max(1, region_bytes // BLOCK)
-    n_blocks = max(region_blocks, footprint_bytes // BLOCK)
-    n_regions = max(1, n_blocks // region_blocks)
-    draw = hash_u64(code_seed, counter, 31)
+    region_blocks = region_bytes // BLOCK or 1
+    n_blocks = footprint_bytes // BLOCK
+    if n_blocks < region_blocks:
+        n_blocks = region_blocks
+    n_regions = n_blocks // region_blocks  # >= 1 since n_blocks >= region_blocks
+    acc = _SEED_ACC.get(code_seed)
+    if acc is None:
+        acc = _SEED_ACC[code_seed] = hash_u64(code_seed)
+    z = ((acc ^ (counter & _MASK64)) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    z = (((z ^ (z >> 31)) ^ 31) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    draw = z ^ (z >> 31)
     if draw % 100 < 90:
         block = (region % n_regions) * region_blocks + counter % region_blocks
     else:
@@ -75,7 +94,7 @@ def private_address(tid: int, counter: int, working_set_bytes: int) -> int:
     Models stack frames and thread-local heap: consecutive touches land
     in consecutive blocks, wrapping at the working-set size.
     """
-    n_blocks = max(1, working_set_bytes // BLOCK)
+    n_blocks = working_set_bytes // BLOCK or 1
     block = (counter // 2) % n_blocks  # two touches per block on average
     # Per-thread colour offset: stacks/heaps of different threads start at
     # different cache colours (again, what real allocators do) -- without
@@ -97,12 +116,21 @@ def hot_cold_address(
     hot set; otherwise uniformly in the cold span.  This approximates the
     skewed block popularity of database buffer pools and web caches.
     """
-    draw = hash_u64(seed, counter, 37)
+    acc = _SEED_ACC.get(seed)
+    if acc is None:
+        acc = _SEED_ACC[seed] = hash_u64(seed)
+    z = ((acc ^ (counter & _MASK64)) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    z = (((z ^ (z >> 31)) ^ 37) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    draw = z ^ (z >> 31)
     if draw % 1000 < hot_milli:
-        n_blocks = max(1, hot_bytes // BLOCK)
+        n_blocks = hot_bytes // BLOCK or 1
         block = (draw >> 10) % n_blocks
         return SHARED_BASE + block * BLOCK
-    n_blocks = max(1, cold_bytes // BLOCK)
+    n_blocks = cold_bytes // BLOCK or 1
     block = (draw >> 10) % n_blocks
     # Cold region sits beyond the hot region.
     return SHARED_BASE + hot_bytes + block * BLOCK
@@ -118,9 +146,22 @@ def zipf_address(seed: int, counter: int, pool_bytes: int) -> int:
     sized against the L2 produces genuine capacity/conflict pressure --
     the behaviour Experiment 1's associativity sweep relies on.
     """
-    n_blocks = max(2, pool_bytes // BLOCK)
-    u = (hash_u64(seed, counter, 47) >> 11) * (1.0 / (1 << 53))
-    rank = min(n_blocks - 1, int(n_blocks ** u) - 1)
+    n_blocks = pool_bytes // BLOCK
+    if n_blocks < 2:
+        n_blocks = 2
+    acc = _SEED_ACC.get(seed)
+    if acc is None:
+        acc = _SEED_ACC[seed] = hash_u64(seed)
+    z = ((acc ^ (counter & _MASK64)) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    z = (((z ^ (z >> 31)) ^ 47) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    u = ((z ^ (z >> 31)) >> 11) * (1.0 / (1 << 53))
+    rank = int(n_blocks ** u) - 1
+    if rank >= n_blocks:
+        rank = n_blocks - 1
     return SHARED_BASE + rank * BLOCK
 
 
@@ -132,7 +173,16 @@ def strided_root_address(seed: int, counter: int, n_roots: int, stride_bytes: in
     A direct-mapped cache thrashes on them; higher associativity absorbs
     them.  This pattern carries Experiment 1's associativity sensitivity.
     """
-    root = hash_u64(seed, counter, 41) % max(1, n_roots)
+    acc = _SEED_ACC.get(seed)
+    if acc is None:
+        acc = _SEED_ACC[seed] = hash_u64(seed)
+    z = ((acc ^ (counter & _MASK64)) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    z = (((z ^ (z >> 31)) ^ 41) + _GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    root = (z ^ (z >> 31)) % (n_roots or 1)
     return SHARED_BASE + 0x1000_0000 + root * stride_bytes
 
 
@@ -147,7 +197,7 @@ def grid_address(tid: int, counter: int, rows_per_thread: int, row_bytes: int) -
     Each thread owns a band of rows; most touches sweep its own band,
     with boundary rows shared with neighbours (counter-selected).
     """
-    row_blocks = max(1, row_bytes // BLOCK)
+    row_blocks = row_bytes // BLOCK or 1
     sweep = counter % (rows_per_thread * row_blocks)
     row = sweep // row_blocks
     col = sweep % row_blocks

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 
+from repro.isa import OP_CPU, OP_MEM, OP_LOCK, OP_UNLOCK, OP_IO, OP_TXN_BEGIN, OP_TXN_END
 from repro.workloads import address_space as aspace
 from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 
@@ -40,56 +41,56 @@ class ApacheProgram(WorkloadProgram):
             self.w.code_footprint_bytes,
             region=self.code_region,
         )
-        ops.append(("cpu", n, code))
+        ops.append((OP_CPU, n, code))
 
     def _page_cache(self) -> int:
         # Popularity churn: the hot head slides over the corpus with time.
         churn = self.clock.total_transactions // self.w.churn_period_txns
         return aspace.zipf_address(
             self.w.seed + churn,
-            self.mem_counter + self.draw(3) % 512,
+            self.mem_counter + self.draw1(3) % 512,
             self.w.corpus_bytes,
         )
 
     def build_transaction(self) -> list[Op]:
-        ops: list[Op] = [("txn_begin", 0)]
+        ops: list[Op] = [(OP_TXN_BEGIN, 0)]
         # Accept the connection: short, contended critical section --
         # but most requests arrive on kept-alive connections and skip it.
         if self.draw_milli(2) < self.w.new_connection_milli:
-            ops.append(("lock", ACCEPT_LOCK))
+            ops.append((OP_LOCK, ACCEPT_LOCK))
             self._cpu(ops, self.w.scaled(20))
-            ops.append(("unlock", ACCEPT_LOCK))
+            ops.append((OP_UNLOCK, ACCEPT_LOCK))
         # Parse the request.
         self._cpu(ops, self.w.scaled(60))
         for _ in range(self.w.scaled(3)):
             self.mem_counter += 1
-            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
+            ops.append((OP_MEM, aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
         # Stat/open the file: the metadata cache is read lock-free; only
         # misses (cold or churned entries) take the update lock.
         self.mem_counter += 1
-        ops.append(("mem", self._page_cache(), 0))
+        ops.append((OP_MEM, self._page_cache(), 0))
         if self.draw_milli(4) < self.w.stat_miss_milli:
-            ops.append(("lock", STAT_CACHE_LOCK))
+            ops.append((OP_LOCK, STAT_CACHE_LOCK))
             self._cpu(ops, self.w.scaled(15))
-            ops.append(("unlock", STAT_CACHE_LOCK))
+            ops.append((OP_UNLOCK, STAT_CACHE_LOCK))
         # Read the file body from the page cache.
-        file_blocks = 2 + self.draw(5) % self.w.scaled(8)
+        file_blocks = 2 + self.draw1(5) % self.w.scaled(8)
         for _ in range(file_blocks):
             self.mem_counter += 1
-            ops.append(("mem", self._page_cache(), 0))
-            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
+            ops.append((OP_MEM, self._page_cache(), 0))
+            ops.append((OP_MEM, aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
         if self.draw_milli(7) < self.w.disk_read_milli:
-            ops.append(("io", self.w.disk_read_ns))
+            ops.append((OP_IO, self.w.disk_read_ns))
         # Send the response and append to the worker's buffered access
         # log (per-process buffers: no cross-worker lock).
         self._cpu(ops, self.w.scaled(80))
         self.mem_counter += 1
-        ops.append(("mem", aspace.log_address(self.tid * 8192 + self.mem_counter), 1))
+        ops.append((OP_MEM, aspace.log_address(self.tid * 8192 + self.mem_counter), 1))
         # Log rotation phase: brief recurring I/O storm.
         if self.clock.total_transactions % self.w.rotate_period_txns < self.w.rotate_window_txns:
             if self.draw_milli(9) < 200:
-                ops.append(("io", self.w.rotate_io_ns))
-        ops.append(("txn_end", 0))
+                ops.append((OP_IO, self.w.rotate_io_ns))
+        ops.append((OP_TXN_END, 0))
         return ops
 
     def extra_state(self) -> dict:

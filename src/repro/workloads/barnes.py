@@ -17,6 +17,7 @@ exactly one transaction.
 
 from __future__ import annotations
 
+from repro.isa import OP_CPU, OP_MEM, OP_LOCK, OP_UNLOCK, OP_BARRIER, OP_TXN_END
 from repro.workloads import address_space as aspace
 from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 
@@ -47,7 +48,7 @@ class BarnesProgram(WorkloadProgram):
             self.w.code_footprint_bytes,
             region=self.code_region,
         )
-        ops.append(("cpu", n, code))
+        ops.append((OP_CPU, n, code))
 
     def _tree_address(self) -> int:
         """A read of the shared octree (top levels are very hot)."""
@@ -67,8 +68,8 @@ class BarnesProgram(WorkloadProgram):
             self.finished = True
             if self.tid == 0:
                 # The benchmark is one transaction, reported once.
-                return [("txn_end", 0)]
-            return [("cpu", 1, aspace.CODE_BASE)]
+                return [(OP_TXN_END, 0)]
+            return [(OP_CPU, 1, aspace.CODE_BASE)]
         ops = self._superstep()
         self.step += 1
         return ops
@@ -80,22 +81,22 @@ class BarnesProgram(WorkloadProgram):
         # cell locks (hashed), so contention is light -- Barnes-Hut is the
         # paper's most space-stable benchmark.
         cell = TREE_LOCK + self.draw(5, self.step) % 8
-        ops.append(("lock", cell))
-        ops.append(("mem", self._tree_address(), 1))
+        ops.append((OP_LOCK, cell))
+        ops.append((OP_MEM, self._tree_address(), 1))
         self._cpu(ops, self.w.scaled(25))
-        ops.append(("unlock", cell))
-        ops.append(("barrier", BARRIER_BUILD, n_participants))
+        ops.append((OP_UNLOCK, cell))
+        ops.append((OP_BARRIER, BARRIER_BUILD, n_participants))
         # Force computation: long CPU phases walking the read-shared tree.
         bodies = self.w.scaled(self.w.bodies_per_thread)
         for body in range(bodies):
             self.mem_counter += 1
-            ops.append(("mem", self._tree_address(), 0))
+            ops.append((OP_MEM, self._tree_address(), 0))
             ops.append(
-                ("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
+                (OP_MEM, aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
             )
             if body % 4 == 0:
                 self._cpu(ops, self.w.scaled(220))
-        ops.append(("barrier", BARRIER_FORCES, n_participants))
+        ops.append((OP_BARRIER, BARRIER_FORCES, n_participants))
         return ops
 
     def extra_state(self) -> dict:

@@ -5,19 +5,25 @@ Each program emits its operation stream one *transaction* at a time via
 ``next_ops``; the machine's execution loop consumes operations and turns
 them into time.
 
-Operations are plain tuples (cheap to create, trivially checkpointable):
+Operations are plain tuples (cheap to create, trivially checkpointable)
+whose first element is an integer opcode from :mod:`repro.isa`:
 
-==========================  ==============================================
-``("cpu", n, code_addr)``   execute ``n`` instructions; one I-fetch probe
-``("mem", addr, w)``        data reference (``w``: 1 = store, 0 = load)
-``("lock", lock_id)``       acquire a mutex (may block)
-``("unlock", lock_id)``     release a mutex (may wake a waiter)
-``("io", ns)``              block for an I/O of the given duration
-``("barrier", id, n)``      barrier among ``n`` participants
-``("txn_begin", type_id)``  transaction start marker
-``("txn_end", type_id)``    transaction completion (the measured unit)
-``("yield",)``              voluntary yield to the scheduler
-==========================  ==============================================
+==============================  ==========================================
+``(OP_CPU, n, code_addr)``      execute ``n`` instructions; one I-fetch
+``(OP_MEM, addr, w)``           data reference (``w``: 1 = store, 0 = load)
+``(OP_LOCK, lock_id)``          acquire a mutex (may block)
+``(OP_UNLOCK, lock_id)``        release a mutex (may wake a waiter)
+``(OP_IO, ns)``                 block for an I/O of the given duration
+``(OP_BARRIER, id, n)``         barrier among ``n`` participants
+``(OP_TXN_BEGIN, type_id)``     transaction start marker
+``(OP_TXN_END, type_id)``       transaction completion (the measured unit)
+``(OP_YIELD,)``                 voluntary yield to the scheduler
+==============================  ==========================================
+
+Legacy string kinds are translated at the boundary by
+:meth:`repro.osmodel.thread.SimThread.refill` via
+:func:`repro.isa.encode_ops`; the machine's dispatch table only ever
+sees opcodes.
 
 Programs see the shared :class:`WorkloadClock` (total transactions
 completed machine-wide), which lets behaviour drift over the workload's
@@ -33,7 +39,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.proc.base import BranchContext
-from repro.sim.rng import hash_u64, stream_seed
+from repro.sim.rng import _GAMMA, _MASK64, _MIX1, _MIX2, hash_extend, hash_u64, stream_seed
 
 #: operations are plain tuples; this alias documents intent
 Op = tuple
@@ -107,6 +113,12 @@ class WorkloadProgram:
         self.txn_index = 0
         self.txn_key = 0
         self.finished = False
+        # Cached hash prefix for draw(): fold(seed, txn_key) is constant
+        # within a transaction, so it is hashed once per transaction and
+        # extended per draw.  _acc_key tracks which txn_key the cache is
+        # for (None = not yet computed; txn_key may be assigned directly).
+        self._acc = 0
+        self._acc_key: int | None = None
 
     # ------------------------------------------------------------------
     # Stream generation
@@ -135,20 +147,69 @@ class WorkloadProgram:
 
         Global-queue programs key on the shared stream ticket (all
         threads draw from one request stream); others key on the
-        per-thread transaction index.
+        per-thread transaction index.  Bit-identical to
+        ``hash_u64(stream seed, txn_key, *keys)``; the two-key prefix is
+        hashed once per transaction and extended per draw.
         """
-        if self.global_queue:
-            return hash_u64(self.queue_seed, self.txn_key, *keys)
-        return hash_u64(self.seed, self.txn_key, *keys)
+        if self._acc_key != self.txn_key:
+            self._acc_key = self.txn_key
+            self._acc = hash_u64(
+                self.queue_seed if self.global_queue else self.seed, self.txn_key
+            )
+        return hash_extend(self._acc, *keys)
+
+    def draw1(self, key: int) -> int:
+        """Single-key :meth:`draw` with the SplitMix64 round inlined.
+
+        Bit-identical to ``draw(key)``; the per-draw varargs tuple and
+        ``hash_extend`` call are eliminated because most hot-path draws
+        take exactly one key.
+        """
+        if self._acc_key != self.txn_key:
+            self._acc_key = self.txn_key
+            self._acc = hash_u64(
+                self.queue_seed if self.global_queue else self.seed, self.txn_key
+            )
+        z = ((self._acc ^ (key & _MASK64)) + _GAMMA) & _MASK64
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+        return z ^ (z >> 31)
+
+    def draw2(self, key1: int, key2: int) -> int:
+        """Two-key :meth:`draw` with both SplitMix64 rounds inlined.
+
+        Bit-identical to ``draw(key1, key2)``; same rationale as
+        :meth:`draw1` for the second-most-common hot-path arity.
+        """
+        if self._acc_key != self.txn_key:
+            self._acc_key = self.txn_key
+            self._acc = hash_u64(
+                self.queue_seed if self.global_queue else self.seed, self.txn_key
+            )
+        z = ((self._acc ^ (key1 & _MASK64)) + _GAMMA) & _MASK64
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+        z = (((z ^ (z >> 31)) ^ (key2 & _MASK64)) + _GAMMA) & _MASK64
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+        return z ^ (z >> 31)
 
     def draw_milli(self, *keys: int) -> int:
         """A draw in [0, 1000) for per-mille probability checks."""
+        n = len(keys)
+        if n == 1:
+            return self.draw1(keys[0]) % 1000
+        if n == 2:
+            return self.draw2(keys[0], keys[1]) % 1000
         return self.draw(*keys) % 1000
 
     def pick_weighted(self, weights: list[int], *keys: int) -> int:
         """Pick an index with the given integer weights."""
         total = sum(weights)
-        point = self.draw(*keys) % total
+        if len(keys) == 1:
+            point = self.draw1(keys[0]) % total
+        else:
+            point = self.draw(*keys) % total
         cumulative = 0
         for index, weight in enumerate(weights):
             cumulative += weight

@@ -11,6 +11,7 @@ gives it mid-spectrum space variability (Table 3: CoV 1.4 %).
 
 from __future__ import annotations
 
+from repro.isa import OP_CPU, OP_MEM, OP_LOCK, OP_UNLOCK, OP_IO, OP_TXN_BEGIN, OP_TXN_END
 from repro.workloads import address_space as aspace
 from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 
@@ -39,25 +40,25 @@ class ECPerfProgram(WorkloadProgram):
             self.w.code_footprint_bytes,
             region=self.code_region,
         )
-        ops.append(("cpu", n, code))
+        ops.append((OP_CPU, n, code))
 
     def _shared(self) -> int:
         self.mem_counter += 1
         return aspace.zipf_address(
             self.w.seed,
-            self.mem_counter + self.draw(3) % 1024,
+            self.mem_counter + self.draw1(3) % 1024,
             self.w.pool_bytes,
         )
 
     def _web_tier(self, ops: list[Op]) -> None:
         """Request parsing and session handling in the web tier."""
-        ops.append(("lock", WEB_POOL_LOCK))
+        ops.append((OP_LOCK, WEB_POOL_LOCK))
         self._cpu(ops, self.w.scaled(30))
-        ops.append(("unlock", WEB_POOL_LOCK))
+        ops.append((OP_UNLOCK, WEB_POOL_LOCK))
         for _ in range(self.w.scaled(4)):
             self.mem_counter += 1
             ops.append(
-                ("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
+                (OP_MEM, aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
             )
         self._cpu(ops, self.w.scaled(100))
 
@@ -65,28 +66,28 @@ class ECPerfProgram(WorkloadProgram):
         """Entity-bean business logic under per-entity locks."""
         for bean in range(n_beans):
             lock = ENTITY_LOCK_BASE + self.draw(11, bean) % self.w.n_entities
-            ops.append(("lock", lock))
+            ops.append((OP_LOCK, lock))
             for _ in range(self.w.scaled(5)):
-                ops.append(("mem", self._shared(), 1))
+                ops.append((OP_MEM, self._shared(), 1))
             self._cpu(ops, self.w.scaled(180))
-            ops.append(("unlock", lock))
+            ops.append((OP_UNLOCK, lock))
 
     def _db_tier(self, ops: list[Op], n_queries: int, write: bool) -> None:
         """JDBC round trips to the database tier."""
         for query in range(n_queries):
             lock = DB_LOCK_BASE + self.draw(13, query) % self.w.n_db_latches
-            ops.append(("lock", lock))
+            ops.append((OP_LOCK, lock))
             for _ in range(self.w.scaled(6)):
-                ops.append(("mem", self._shared(), int(write)))
-            ops.append(("unlock", lock))
+                ops.append((OP_MEM, self._shared(), int(write)))
+            ops.append((OP_UNLOCK, lock))
             if self.draw_milli(15, query) < self.w.disk_read_milli:
-                ops.append(("io", self.w.disk_read_ns))
+                ops.append((OP_IO, self.w.disk_read_ns))
         self._cpu(ops, self.w.scaled(80) * n_queries)
 
     def build_transaction(self) -> list[Op]:
         txn_type = self.pick_weighted(list(MIX), 1)
         self.code_region = txn_type
-        ops: list[Op] = [("txn_begin", txn_type)]
+        ops: list[Op] = [(OP_TXN_BEGIN, txn_type)]
         self._web_tier(ops)
         # ECPerf's business transactions are deliberately uniform in size
         # (the benchmark targets steady-state throughput); the types
@@ -97,9 +98,9 @@ class ECPerfProgram(WorkloadProgram):
         # A few percent of size jitter breaks the phase-locking that
         # perfectly uniform transactions would otherwise settle into
         # (lockstep completion waves quantize short measurements).
-        self._app_tier(ops, n_beans=self.w.scaled(11) + self.draw(31) % 3)
-        self._db_tier(ops, n_queries=self.w.scaled(14) + self.draw(33) % 3, write=write)
-        ops.append(("txn_end", txn_type))
+        self._app_tier(ops, n_beans=self.w.scaled(11) + self.draw1(31) % 3)
+        self._db_tier(ops, n_queries=self.w.scaled(14) + self.draw1(33) % 3, write=write)
+        ops.append((OP_TXN_END, txn_type))
         return ops
 
     def extra_state(self) -> dict:

@@ -13,6 +13,7 @@ Only thread 0 emits ``txn_end`` after the final barrier.
 
 from __future__ import annotations
 
+from repro.isa import OP_CPU, OP_MEM, OP_BARRIER, OP_TXN_END
 from repro.workloads import address_space as aspace
 from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 
@@ -43,7 +44,7 @@ class OceanProgram(WorkloadProgram):
             self.w.code_footprint_bytes,
             region=self.code_region,
         )
-        ops.append(("cpu", n, code))
+        ops.append((OP_CPU, n, code))
 
     def next_ops(self, thread) -> list[Op]:
         if self.finished:
@@ -51,8 +52,8 @@ class OceanProgram(WorkloadProgram):
         if self.step >= self.w.n_steps:
             self.finished = True
             if self.tid == 0:
-                return [("txn_end", 0)]
-            return [("cpu", 1, aspace.CODE_BASE)]
+                return [(OP_TXN_END, 0)]
+            return [(OP_CPU, 1, aspace.CODE_BASE)]
         ops = self._sweep()
         self.step += 1
         return ops
@@ -67,17 +68,17 @@ class OceanProgram(WorkloadProgram):
                 self.tid, self.sweep_counter, self.w.rows_per_thread, self.w.row_bytes
             )
             # Red-black sweep: read neighbours, write the point.
-            ops.append(("mem", addr, 0))
-            ops.append(("mem", addr + self.w.row_bytes, 0))
-            ops.append(("mem", addr, 1))
+            ops.append((OP_MEM, addr, 0))
+            ops.append((OP_MEM, addr + self.w.row_bytes, 0))
+            ops.append((OP_MEM, addr, 1))
             if point % 8 == 0:
                 self._cpu(ops, self.w.scaled(120))
-        ops.append(("barrier", BARRIER_SWEEP, n_participants))
+        ops.append((OP_BARRIER, BARRIER_SWEEP, n_participants))
         # Global error reduction: short compute + one shared accumulator
         # touch (thread 0 finalizes).
         self._cpu(ops, self.w.scaled(60))
-        ops.append(("mem", aspace.SHARED_BASE + 0x0F00_0000 + (self.step % 8) * 64, 1))
-        ops.append(("barrier", BARRIER_REDUCE, n_participants))
+        ops.append((OP_MEM, aspace.SHARED_BASE + 0x0F00_0000 + (self.step % 8) * 64, 1))
+        ops.append((OP_BARRIER, BARRIER_REDUCE, n_participants))
         return ops
 
     def extra_state(self) -> dict:

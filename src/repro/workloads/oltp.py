@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 
+from repro.isa import OP_CPU, OP_MEM, OP_LOCK, OP_UNLOCK, OP_IO, OP_TXN_BEGIN, OP_TXN_END
 from repro.workloads import address_space as aspace
 from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 
@@ -51,6 +52,7 @@ class OLTPProgram(WorkloadProgram):
         self.mem_counter = 0
         self.log_counter = 0
         self.code_region = 0
+        self._pool_bytes_now = workload.pool_bytes
 
     # ------------------------------------------------------------------
     # Lifetime phases (time variability)
@@ -82,6 +84,10 @@ class OLTPProgram(WorkloadProgram):
     # Transaction construction
     # ------------------------------------------------------------------
     def build_transaction(self) -> list[Op]:
+        # The pool footprint depends only on global progress, which is
+        # frozen while one transaction is being built: compute it once
+        # per transaction instead of per address (it hides a sin()).
+        self._pool_bytes_now = self._pool_bytes()
         txn_type = self.pick_weighted(self._mix_weights(), 1)
         self.code_region = txn_type
         builder = (
@@ -91,14 +97,14 @@ class OLTPProgram(WorkloadProgram):
             self._delivery,
             self._stock_level,
         )[txn_type]
-        ops: list[Op] = [("txn_begin", txn_type)]
+        ops: list[Op] = [(OP_TXN_BEGIN, txn_type)]
         builder(ops)
-        ops.append(("txn_end", txn_type))
+        ops.append((OP_TXN_END, txn_type))
         return ops
 
     def _district(self, key: int) -> int:
         """The district lock this transaction contends on."""
-        return DISTRICT_LOCK_BASE + self.draw(key) % self.w.n_hot_districts
+        return DISTRICT_LOCK_BASE + self.draw1(key) % self.w.n_hot_districts
 
     # -- op-stream building blocks ------------------------------------
     def _cpu(self, ops: list[Op], n_instructions: int) -> None:
@@ -109,24 +115,24 @@ class OLTPProgram(WorkloadProgram):
             self.w.code_footprint_bytes,
             region=self.code_region,
         )
-        ops.append(("cpu", n_instructions, code))
+        ops.append((OP_CPU, n_instructions, code))
 
     def _index_lookup(self, ops: list[Op], depth: int) -> None:
         """Walk a B-tree: stride-aligned root, then hot/cold interior."""
         self.mem_counter += 1
         ops.append(
-            ("mem", aspace.strided_root_address(self.w.seed, self.draw(3), self.w.n_index_roots), 0)
+            (OP_MEM, aspace.strided_root_address(self.w.seed, self.draw1(3), self.w.n_index_roots), 0)
         )
         for _ in range(depth):
             self.mem_counter += 1
-            ops.append(("mem", self._pool_address(), 0))
+            ops.append((OP_MEM, self._pool_address(), 0))
         self._cpu(ops, self.w.scaled(30))
 
     def _pool_address(self) -> int:
         return aspace.zipf_address(
             self.w.seed,
-            self.mem_counter + self.draw(5) % 1024,
-            self._pool_bytes(),
+            self.mem_counter + self.draw1(5) % 1024,
+            self._pool_bytes_now,
         )
 
     def _row_access(
@@ -145,12 +151,12 @@ class OLTPProgram(WorkloadProgram):
             # Even in update transactions most touched rows are only read
             # (predicate checks, joins); a fraction take the update.
             updated = write and self.draw_milli(9, self.mem_counter) < self.w.update_milli
-            ops.append(("mem", row, 0))
-            ops.append(("mem", row, 0))
-            ops.append(("mem", row, int(updated)))
-            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
+            ops.append((OP_MEM, row, 0))
+            ops.append((OP_MEM, row, 0))
+            ops.append((OP_MEM, row, int(updated)))
+            ops.append((OP_MEM, aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1))
             if may_fault and self.draw_milli(7, self.mem_counter) < self.w.disk_read_milli:
-                ops.append(("io", self.w.disk_read_ns))
+                ops.append((OP_IO, self.w.disk_read_ns))
         self._cpu(ops, self.w.scaled(40) * n_rows)
 
     def _commit(self, ops: list[Op], records: int) -> None:
@@ -163,10 +169,10 @@ class OLTPProgram(WorkloadProgram):
         """
         leader = self.draw_milli(13) < self.w.group_commit_milli
         if leader:
-            ops.append(("lock", LOG_LOCK))
+            ops.append((OP_LOCK, LOG_LOCK))
         for _ in range(records):
             self.log_counter += 1
-            ops.append(("mem", aspace.log_address(self.seed % 4096 + self.log_counter), 1))
+            ops.append((OP_MEM, aspace.log_address(self.seed % 4096 + self.log_counter), 1))
         self._cpu(ops, self.w.scaled(25))
         if leader:
             # The flush rate swells and ebbs over the workload lifetime
@@ -175,13 +181,13 @@ class OLTPProgram(WorkloadProgram):
             t = self.clock.total_transactions
             wave = 1.0 + math.sin(2 * math.pi * t / self.w.flush_period_txns)
             if self.draw_milli(11) < int(self.w.flush_milli * wave):
-                ops.append(("io", self.w.log_flush_ns))
-            ops.append(("unlock", LOG_LOCK))
+                ops.append((OP_IO, self.w.log_flush_ns))
+            ops.append((OP_UNLOCK, LOG_LOCK))
 
     # -- the five TPC-C transaction types ------------------------------
     def _new_order(self, ops: list[Op]) -> None:
         district = self._district(21)
-        n_items = 8 + self.draw(22) % self.w.scaled(12)
+        n_items = 8 + self.draw1(22) % self.w.scaled(12)
         # Fetch phase: index walks and item/stock reads happen before the
         # district critical section (two-phase style), so disk faults are
         # never taken while holding the hot lock.
@@ -190,10 +196,10 @@ class OLTPProgram(WorkloadProgram):
             self._index_lookup(ops, depth=3)
             self._row_access(ops, n_rows=1, write=True)  # stock update
         # Short critical section: allocate the order id, bump D_NEXT_O_ID.
-        ops.append(("lock", district))
+        ops.append((OP_LOCK, district))
         self._row_access(ops, n_rows=1, write=True, may_fault=False)
         self._cpu(ops, self.w.scaled(30))
-        ops.append(("unlock", district))
+        ops.append((OP_UNLOCK, district))
         self._commit(ops, records=2 + n_items // 4)
 
     def _payment(self, ops: list[Op]) -> None:
@@ -201,9 +207,9 @@ class OLTPProgram(WorkloadProgram):
         self._index_lookup(ops, depth=5)
         self._index_lookup(ops, depth=4)
         self._row_access(ops, n_rows=5, write=True)  # warehouse/customer rows
-        ops.append(("lock", district))
+        ops.append((OP_LOCK, district))
         self._row_access(ops, n_rows=1, write=True, may_fault=False)
-        ops.append(("unlock", district))
+        ops.append((OP_UNLOCK, district))
         self._commit(ops, records=1)
 
     def _order_status(self, ops: list[Op]) -> None:
@@ -215,12 +221,12 @@ class OLTPProgram(WorkloadProgram):
     def _delivery(self, ops: list[Op]) -> None:
         # Batch: walks several districts' oldest orders.
         for batch in range(self.w.scaled(4)):
-            district = DISTRICT_LOCK_BASE + (self.draw(27) + batch) % self.w.n_hot_districts
+            district = DISTRICT_LOCK_BASE + (self.draw1(27) + batch) % self.w.n_hot_districts
             self._index_lookup(ops, depth=2)
             self._row_access(ops, n_rows=1, write=True)
-            ops.append(("lock", district))
+            ops.append((OP_LOCK, district))
             self._row_access(ops, n_rows=1, write=True, may_fault=False)
-            ops.append(("unlock", district))
+            ops.append((OP_UNLOCK, district))
         self._commit(ops, records=3)
 
     def _stock_level(self, ops: list[Op]) -> None:

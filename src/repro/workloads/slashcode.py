@@ -19,6 +19,7 @@ is precisely the amplification mechanism of space variability.
 
 from __future__ import annotations
 
+from repro.isa import OP_CPU, OP_MEM, OP_LOCK, OP_UNLOCK, OP_IO, OP_TXN_BEGIN, OP_TXN_END
 from repro.workloads import address_space as aspace
 from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 
@@ -45,34 +46,34 @@ class SlashcodeProgram(WorkloadProgram):
             self.w.code_footprint_bytes,
             region=self.code_region,
         )
-        ops.append(("cpu", n, code))
+        ops.append((OP_CPU, n, code))
 
     def _db(self) -> int:
         self.mem_counter += 1
         return aspace.zipf_address(
             self.w.seed,
-            self.mem_counter + self.draw(3) % 2048,
+            self.mem_counter + self.draw1(3) % 2048,
             self.w.pool_bytes,
         )
 
     def _query(self, ops: list[Op], lock_id: int, rows: int, write: bool = False) -> None:
         """A database query holding a hot table lock while it runs."""
-        ops.append(("lock", lock_id))
+        ops.append((OP_LOCK, lock_id))
         self._cpu(ops, self.w.scaled(40))
         for _ in range(rows):
-            ops.append(("mem", self._db(), int(write)))
+            ops.append((OP_MEM, self._db(), int(write)))
             ops.append(
-                ("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
+                (OP_MEM, aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
             )
         if self.draw_milli(5, lock_id) < self.w.io_in_cs_milli:
             # Occasionally a cold row faults in from disk *while the
             # shard lock is held* -- the long-critical-section hazard
             # that makes Slashcode the paper's most space-variable
             # workload.
-            ops.append(("io", self.w.disk_read_ns))
-        ops.append(("unlock", lock_id))
+            ops.append((OP_IO, self.w.disk_read_ns))
+        ops.append((OP_UNLOCK, lock_id))
         if self.draw_milli(6, lock_id) < self.w.disk_read_milli:
-            ops.append(("io", self.w.disk_read_ns))
+            ops.append((OP_IO, self.w.disk_read_ns))
 
     def build_transaction(self) -> list[Op]:
         weights = [
@@ -82,14 +83,14 @@ class SlashcodeProgram(WorkloadProgram):
         ]
         txn_type = self.pick_weighted(weights, 1)
         self.code_region = txn_type
-        ops: list[Op] = [("txn_begin", txn_type)]
+        ops: list[Op] = [(OP_TXN_BEGIN, txn_type)]
         if txn_type == TXN_READ:
             self._render_page(ops)
         elif txn_type == TXN_POST:
             self._post_comment(ops)
         else:
             self._moderate(ops)
-        ops.append(("txn_end", txn_type))
+        ops.append((OP_TXN_END, txn_type))
         return ops
 
     def _discussion_size(self) -> int:
@@ -107,7 +108,7 @@ class SlashcodeProgram(WorkloadProgram):
         # two renders collide depends on which stories the interleaving
         # pairs up -- heavy-tailed discussions under a shared shard are
         # what make Slashcode the paper's most space-variable workload.
-        story = self.draw(9) % self.w.n_hot_stories
+        story = self.draw1(9) % self.w.n_hot_stories
         self._query(ops, STORY_LOCK + story, rows=8)
         self._query(ops, COMMENT_LOCK + 8 + story, rows=self._discussion_size())
         self._query(ops, USER_LOCK + 16, rows=4)
@@ -116,27 +117,27 @@ class SlashcodeProgram(WorkloadProgram):
             self._cpu(ops, self.w.scaled(250))
             self.mem_counter += 1
             ops.append(
-                ("mem", aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
+                (OP_MEM, aspace.private_address(self.tid, self.mem_counter, self.w.private_bytes), 1)
             )
 
     def _post_comment(self, ops: list[Op]) -> None:
-        story = self.draw(9) % self.w.n_hot_stories
+        story = self.draw1(9) % self.w.n_hot_stories
         self._query(ops, USER_LOCK + 16, rows=2)
         self._query(ops, COMMENT_LOCK + 8 + story, rows=10, write=True)
         self._cpu(ops, self.w.scaled(400))
 
     def _moderate(self, ops: list[Op]) -> None:
         # Takes a story's locks together: briefly serializes that story.
-        story = self.draw(9) % self.w.n_hot_stories
-        ops.append(("lock", STORY_LOCK + story))
-        ops.append(("lock", COMMENT_LOCK + 8 + story))
-        ops.append(("lock", USER_LOCK + 16))
+        story = self.draw1(9) % self.w.n_hot_stories
+        ops.append((OP_LOCK, STORY_LOCK + story))
+        ops.append((OP_LOCK, COMMENT_LOCK + 8 + story))
+        ops.append((OP_LOCK, USER_LOCK + 16))
         for _ in range(self.w.scaled(6)):
-            ops.append(("mem", self._db(), 1))
+            ops.append((OP_MEM, self._db(), 1))
         self._cpu(ops, self.w.scaled(200))
-        ops.append(("unlock", USER_LOCK + 16))
-        ops.append(("unlock", COMMENT_LOCK + 8 + story))
-        ops.append(("unlock", STORY_LOCK + story))
+        ops.append((OP_UNLOCK, USER_LOCK + 16))
+        ops.append((OP_UNLOCK, COMMENT_LOCK + 8 + story))
+        ops.append((OP_UNLOCK, STORY_LOCK + story))
 
     def extra_state(self) -> dict:
         return {"mem_counter": self.mem_counter}

@@ -18,6 +18,7 @@ epoch.  There are no cross-thread locks and no I/O.
 
 from __future__ import annotations
 
+from repro.isa import OP_CPU, OP_MEM, OP_TXN_BEGIN, OP_TXN_END
 from repro.workloads import address_space as aspace
 from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 
@@ -48,7 +49,7 @@ class SpecJbbProgram(WorkloadProgram):
             self.w.code_footprint_bytes,
             region=self.code_region,
         )
-        ops.append(("cpu", n, code))
+        ops.append((OP_CPU, n, code))
 
     def _heap_bytes(self) -> int:
         """Live-heap size: grows within a GC epoch, resets at collection."""
@@ -63,10 +64,10 @@ class SpecJbbProgram(WorkloadProgram):
         )
         return floor + grown
 
-    def _warehouse_address(self) -> int:
+    def _warehouse_address(self, span: int) -> int:
         """A touch within this thread's own warehouse slice of the heap."""
         self.mem_counter += 1
-        return aspace.private_address(self.tid, self.draw(3) + self.mem_counter, self._heap_bytes())
+        return aspace.private_address(self.tid, self.draw1(3) + self.mem_counter, span)
 
     def build_transaction(self) -> list[Op]:
         ops: list[Op] = []
@@ -77,14 +78,17 @@ class SpecJbbProgram(WorkloadProgram):
             self._gc_pause(ops)
         txn_type = self.pick_weighted(list(MIX), 1)
         self.code_region = txn_type
-        ops.append(("txn_begin", txn_type))
+        ops.append((OP_TXN_BEGIN, txn_type))
         touches = self.w.scaled(10 + 6 * (txn_type in (NEW_ORDER, DELIVERY)))
+        # Global progress is frozen while one transaction is built, so
+        # the heap size is computed once rather than per touch.
+        span = self._heap_bytes()
         for i in range(touches):
-            ops.append(("mem", self._warehouse_address(), int(i % 3 == 0)))
+            ops.append((OP_MEM, self._warehouse_address(span), int(i % 3 == 0)))
             if i % 4 == 0:
                 self._cpu(ops, self.w.scaled(50))
         self._cpu(ops, self.w.scaled(120))
-        ops.append(("txn_end", txn_type))
+        ops.append((OP_TXN_END, txn_type))
         return ops
 
     def _gc_pause(self, ops: list[Op]) -> None:
@@ -92,7 +96,7 @@ class SpecJbbProgram(WorkloadProgram):
         span = self._heap_bytes()
         for i in range(self.w.scaled(40)):
             self.mem_counter += 1
-            ops.append(("mem", aspace.private_address(self.tid, self.mem_counter * 7, span), 0))
+            ops.append((OP_MEM, aspace.private_address(self.tid, self.mem_counter * 7, span), 0))
             if i % 8 == 0:
                 self._cpu(ops, self.w.scaled(100))
 

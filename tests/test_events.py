@@ -12,13 +12,13 @@ class TestEventQueue:
         queue.schedule(30, "c")
         queue.schedule(10, "a")
         queue.schedule(20, "b")
-        assert [queue.pop().kind for _ in range(3)] == ["a", "b", "c"]
+        assert [queue.pop()[2] for _ in range(3)] == ["a", "b", "c"]
 
     def test_fifo_tie_breaking(self):
         queue = EventQueue()
         for name in ("first", "second", "third"):
             queue.schedule(5, name)
-        assert [queue.pop().kind for _ in range(3)] == ["first", "second", "third"]
+        assert [queue.pop()[2] for _ in range(3)] == ["first", "second", "third"]
 
     def test_pop_empty_returns_none(self):
         assert EventQueue().pop() is None
@@ -34,7 +34,7 @@ class TestEventQueue:
         queue.schedule(3, "last")
         queue.cancel(drop)
         assert queue.pop() is keep
-        assert queue.pop().kind == "last"
+        assert queue.pop()[2] == "last"
         assert queue.pop() is None
 
     def test_len_excludes_cancelled(self):
@@ -60,7 +60,7 @@ class TestEventQueue:
     def test_payload_carried(self):
         queue = EventQueue()
         queue.schedule(1, "core", payload=13)
-        assert queue.pop().payload == 13
+        assert queue.pop()[3] == 13
 
     def test_snapshot_restore_preserves_order(self):
         queue = EventQueue()
@@ -72,7 +72,7 @@ class TestEventQueue:
         restored = EventQueue.restore(queue.snapshot())
         kinds = []
         while (event := restored.pop()) is not None:
-            kinds.append(event.kind)
+            kinds.append(event[2])
         assert kinds == ["a", "b", "c"]
 
     def test_snapshot_preserves_sequence_counter(self):
@@ -82,7 +82,7 @@ class TestEventQueue:
         # New events scheduled at the same time must still come after
         # pre-snapshot events (the sequence counter survived).
         restored.schedule(1, "b")
-        assert restored.pop().kind == "a"
+        assert restored.pop()[2] == "a"
 
     @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
     def test_property_pops_sorted(self, times):
@@ -91,7 +91,7 @@ class TestEventQueue:
             queue.schedule(t, "e")
         popped = []
         while (event := queue.pop()) is not None:
-            popped.append(event.time)
+            popped.append(event[0])
         assert popped == sorted(times)
 
 

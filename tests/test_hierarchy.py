@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.isa import SRC_CACHE, SRC_L1, SRC_L2, SRC_MEMORY, SRC_UPGRADE
 from repro.config import SystemConfig
 from repro.memory.coherence import MOSIState
 from repro.memory.hierarchy import L1_READ_ONLY, L1_READ_WRITE, MemoryHierarchy
@@ -20,16 +21,16 @@ class TestBasicLatencies:
     def test_cold_load_comes_from_memory(self):
         h = hierarchy()
         result = h.access(0, ADDR, False, 0)
-        assert result.source == "memory"
+        assert result[1] == SRC_MEMORY
         # 1 (L1) + 20 (L2) + 100 (crossbar round trip) + 80 (DRAM) = 201.
-        assert result.latency_ns == 201
+        assert result[0] == 201
 
     def test_l1_hit_after_fill(self):
         h = hierarchy()
         h.access(0, ADDR, False, 0)
         result = h.access(0, ADDR, False, 10)
-        assert result.source == "l1"
-        assert result.latency_ns == 1
+        assert result[1] == SRC_L1
+        assert result[0] == 1
 
     def test_l2_hit_after_l1_eviction(self):
         h = hierarchy()
@@ -39,21 +40,21 @@ class TestBasicLatencies:
         for i in range(1, 5):
             h.access(0, ADDR + i * sets * 64, False, 0)
         result = h.access(0, ADDR, False, 10)
-        assert result.source == "l2"
+        assert result[1] == SRC_L2
 
     def test_cache_to_cache_transfer(self):
         h = hierarchy()
         h.access(0, ADDR, True, 0)  # node 0 takes M
         result = h.access(1, ADDR, False, 1000)
-        assert result.source == "cache"
+        assert result[1] == SRC_CACHE
         # 1 + 20 + 100 (crossbar) + 25 (provider) = 146.
-        assert result.latency_ns == 146
+        assert result[0] == 146
 
     def test_upgrade_latency(self):
         h = hierarchy()
         h.access(0, ADDR, False, 0)  # S
         result = h.access(0, ADDR, True, 1000)
-        assert result.source == "upgrade"
+        assert result[1] == SRC_UPGRADE
         assert h.stats.upgrades == 1
 
 
@@ -93,14 +94,14 @@ class TestCoherenceBehaviour:
         h.access(0, ADDR, False, 0)
         h.access(1, ADDR, False, 100)  # two sharers
         result = h.access(0, ADDR, True, 2000)
-        assert result.source == "upgrade"
+        assert result[1] == SRC_UPGRADE
         assert h.l2[1].peek(ADDR // 64) is None
 
     def test_second_write_is_l1_hit(self):
         h = hierarchy()
         h.access(0, ADDR, True, 0)
         result = h.access(0, ADDR, True, 10)
-        assert result.source == "l1"
+        assert result[1] == SRC_L1
 
     def test_dirty_eviction_writes_back(self):
         h = hierarchy(n_cpus=1)
@@ -192,7 +193,7 @@ class TestPerturbation:
         for _ in range(2):
             h = hierarchy(perturbation=4)
             h.seed_perturbation(42)
-            latencies = [h.access(0, ADDR + i * 64, False, i * 10).latency_ns for i in range(50)]
+            latencies = [h.access(0, ADDR + i * 64, False, i * 10)[0] for i in range(50)]
             results.append(latencies)
         assert results[0] == results[1]
 
@@ -202,7 +203,7 @@ class TestPerturbation:
             h = hierarchy(perturbation=4)
             h.seed_perturbation(seed)
             latencies.append(
-                [h.access(0, ADDR + i * 64, False, i * 10).latency_ns for i in range(50)]
+                [h.access(0, ADDR + i * 64, False, i * 10)[0] for i in range(50)]
             )
         assert latencies[0] != latencies[1]
 
@@ -229,9 +230,9 @@ class TestSnapshotRestore:
             h.access(i % 4, ADDR + (i % 20) * 64, i % 3 == 0, i * 17)
         state = h.snapshot()
         follow_on = [(2, ADDR + 5 * 64, True), (3, ADDR + 21 * 64, False)]
-        expected = [h.access(n, a, w, 10_000 + i) .latency_ns for i, (n, a, w) in enumerate(follow_on)]
+        expected = [h.access(n, a, w, 10_000 + i) [0] for i, (n, a, w) in enumerate(follow_on)]
         h2 = hierarchy()
         h2.restore_state(state)
-        actual = [h2.access(n, a, w, 10_000 + i).latency_ns for i, (n, a, w) in enumerate(follow_on)]
+        actual = [h2.access(n, a, w, 10_000 + i)[0] for i, (n, a, w) in enumerate(follow_on)]
         assert actual == expected
         assert h2.check_coherence_invariants() == []

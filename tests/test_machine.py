@@ -3,6 +3,7 @@
 import pytest
 
 from repro.config import SystemConfig
+from repro.sim.events import EV_CORE
 from repro.osmodel.thread import ThreadState
 from repro.system.machine import Machine, SimulationStall
 from repro.workloads.registry import make_workload
@@ -134,11 +135,12 @@ class TestScientificWorkloads:
             event = machine.events.pop()
             if event is None:
                 break
-            machine.clock.advance_to(event.time)
-            if event.kind == "core":
-                machine._handle_core(event.payload, event.time)
+            time, _, kind, payload = event
+            machine.clock.advance_to(time)
+            if kind == EV_CORE:
+                machine._handle_core(payload, time)
             else:
-                machine._handle_ready(event.payload, event.time)
+                machine._handle_ready(payload, time)
         assert machine.live_threads == 0
 
 

@@ -8,6 +8,7 @@ two variant tables and their end-to-end semantics in the hierarchy.
 
 import pytest
 
+from repro.isa import SRC_CACHE, SRC_L2, SRC_UPGRADE
 from repro.config import SystemConfig
 from repro.memory.coherence import (
     MESI_TRANSITIONS,
@@ -109,7 +110,7 @@ class TestHierarchySemantics:
         h.access(0, ADDR, False, 0)
         misses_before = h.stats.l2_misses
         result = h.access(0, ADDR, True, 100)
-        assert result.source == "l2"
+        assert result[1] == SRC_L2
         assert h.stats.l2_misses == misses_before
         line = h.l2[0].peek(ADDR // 64)
         assert line.state == "M" and line.dirty
@@ -118,14 +119,14 @@ class TestHierarchySemantics:
         h = hierarchy("mosi")
         h.access(0, ADDR, False, 0)
         result = h.access(0, ADDR, True, 100)
-        assert result.source == "upgrade"
+        assert result[1] == SRC_UPGRADE
         assert h.stats.upgrades == 1
 
     def test_exclusive_holder_supplies_remote_read(self):
         h = hierarchy("mesi")
         h.access(0, ADDR, False, 0)  # E
         result = h.access(1, ADDR, False, 1000)
-        assert result.source == "cache"
+        assert result[1] == SRC_CACHE
 
     def test_mesi_dirty_demotion_reaches_memory(self):
         h = hierarchy("mesi")

@@ -12,6 +12,7 @@ from collections import Counter
 
 import pytest
 
+from repro.isa import OP_BARRIER, OP_IO, OP_LOCK, OP_MEM, OP_TXN_BEGIN, OP_UNLOCK
 from repro.workloads.base import WorkloadClock
 from repro.workloads.oltp import LOG_LOCK, DISTRICT_LOCK_BASE
 from repro.workloads.registry import make_workload
@@ -43,9 +44,9 @@ class TestOLTPBehaviour:
         committing = 0
         leaders = 0
         for ops in txns:
-            locks = [op[1] for op in ops if op[0] == "lock"]
+            locks = [op[1] for op in ops if op[0] == OP_LOCK]
             has_log_records = any(
-                op[0] == "mem" and op[1] >= 0x6000_0000 and op[1] < 0x7000_0000
+                op[0] == OP_MEM and op[1] >= 0x6000_0000 and op[1] < 0x7000_0000
                 for op in ops
             )
             if has_log_records:
@@ -61,7 +62,7 @@ class TestOLTPBehaviour:
             op[1]
             for ops in txns
             for op in ops
-            if op[0] == "lock" and op[1] != LOG_LOCK
+            if op[0] == OP_LOCK and op[1] != LOG_LOCK
         }
         workload = make_workload("oltp")
         for lock_id in district_locks:
@@ -73,20 +74,20 @@ class TestOLTPBehaviour:
         for ops in txns:
             held: set[int] = set()
             for op in ops:
-                if op[0] == "lock":
+                if op[0] == OP_LOCK:
                     held.add(op[1])
-                elif op[0] == "unlock":
+                elif op[0] == OP_UNLOCK:
                     held.discard(op[1])
-                elif op[0] == "io":
+                elif op[0] == OP_IO:
                     district_held = [l for l in held if l != LOG_LOCK]
                     assert not district_held, "io while holding a district lock"
 
     def test_read_only_types_skip_locks(self):
         txns = transactions("oltp", 500)
         for ops in txns:
-            txn_type = next(op[1] for op in ops if op[0] == "txn_begin")
+            txn_type = next(op[1] for op in ops if op[0] == OP_TXN_BEGIN)
             if txn_type in (2, 4):  # order_status, stock_level
-                assert not any(op[0] == "lock" for op in ops)
+                assert not any(op[0] == OP_LOCK for op in ops)
 
     def test_pool_breathing_changes_footprint(self):
         workload = make_workload("oltp")
@@ -103,15 +104,15 @@ class TestApacheBehaviour:
     def test_keepalive_skips_accept_lock(self):
         txns = transactions("apache", 400)
         with_accept = sum(
-            1 for ops in txns if any(op[0] == "lock" and op[1] == 400 for op in ops)
+            1 for ops in txns if any(op[0] == OP_LOCK and op[1] == 400 for op in ops)
         )
         fraction = with_accept / len(txns)
         assert 0.1 < fraction < 0.45  # new_connection_milli = 250
 
     def test_access_log_is_per_worker(self):
         """No cross-worker lock around the access-log append."""
-        a = ops_of_kind(transactions("apache", 50, tid=0), "mem")
-        b = ops_of_kind(transactions("apache", 50, tid=1), "mem")
+        a = ops_of_kind(transactions("apache", 50, tid=0), OP_MEM)
+        b = ops_of_kind(transactions("apache", 50, tid=1), OP_MEM)
         log_a = {op[1] for op in a if op[1] >= 0x6000_0000 and op[1] < 0x7000_0000}
         log_b = {op[1] for op in b if op[1] >= 0x6000_0000 and op[1] < 0x7000_0000}
         assert log_a and log_b
@@ -131,7 +132,7 @@ class TestApacheBehaviour:
 class TestSlashcodeBehaviour:
     def test_story_sharded_locks(self):
         txns = transactions("slashcode", 300)
-        locks = Counter(op[1] for ops in txns for op in ops if op[0] == "lock")
+        locks = Counter(op[1] for ops in txns for op in ops if op[0] == OP_LOCK)
         # Story and comment locks spread over the shard space.
         assert len(locks) >= 6
 
@@ -151,10 +152,10 @@ class TestSlashcodeBehaviour:
             depth = 0
             max_depth = 0
             for op in ops:
-                if op[0] == "lock":
+                if op[0] == OP_LOCK:
                     depth += 1
                     max_depth = max(max_depth, depth)
-                elif op[0] == "unlock":
+                elif op[0] == OP_UNLOCK:
                     depth -= 1
             if max_depth >= 3:
                 nested += 1
@@ -171,7 +172,7 @@ class TestECPerfBehaviour:
 
     def test_three_tier_lock_structure(self):
         txns = transactions("ecperf", 100)
-        locks = {op[1] for ops in txns for op in ops if op[0] == "lock"}
+        locks = {op[1] for ops in txns for op in ops if op[0] == OP_LOCK}
         assert 500 in locks                     # web pool
         assert any(510 <= l < 530 for l in locks)  # entity beans
         assert any(530 <= l < 550 for l in locks)  # db latches
@@ -179,8 +180,8 @@ class TestECPerfBehaviour:
 
 class TestSpecJbbBehaviour:
     def test_threads_never_share_heap_addresses(self):
-        a = {op[1] for op in ops_of_kind(transactions("specjbb", 100, tid=0), "mem")}
-        b = {op[1] for op in ops_of_kind(transactions("specjbb", 100, tid=1), "mem")}
+        a = {op[1] for op in ops_of_kind(transactions("specjbb", 100, tid=0), OP_MEM)}
+        b = {op[1] for op in ops_of_kind(transactions("specjbb", 100, tid=1), OP_MEM)}
         # Warehouse independence: only code addresses may coincide, and
         # heap touches live in the private region.
         shared = {addr for addr in (a & b) if addr >= 0x2000_0000}
@@ -213,7 +214,7 @@ class TestScientificBehaviour:
         workload.n_threads(16)
         program = workload.make_program(1, WorkloadClock())
         ops = program.next_ops(None)
-        assert sum(1 for op in ops if op[0] == "barrier") == 2
+        assert sum(1 for op in ops if op[0] == OP_BARRIER) == 2
 
     def test_barnes_cell_locks_are_fine_grained(self):
         workload = make_workload("barnes")
@@ -223,7 +224,7 @@ class TestScientificBehaviour:
             program = workload.make_program(tid, WorkloadClock())
             for _ in range(workload.n_steps):
                 ops = program.next_ops(None)
-                locks |= {op[1] for op in ops if op[0] == "lock"}
+                locks |= {op[1] for op in ops if op[0] == OP_LOCK}
         assert len(locks) >= 3  # hashed over 8 cells
 
     def test_ocean_has_no_locks(self):
@@ -232,11 +233,11 @@ class TestScientificBehaviour:
         program = workload.make_program(0, WorkloadClock())
         for _ in range(workload.n_steps):
             ops = program.next_ops(None)
-            assert not any(op[0] == "lock" for op in ops)
+            assert not any(op[0] == OP_LOCK for op in ops)
 
     def test_ocean_reduction_accumulator_shared(self):
         workload = make_workload("ocean")
         workload.n_threads(16)
-        a = {op[1] for op in ops_of_kind([workload.make_program(0, WorkloadClock()).next_ops(None)], "mem")}
-        b = {op[1] for op in ops_of_kind([workload.make_program(5, WorkloadClock()).next_ops(None)], "mem")}
+        a = {op[1] for op in ops_of_kind([workload.make_program(0, WorkloadClock()).next_ops(None)], OP_MEM)}
+        b = {op[1] for op in ops_of_kind([workload.make_program(5, WorkloadClock()).next_ops(None)], OP_MEM)}
         assert a & b  # the reduction accumulator block is shared

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.isa import N_OPCODES, OP_BARRIER, OP_CPU, OP_IO, OP_LOCK, OP_MEM, OP_TXN_BEGIN, OP_TXN_END, OP_UNLOCK
 from repro.workloads.base import Op, WorkloadClock
 from repro.workloads.registry import (
     PAPER_TRANSACTIONS,
@@ -11,9 +12,7 @@ from repro.workloads.registry import (
 
 COMMERCIAL = ("oltp", "apache", "specjbb", "slashcode", "ecperf")
 SCIENTIFIC = ("barnes", "ocean")
-VALID_KINDS = {
-    "cpu", "mem", "lock", "unlock", "io", "barrier", "txn_begin", "txn_end", "yield",
-}
+VALID_KINDS = set(range(N_OPCODES))
 
 
 def collect_ops(name: str, n_txns: int = 20, tid: int = 0, clock=None) -> list[list[Op]]:
@@ -64,12 +63,12 @@ class TestOpStreams:
         for ops in collect_ops(name, n_txns=10):
             for op in ops:
                 assert op[0] in VALID_KINDS
-                if op[0] == "mem":
+                if op[0] == OP_MEM:
                     assert op[1] >= 0
                     assert op[2] in (0, 1)
-                if op[0] == "cpu":
+                if op[0] == OP_CPU:
                     assert op[1] > 0
-                if op[0] == "io":
+                if op[0] == OP_IO:
                     assert op[1] > 0
 
     @pytest.mark.parametrize("name", COMMERCIAL)
@@ -77,9 +76,9 @@ class TestOpStreams:
         for ops in collect_ops(name, n_txns=30):
             held: list[int] = []
             for op in ops:
-                if op[0] == "lock":
+                if op[0] == OP_LOCK:
                     held.append(op[1])
-                elif op[0] == "unlock":
+                elif op[0] == OP_UNLOCK:
                     assert op[1] in held, f"{name}: unlock of unheld {op[1]}"
                     held.remove(op[1])
             assert held == [], f"{name}: locks left held {held}"
@@ -87,11 +86,11 @@ class TestOpStreams:
     @pytest.mark.parametrize("name", COMMERCIAL)
     def test_commercial_txn_has_end_marker(self, name):
         for ops in collect_ops(name, n_txns=10):
-            ends = [op for op in ops if op[0] == "txn_end"]
+            ends = [op for op in ops if op[0] == OP_TXN_END]
             assert len(ends) <= 1
         # Every commercial workload completes transactions continuously.
         all_txns = collect_ops(name, n_txns=10)
-        assert any(op[0] == "txn_end" for ops in all_txns for op in ops)
+        assert any(op[0] == OP_TXN_END for ops in all_txns for op in ops)
 
     def test_threads_per_cpu(self):
         assert make_workload("oltp").n_threads(16) == 128
@@ -168,7 +167,7 @@ class TestScientificStructure:
             if not ops:
                 break
             steps += 1
-            txn_ends += sum(1 for op in ops if op[0] == "txn_end")
+            txn_ends += sum(1 for op in ops if op[0] == OP_TXN_END)
             assert steps < 1000
         assert txn_ends == 1  # thread 0 reports the single transaction
 
@@ -179,7 +178,7 @@ class TestScientificStructure:
         program = workload.make_program(3, WorkloadClock())
         ends = 0
         while ops := program.next_ops(None):
-            ends += sum(1 for op in ops if op[0] == "txn_end")
+            ends += sum(1 for op in ops if op[0] == OP_TXN_END)
         assert ends == 0
 
     @pytest.mark.parametrize("name", SCIENTIFIC)
@@ -188,7 +187,7 @@ class TestScientificStructure:
         workload.n_threads(8)
         program = workload.make_program(0, WorkloadClock())
         ops = program.next_ops(None)
-        barriers = [op for op in ops if op[0] == "barrier"]
+        barriers = [op for op in ops if op[0] == OP_BARRIER]
         assert barriers
         assert all(op[2] == 8 for op in barriers)
 
@@ -215,7 +214,7 @@ class TestSpecJbbPhases:
 
     def test_no_locks_or_io(self):
         for ops in collect_ops("specjbb", n_txns=30):
-            assert all(op[0] not in ("lock", "unlock", "io") for op in ops)
+            assert all(op[0] not in (OP_LOCK, OP_UNLOCK, OP_IO) for op in ops)
 
 
 class TestOLTPStructure:
@@ -223,7 +222,7 @@ class TestOLTPStructure:
         types = set()
         for ops in collect_ops("oltp", n_txns=200):
             for op in ops:
-                if op[0] == "txn_begin":
+                if op[0] == OP_TXN_BEGIN:
                     types.add(op[1])
         assert types == {0, 1, 2, 3, 4}
 
@@ -231,7 +230,7 @@ class TestOLTPStructure:
         counts = [0] * 5
         for ops in collect_ops("oltp", n_txns=300):
             for op in ops:
-                if op[0] == "txn_begin":
+                if op[0] == OP_TXN_BEGIN:
                     counts[op[1]] += 1
         assert counts[0] + counts[1] > 0.75 * sum(counts)
 
