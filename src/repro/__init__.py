@@ -78,6 +78,14 @@ from repro.system import (
     make_checkpoints,
     run_simulation,
 )
+from repro.verify import (
+    InvariantSuite,
+    InvariantViolation,
+    VerifyReport,
+    attach_invariants,
+    run_fuzz,
+    run_verify,
+)
 from repro.workloads import available_workloads, make_workload
 
 __version__ = "1.0.0"
@@ -133,5 +141,11 @@ __all__ = [
     "run_simulation",
     "available_workloads",
     "make_workload",
+    "InvariantSuite",
+    "InvariantViolation",
+    "VerifyReport",
+    "attach_invariants",
+    "run_fuzz",
+    "run_verify",
     "__version__",
 ]

@@ -222,6 +222,51 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the correctness gate: invariants, differentials, optional fuzz."""
+    from repro.verify import run_verify
+
+    progress = None if args.quiet else print
+    report = run_verify(fuzz=args.fuzz, seed=args.seed, progress=progress)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": report.ok,
+                    "scenarios": [
+                        {"label": s.label, "ok": s.ok,
+                         "violations": s.violations, "error": s.error}
+                        for s in report.scenarios
+                    ],
+                    "differentials": [
+                        {"name": d.name, "ok": d.ok, "mismatches": d.mismatches}
+                        for d in report.differentials
+                    ],
+                    "fuzz": (
+                        None
+                        if report.fuzz is None
+                        else {
+                            "seed": report.fuzz.seed,
+                            "cases": len(report.fuzz.results),
+                            "ok": report.fuzz.ok,
+                            "failures": [
+                                r.describe_failure() for r in report.fuzz.failures
+                            ],
+                        }
+                    ),
+                },
+                indent=2,
+            )
+        )
+    elif args.quiet:
+        print(report.render())
+    else:
+        print("verify: PASS" if report.ok else "verify: FAIL")
+        if not report.ok:
+            print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_budget(args: argparse.Namespace) -> int:
     """Plan a runs-x-length allocation under a simulation budget."""
     from repro.core.budget import allocate_budget, fit_cov_model_from_samples
@@ -373,6 +418,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     survey_parser.add_argument("--runs", type=int, default=10)
     survey_parser.set_defaults(func=cmd_survey)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="run the correctness gate (invariants, differentials, fuzzing)",
+    )
+    verify_parser.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="also fuzz N random configurations (double-run digest check)",
+    )
+    verify_parser.add_argument(
+        "--seed", type=int, default=1, help="fuzz stream seed"
+    )
+    verify_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress live progress; print only the final report",
+    )
+    verify_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    verify_parser.set_defaults(func=cmd_verify)
 
     budget_parser = subparsers.add_parser(
         "budget", help="plan runs x length under a simulation budget"

@@ -1,18 +1,32 @@
-"""Shared fixtures.
+"""Shared fixtures and machine/workload-building helpers.
 
 Machine-level tests use a deliberately small target (4 CPUs, few threads,
 short runs) so the whole suite stays fast; the benchmark harness is where
 paper-sized experiments live.
+
+Besides pytest fixtures, this module holds the plain helper functions
+that several test modules share (``tests`` is a package, so test modules
+import them with ``from tests.conftest import ...``):
+
+- :func:`small_machine` -- a booted small OLTP machine.
+- :class:`ScriptedWorkload` / :func:`machine_for` -- machines running a
+  fixed op script, for engine edge-case tests.
+- :func:`transactions` / :func:`ops_of_kind` -- generate a program's raw
+  op stream without a machine, for workload-structure tests.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.config import RunConfig, SystemConfig
+from repro.config import OSConfig, RunConfig, SystemConfig
 from repro.system.checkpoint import Checkpoint
 from repro.system.machine import Machine
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
 from repro.workloads.registry import make_workload
+
+#: an address in the (unshared) code region, for scripted cpu ops
+CODE = 0x0800_0000
 
 
 @pytest.fixture
@@ -50,3 +64,82 @@ def warm_checkpoint() -> Checkpoint:
     machine.hierarchy.seed_perturbation(9)
     machine.run_until_transactions(300, max_time_ns=10**12)
     return Checkpoint.capture(machine)
+
+
+def small_machine(
+    n_cpus=4,
+    perturbation=4,
+    workload=None,
+    seed_value=3,
+    threads_per_cpu=2,
+) -> Machine:
+    """A booted machine running OLTP (or ``workload``), perturbation seeded."""
+    config = SystemConfig(n_cpus=n_cpus).with_perturbation(perturbation)
+    machine = Machine(
+        config,
+        workload or make_workload("oltp", threads_per_cpu=threads_per_cpu),
+    )
+    machine.hierarchy.seed_perturbation(seed_value)
+    return machine
+
+
+class ScriptedProgram(WorkloadProgram):
+    """Emits a fixed op script repeatedly (for engine tests)."""
+
+    global_queue = False
+
+    def __init__(self, name, tid, seed, clock, script, repeats):
+        super().__init__(name, tid, seed, clock)
+        self.script = script
+        self.repeats = repeats
+
+    def build_transaction(self) -> list[Op]:
+        if self.txn_index >= self.repeats:
+            self.finished = True
+            return [("txn_end", 0)]
+        return list(self.script) + [("txn_end", 0)]
+
+
+class ScriptedWorkload(Workload):
+    name = "scripted"
+
+    def __init__(self, script, repeats=5, threads=2, seed=1):
+        super().__init__(seed=seed)
+        self.script = script
+        self.repeats = repeats
+        self.threads = threads
+
+    def n_threads(self, n_cpus: int) -> int:
+        return self.threads
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> ScriptedProgram:
+        return ScriptedProgram(
+            self.name, tid, self.seed, clock, self.script, self.repeats
+        )
+
+
+def machine_for(script, *, threads=2, repeats=5, n_cpus=2, **os_kwargs) -> Machine:
+    """A perturbation-free machine running a fixed op script."""
+    config = SystemConfig(n_cpus=n_cpus, os=OSConfig(**os_kwargs)).with_perturbation(0)
+    return Machine(config, ScriptedWorkload(script, repeats=repeats, threads=threads))
+
+
+def transactions(name, n, tid=0, **params):
+    """The first ``n`` raw transactions of one program of workload ``name``."""
+    workload = make_workload(name, **params)
+    workload.n_threads(16)
+    clock = WorkloadClock()
+    program = workload.make_program(tid, clock)
+    out = []
+    for _ in range(n):
+        ops = program.next_ops(None)
+        if not ops:
+            break
+        out.append(ops)
+        clock.total_transactions += 1
+    return out
+
+
+def ops_of_kind(txns, kind):
+    """All ops with opcode ``kind`` across a list of transactions."""
+    return [op for ops in txns for op in ops if op[0] == kind]

@@ -7,13 +7,7 @@ from repro.sim.events import EV_CORE
 from repro.osmodel.thread import ThreadState
 from repro.system.machine import Machine, SimulationStall
 from repro.workloads.registry import make_workload
-
-
-def small_machine(n_cpus=4, perturbation=4, workload=None, seed_value=3) -> Machine:
-    config = SystemConfig(n_cpus=n_cpus).with_perturbation(perturbation)
-    machine = Machine(config, workload or make_workload("oltp", threads_per_cpu=2))
-    machine.hierarchy.seed_perturbation(seed_value)
-    return machine
+from tests.conftest import small_machine
 
 
 class TestExecution:

@@ -1,51 +1,7 @@
 """Engine edge cases: interleave slices, idle CPUs, quantum, barging."""
 
-from repro.config import OSConfig, SystemConfig
-from repro.osmodel.thread import ThreadState
-from repro.proc.base import BranchContext
-from repro.system.machine import INTERLEAVE_NS, Machine
-from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
-
-
-class ScriptedProgram(WorkloadProgram):
-    """Emits a fixed op script repeatedly (for engine tests)."""
-
-    global_queue = False
-
-    def __init__(self, name, tid, seed, clock, script, repeats):
-        super().__init__(name, tid, seed, clock)
-        self.script = script
-        self.repeats = repeats
-
-    def build_transaction(self) -> list[Op]:
-        if self.txn_index >= self.repeats:
-            self.finished = True
-            return [("txn_end", 0)]
-        return list(self.script) + [("txn_end", 0)]
-
-
-class ScriptedWorkload(Workload):
-    name = "scripted"
-
-    def __init__(self, script, repeats=5, threads=2, seed=1):
-        super().__init__(seed=seed)
-        self.script = script
-        self.repeats = repeats
-        self.threads = threads
-
-    def n_threads(self, n_cpus: int) -> int:
-        return self.threads
-
-    def make_program(self, tid: int, clock: WorkloadClock) -> ScriptedProgram:
-        return ScriptedProgram(self.name, tid, self.seed, clock, self.script, self.repeats)
-
-
-def machine_for(script, *, threads=2, repeats=5, n_cpus=2, **os_kwargs) -> Machine:
-    config = SystemConfig(n_cpus=n_cpus, os=OSConfig(**os_kwargs)).with_perturbation(0)
-    return Machine(config, ScriptedWorkload(script, repeats=repeats, threads=threads))
-
-
-CODE = 0x0800_0000
+from repro.system.machine import INTERLEAVE_NS
+from tests.conftest import CODE, machine_for
 
 
 class TestSliceBoundaries:

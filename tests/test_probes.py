@@ -15,12 +15,14 @@ from repro.probes import (
 from repro.system.machine import Machine
 from repro.system.simulation import run_simulation
 from repro.workloads.registry import make_workload
+from tests.conftest import small_machine as _small_machine
 
 
 def small_machine(workload_name="oltp", n_cpus=2, seed=7):
-    machine = Machine(SystemConfig(n_cpus=n_cpus), make_workload(workload_name))
-    machine.hierarchy.seed_perturbation(seed)
-    return machine
+    # Probe tests use full-width workloads (the oltp class default of 8
+    # threads/cpu), unlike the slimmed conftest default.
+    workload = make_workload(workload_name)
+    return _small_machine(n_cpus=n_cpus, workload=workload, seed_value=seed)
 
 
 class TestProbeBus:
@@ -161,6 +163,76 @@ class TestMachineIntegration:
         )
         machine.run_until_transactions(60, max_time_ns=10**12)
         assert set(events) <= {"block", "handoff"}
+
+
+def _full_collector_bus() -> ProbeBus:
+    bus = ProbeBus()
+    for probe in (
+        OpCountProbe(),
+        CacheTrafficProbe(),
+        LockContentionProbe(),
+        ScheduleTraceProbe(),
+        TransactionLogProbe(),
+    ):
+        bus.attach(probe)
+    return bus
+
+
+def _golden_scenario_digest(name, prepare) -> tuple[str, str]:
+    """Run golden scenario ``name`` after ``prepare(machine)``; return
+    (digest, committed golden digest).  Reassembles exactly the blob that
+    ``golden_digest()`` hashes (no warmup, so the window starts at t=0)."""
+    import hashlib
+
+    from repro.sim.rng import stream_seed
+    from tests.test_golden_determinism import SCENARIOS, STAT_KEYS, load_golden
+
+    scenario = SCENARIOS[name]
+    config = scenario.get("config", lambda: SystemConfig(n_cpus=4))()
+    workload = make_workload(scenario["workload"], **scenario["params"])
+    machine = Machine(config, workload)
+    machine.hierarchy.seed_perturbation(stream_seed(9, "perturbation"))
+    machine.transaction_log = []
+    prepare(machine)
+    end_ns = machine.run_until_transactions(scenario["txns"], max_time_ns=10**13)
+    stats = machine.hierarchy.stats
+    blob = repr(
+        (
+            end_ns,
+            machine.completed_transactions,
+            sorted(
+                (t, k) for t, k in machine.transaction_log if 0 <= t <= end_ns
+            ),
+            [(key, int(getattr(stats, key))) for key in STAT_KEYS],
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest(), load_golden()[name]
+
+
+class TestGoldenRoundTrip:
+    @pytest.mark.parametrize("name", ["oltp", "oltp-mesi"])
+    def test_attach_detach_reproduces_golden_digest(self, name):
+        """Attaching a full collector bus and detaching it again must leave
+        the machine bit-for-bit pristine: the raw dispatch table and every
+        probe hook are restored exactly, so the committed golden digest is
+        still reproduced."""
+
+        def attach_then_detach(machine):
+            machine.attach_probes(_full_collector_bus())
+            machine.detach_probes()
+
+        digest, golden = _golden_scenario_digest(name, attach_then_detach)
+        assert digest == golden
+
+    @pytest.mark.parametrize("name", ["oltp", "oltp-mesi"])
+    def test_probed_run_reproduces_golden_digest(self, name):
+        """A run observed by every collector the whole way through still
+        reproduces the committed golden digest: probes are transparent in
+        behaviour, not just approximately."""
+        digest, golden = _golden_scenario_digest(
+            name, lambda machine: machine.attach_probes(_full_collector_bus())
+        )
+        assert digest == golden
 
 
 class TestRunSimulationIntegration:

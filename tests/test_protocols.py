@@ -17,6 +17,8 @@ from repro.memory.coherence import (
     ProtocolEvent,
     apply_event,
     available_protocols,
+    is_readable,
+    is_writable,
     transitions_for,
     validate_table,
 )
@@ -82,6 +84,88 @@ class TestTables:
 
     def test_mosi_has_no_e(self):
         assert all(key[0] is not S.E for key in transitions_for("mosi"))
+
+
+class TestExhaustiveTables:
+    """Structural SWMR safety, checked over *every* registered protocol.
+
+    A writable+shared pair (one cache can store locally while another can
+    still read locally) is the coherence violation; these tests prove the
+    tables make it unreachable, transition by transition, without relying
+    on which states a particular protocol happens to use.
+    """
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_table_validates(self, protocol):
+        assert validate_table(transitions_for(protocol)) == []
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_every_entry_applies_cleanly(self, protocol):
+        table = transitions_for(protocol)
+        for state, event in table:
+            transition = apply_event(state, event, table)
+            assert isinstance(transition.next_state, MOSIState)
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_other_getm_leaves_no_local_permission(self, protocol):
+        """When a remote cache takes M, every observer must end with no
+        read or write permission -- otherwise the new writer would coexist
+        with a readable (or worse, writable) stale copy."""
+        table = transitions_for(protocol)
+        for (state, event), transition in table.items():
+            if event is ProtocolEvent.OTHER_GETM:
+                assert not is_writable(transition.next_state), (
+                    f"{protocol}: ({state.value}, OTHER_GETM) -> "
+                    f"{transition.next_state.value} stays writable"
+                )
+                assert not is_readable(transition.next_state), (
+                    f"{protocol}: ({state.value}, OTHER_GETM) -> "
+                    f"{transition.next_state.value} stays readable beside "
+                    "a remote writer"
+                )
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_other_gets_demotes_every_writer(self, protocol):
+        """When a remote cache takes a readable copy, no observer may keep
+        (or gain) write permission."""
+        table = transitions_for(protocol)
+        for (state, event), transition in table.items():
+            if event is ProtocolEvent.OTHER_GETS:
+                assert not is_writable(transition.next_state), (
+                    f"{protocol}: ({state.value}, OTHER_GETS) -> "
+                    f"{transition.next_state.value} is writable while a "
+                    "remote sharer holds a readable copy"
+                )
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_local_store_hit_requires_write_permission(self, protocol):
+        """A STORE completes locally ("hit", no request issued) only from
+        a writable state -- anything else must go to the interconnect."""
+        table = transitions_for(protocol)
+        for (state, event), transition in table.items():
+            if event is ProtocolEvent.STORE and "hit" in transition.actions:
+                assert is_writable(state), (
+                    f"{protocol}: STORE hits locally from non-writable "
+                    f"state {state.value}"
+                )
+                assert "issue_getm" not in transition.actions
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    def test_writable_states_are_exclusive_by_table(self, protocol):
+        """The combination of the two demotion rules above: replay every
+        remote-event pair and confirm no (holder, observer) outcome is
+        writable+readable.  This is the table-level statement of SWMR."""
+        table = transitions_for(protocol)
+        remote = (ProtocolEvent.OTHER_GETS, ProtocolEvent.OTHER_GETM)
+        for (state, event), transition in table.items():
+            if event not in remote:
+                continue
+            # The requester ends writable (GetM) or readable (GetS);
+            # check the observer's landing state against it.
+            requester_writable = event is ProtocolEvent.OTHER_GETM
+            observer = transition.next_state
+            assert not (requester_writable and is_readable(observer))
+            assert not (is_writable(observer) and event is ProtocolEvent.OTHER_GETS)
 
 
 class TestHierarchySemantics:

@@ -1,0 +1,211 @@
+"""Property-style tests for the statistics core.
+
+``test_statistics.py`` pins the paper's worked examples; this module
+checks the *laws* the functions must obey on arbitrary inputs --
+closed-form agreement with scipy, monotonicity of interval widths in
+confidence and sample size, antisymmetry of the two-sample test under
+sample swap, and the [0, 1] range of the wrong-conclusion bound.  The
+methodology chapters of the paper lean on exactly these properties (a CI
+that failed to widen with confidence, say, would silently invalidate
+every Figure 10-style conclusion).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as scipy_stats
+
+from repro.core.confidence import (
+    NORMAL_APPROXIMATION_N,
+    confidence_interval,
+    critical_t,
+    estimate_sample_size,
+    intervals_overlap,
+)
+from repro.core.hypothesis import two_sample_t_test
+
+#: samples of well-behaved floats (no NaN/inf, bounded magnitude so
+#: variance arithmetic stays in float range)
+_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=40,
+)
+
+#: samples guaranteed to carry spread (distinct elements), so standard
+#: errors are nonzero and test statistics are defined
+_spread_values = _values.filter(lambda vs: max(vs) - min(vs) > 1e-6)
+
+_confidences = st.floats(min_value=0.5, max_value=0.999)
+
+
+class TestCriticalT:
+    @given(confidence=_confidences, n=st.integers(min_value=2, max_value=200))
+    def test_matches_scipy_closed_form(self, confidence, n):
+        upper = 1 - (1 - confidence) / 2
+        if n < NORMAL_APPROXIMATION_N:
+            expected = scipy_stats.t.ppf(upper, df=n - 1)
+        else:
+            expected = scipy_stats.norm.ppf(upper)
+        assert critical_t(confidence, n) == pytest.approx(float(expected))
+
+    @given(confidence=_confidences, n=st.integers(min_value=2, max_value=200))
+    def test_positive(self, confidence, n):
+        assert critical_t(confidence, n) > 0
+
+    @given(n=st.integers(min_value=2, max_value=200))
+    def test_monotone_in_confidence(self, n):
+        deviates = [critical_t(c, n) for c in (0.80, 0.90, 0.95, 0.99)]
+        assert deviates == sorted(deviates)
+        assert deviates[0] < deviates[-1]
+
+    @given(confidence=_confidences)
+    def test_t_dominates_normal_deviate(self, confidence):
+        """Student t has heavier tails than the normal at every df, so the
+        small-sample deviate always exceeds the large-sample one."""
+        normal = critical_t(confidence, NORMAL_APPROXIMATION_N)
+        for n in (2, 5, 10, 30, NORMAL_APPROXIMATION_N - 1):
+            assert critical_t(confidence, n) > normal
+
+
+class TestConfidenceIntervalProperties:
+    @given(values=_values)
+    def test_interval_brackets_mean_symmetrically(self, values):
+        ci = confidence_interval(values, 0.95)
+        assert ci.lower <= ci.mean <= ci.upper
+        assert (ci.mean - ci.lower) == pytest.approx(
+            ci.upper - ci.mean, rel=1e-9, abs=1e-9
+        )
+        assert ci.contains(ci.mean)
+
+    @given(values=_spread_values)
+    def test_widens_monotonically_with_confidence(self, values):
+        widths = [
+            confidence_interval(values, c).half_width
+            for c in (0.80, 0.90, 0.95, 0.99)
+        ]
+        assert widths == sorted(widths)
+        assert widths[0] < widths[-1]
+
+    @given(values=_spread_values, k=st.integers(min_value=2, max_value=6))
+    def test_shrinks_with_replicated_sample(self, values, k):
+        """Replicating a sample k-fold keeps the stddev (asymptotically)
+        but divides the standard error by ~sqrt(k): the interval must
+        shrink.  This is Figure 10's more-runs-tighter-interval law."""
+        small = confidence_interval(values, 0.95)
+        large = confidence_interval(list(values) * k, 0.95)
+        assert large.half_width < small.half_width
+
+    @given(values=_spread_values, shift=st.floats(min_value=-1e5, max_value=1e5,
+                                                  allow_nan=False))
+    def test_translation_equivariance(self, values, shift):
+        base = confidence_interval(values, 0.95)
+        moved = confidence_interval([v + shift for v in values], 0.95)
+        assert moved.half_width == pytest.approx(
+            base.half_width, rel=1e-6, abs=1e-6
+        )
+
+    @given(values=_values)
+    def test_interval_overlaps_itself(self, values):
+        ci = confidence_interval(values, 0.95)
+        assert intervals_overlap(ci, ci)
+
+    @given(values=_spread_values)
+    def test_disjoint_translates_do_not_overlap(self, values):
+        ci = confidence_interval(values, 0.95)
+        far = confidence_interval(
+            [v + 10 * (ci.half_width + 1.0) + (max(values) - min(values))
+             for v in values],
+            0.95,
+        )
+        assert not intervals_overlap(ci, far)
+
+
+class TestTTestProperties:
+    @given(a=_spread_values, b=_spread_values)
+    def test_antisymmetric_under_sample_swap(self, a, b):
+        """Swapping the samples negates the statistic, and the one-sided
+        p-values are complementary: p(a,b) + p(b,a) == 1."""
+        forward = two_sample_t_test(a, b)
+        backward = two_sample_t_test(b, a)
+        assert forward.statistic == pytest.approx(
+            -backward.statistic, rel=1e-9, abs=1e-9
+        )
+        assert forward.degrees_of_freedom == backward.degrees_of_freedom
+        assert forward.p_value + backward.p_value == pytest.approx(1.0, abs=1e-9)
+
+    @given(a=_spread_values, b=_spread_values)
+    def test_wrong_conclusion_bound_in_unit_interval(self, a, b):
+        result = two_sample_t_test(a, b)
+        assert 0.0 <= result.wrong_conclusion_bound <= 1.0
+        assert result.wrong_conclusion_bound == result.p_value
+
+    @given(values=_spread_values)
+    def test_identical_samples_never_reject(self, values):
+        """A sample against itself has statistic 0 and p = 0.5: no
+        significance level below 0.5 can reject."""
+        result = two_sample_t_test(values, values)
+        assert result.statistic == pytest.approx(0.0, abs=1e-12)
+        assert result.p_value == pytest.approx(0.5, abs=1e-9)
+        for alpha in (0.10, 0.05, 0.01):
+            assert not result.rejects_at(alpha)
+
+    @given(a=_spread_values, b=_spread_values)
+    def test_welch_agrees_on_statistic_and_bounds_df(self, a, b):
+        pooled = two_sample_t_test(a, b)
+        welch = two_sample_t_test(a, b, welch=True)
+        assert welch.statistic == pytest.approx(pooled.statistic, rel=1e-12)
+        # Welch-Satterthwaite df never exceeds the equal-variance 2n-2 form
+        # and is at least min(n_a, n_b) - 1.
+        assert welch.degrees_of_freedom <= pooled.degrees_of_freedom + 1e-9
+        assert welch.degrees_of_freedom >= min(len(a), len(b)) - 1 - 1e-9
+
+    @given(a=_spread_values)
+    def test_separated_samples_reject(self, a):
+        """Shifting a copy of the sample far above the original must be
+        detected: the one-sided test of 'A larger' rejects at 5%."""
+        spread = max(a) - min(a)
+        shifted = [v + 100 * (spread + 1.0) for v in a]
+        result = two_sample_t_test(shifted, a)
+        assert result.statistic > 0
+        assert result.rejects_at(0.05)
+
+
+class TestSampleSizeProperties:
+    @given(
+        cov=st.floats(min_value=1e-3, max_value=2.0, allow_nan=False),
+        error=st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+        confidence=_confidences,
+    )
+    def test_matches_cochran_closed_form(self, cov, error, confidence):
+        deviate = scipy_stats.norm.ppf(1 - (1 - confidence) / 2)
+        expected = math.ceil((deviate * cov / error) ** 2)
+        assert estimate_sample_size(cov, error, confidence) == expected
+
+    @given(
+        cov=st.floats(min_value=1e-3, max_value=2.0, allow_nan=False),
+        error=st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+    )
+    def test_at_least_one_run(self, cov, error):
+        assert estimate_sample_size(cov, error) >= 1
+
+    @given(cov=st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+    def test_monotone_in_target_error(self, cov):
+        """Halving the tolerated error must cost at least as many runs
+        (quadratically more, in fact)."""
+        sizes = [estimate_sample_size(cov, r) for r in (0.16, 0.08, 0.04, 0.02)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] >= 4 * sizes[0] - 4  # ~quadratic growth in 1/r
+
+    @given(error=st.floats(min_value=0.01, max_value=0.5, allow_nan=False))
+    def test_monotone_in_variability(self, error):
+        """Noisier workloads need more runs (the paper's Table 3 spread)."""
+        sizes = [estimate_sample_size(c, error) for c in (0.02, 0.05, 0.1, 0.2)]
+        assert sizes == sorted(sizes)
+
+    def test_paper_worked_example(self):
+        # r=4%, 95% confidence, CoV=9% => ~20 runs (paper 5.1.1).
+        assert estimate_sample_size(0.09, 0.04, 0.95) == pytest.approx(20, abs=1)

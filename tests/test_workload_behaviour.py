@@ -16,25 +16,7 @@ from repro.isa import OP_BARRIER, OP_IO, OP_LOCK, OP_MEM, OP_TXN_BEGIN, OP_UNLOC
 from repro.workloads.base import WorkloadClock
 from repro.workloads.oltp import LOG_LOCK, DISTRICT_LOCK_BASE
 from repro.workloads.registry import make_workload
-
-
-def transactions(name, n, tid=0, **params):
-    workload = make_workload(name, **params)
-    workload.n_threads(16)
-    clock = WorkloadClock()
-    program = workload.make_program(tid, clock)
-    out = []
-    for _ in range(n):
-        ops = program.next_ops(None)
-        if not ops:
-            break
-        out.append(ops)
-        clock.total_transactions += 1
-    return out
-
-
-def ops_of_kind(txns, kind):
-    return [op for ops in txns for op in ops if op[0] == kind]
+from tests.conftest import ops_of_kind, transactions
 
 
 class TestOLTPBehaviour:
