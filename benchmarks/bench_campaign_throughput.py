@@ -1,0 +1,195 @@
+"""Campaign-throughput benchmark: warm-state fan-out vs per-seed warm-up.
+
+Measures runs/sec for obtaining an N-seed *warmed* sample of one
+configuration -- the unit of work the paper's methodology multiplies
+every experiment by -- under two strategies:
+
+- **before** (the historical ``run_space`` parallel path): every seed is
+  a self-contained job that boots the machine cold, runs the full
+  warm-up leg itself, then measures; the job tuple (configuration,
+  workload identity, run) is pickled and shipped per seed.  Warm-up cost
+  is paid N times.
+- **after** (``run_space(warm_start=True)`` on
+  :mod:`repro.core.fanout`): the warm-up runs once and is captured as a
+  shared checkpoint; the checkpoint ships to each worker once via the
+  pool initializer; every seed materializes its machine from the
+  worker-resident state and pays only the measurement window.  The
+  timed region *includes* building the warm checkpoint, so the speedup
+  is the honest end-to-end ratio.
+
+The two strategies sample different (equally valid) initial conditions,
+so their results are not compared to each other; instead each strategy
+is asserted byte-deterministic across reps, and the fan-out's
+parallel-equals-sequential gate is asserted separately (``--smoke``,
+also enforced by ``tests/test_fanout.py``).  Reps are interleaved
+(before, after, before, after, ...) so machine-load drift biases
+neither side; each side reports its best rep.
+
+Writes ``BENCH_campaign.json`` at the repo root.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_throughput.py
+    PYTHONPATH=src python benchmarks/bench_campaign_throughput.py --smoke --jobs 2
+
+``--smoke`` runs a tiny warm-started grid and asserts the parallel
+fan-out completes and matches sequential digests (CI gate); it does not
+write the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.runner import WorkloadSpec, make_job, run_space, _one_run_captured
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+#: benchmark shape: a paper-sized seed sample with a realistic warm-up to
+#: measurement ratio (warm-up is machine-lifetime state construction;
+#: the window is short -- the regime the methodology lives in, where many
+#: perturbed runs share one set of initial conditions)
+N_CPUS = 8
+WARMUP_TXNS = 1000
+MEASURED_TXNS = 30
+N_SEEDS = 24
+SEED_BASE = 100
+MAX_TIME_NS = 10**13
+
+
+def run_before(config, run, seeds, n_jobs) -> dict:
+    """The historical path: self-contained cold jobs, warm-up per seed."""
+    spec = WorkloadSpec.resolve("oltp")
+    jobs = {seed: make_job(config, spec, run, seed, None) for seed in seeds}
+    results = {}
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        futures = {
+            pool.submit(_one_run_captured, job): seed for seed, job in jobs.items()
+        }
+        for future in as_completed(futures):
+            status, payload = future.result()
+            if status != "ok":
+                raise RuntimeError(f"seed {futures[future]} failed: {payload}")
+            results[futures[future]] = payload
+    return results
+
+
+def run_after(config, run, seeds, n_jobs) -> dict:
+    """The fan-out path: warm once (timed), measure-only per seed."""
+    sample = run_space(
+        config, "oltp", run, len(seeds), seeds=list(seeds),
+        n_jobs=n_jobs, warm_start=True,
+    )
+    return dict(zip(seeds, sample.results))
+
+
+def digest_of(results: dict) -> list:
+    return [results[seed].to_dict() for seed in sorted(results)]
+
+
+def measure(reps: int, n_jobs: int) -> dict:
+    config = SystemConfig(n_cpus=N_CPUS)
+    run = RunConfig(
+        measured_transactions=MEASURED_TXNS,
+        warmup_transactions=WARMUP_TXNS,
+        seed=SEED_BASE,
+        max_time_ns=MAX_TIME_NS,
+    )
+    seeds = [SEED_BASE + i for i in range(N_SEEDS)]
+
+    timings: dict[str, list[float]] = {"before": [], "after": []}
+    references: dict[str, list] = {}
+    for rep in range(reps):
+        for label, fn in (("before", run_before), ("after", run_after)):
+            start = time.perf_counter()
+            results = fn(config, run, seeds, n_jobs)
+            elapsed = time.perf_counter() - start
+            timings[label].append(elapsed)
+            if label not in references:
+                references[label] = digest_of(results)
+            elif digest_of(results) != references[label]:
+                raise RuntimeError(f"{label} rep {rep} is not deterministic")
+            print(
+                f"rep {rep}: {label:6s} {elapsed:6.2f}s "
+                f"({len(seeds) / elapsed:5.1f} runs/s)"
+            )
+
+    best = {label: min(times) for label, times in timings.items()}
+    return {
+        "scenario": {
+            "workload": "oltp",
+            "n_cpus": N_CPUS,
+            "warmup_transactions": WARMUP_TXNS,
+            "measured_transactions": MEASURED_TXNS,
+            "n_seeds": N_SEEDS,
+            "n_jobs": n_jobs,
+            "reps": reps,
+            "interleaved": True,
+            "note": (
+                "before = per-seed cold warm-up (historical pool path); "
+                "after = shared warm checkpoint + fan-out, warm-up included "
+                "in the timed region"
+            ),
+        },
+        "before": {
+            "times_s": [round(t, 3) for t in timings["before"]],
+            "best_s": round(best["before"], 3),
+            "runs_per_sec": round(N_SEEDS / best["before"], 2),
+        },
+        "after": {
+            "times_s": [round(t, 3) for t in timings["after"]],
+            "best_s": round(best["after"], 3),
+            "runs_per_sec": round(N_SEEDS / best["after"], 2),
+        },
+        "speedup": round(best["before"] / best["after"], 2),
+        "deterministic_across_reps": True,
+    }
+
+
+def smoke(n_jobs: int) -> int:
+    """CI gate: a tiny warm-started grid, parallel vs sequential digests."""
+    config = SystemConfig(n_cpus=4)
+    run = RunConfig(
+        measured_transactions=20, warmup_transactions=100, seed=SEED_BASE
+    )
+    sequential = run_space(config, "oltp", run, 6, n_jobs=1, warm_start=True)
+    parallel = run_space(config, "oltp", run, 6, n_jobs=n_jobs, warm_start=True)
+    seq = [r.to_dict() for r in sequential.results]
+    par = [r.to_dict() for r in parallel.results]
+    if seq != par:
+        print("SMOKE FAIL: parallel fan-out diverged from sequential")
+        return 1
+    print(f"SMOKE PASS: {len(par)} warm-started runs, parallel == sequential")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4, help="parallel workers")
+    parser.add_argument("--reps", type=int, default=3, help="interleaved A/B reps")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny digest-equality gate (CI); writes no JSON",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke(args.jobs)
+
+    doc = measure(args.reps, args.jobs)
+    print(
+        f"\nbefore: {doc['before']['runs_per_sec']:.1f} runs/s   "
+        f"after: {doc['after']['runs_per_sec']:.1f} runs/s   "
+        f"speedup: {doc['speedup']:.2f}x"
+    )
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

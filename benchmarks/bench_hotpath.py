@@ -77,7 +77,7 @@ def run_scenario(scenario: dict, *, probes: bool = False) -> dict:
     wall = time.perf_counter() - wall
     ops = ops_consumed(machine)
     events = getattr(machine, "events_processed", None)
-    return {
+    sample = {
         "wall_s": wall,
         "sim_ns": machine.clock.now,
         "transactions": machine.completed_transactions,
@@ -86,6 +86,9 @@ def run_scenario(scenario: dict, *, probes: bool = False) -> dict:
         "ops_per_sec": ops / wall if ops else None,
         "events_per_sec": events / wall if events else None,
     }
+    # Trees without op/event accounting yield None for those fields;
+    # emit only what was measured instead of writing nulls to the JSON.
+    return {key: value for key, value in sample.items() if value is not None}
 
 
 def measure(reps: int, *, probes: bool = False) -> dict[str, dict]:
@@ -98,11 +101,12 @@ def measure(reps: int, *, probes: bool = False) -> dict[str, dict]:
             if best is None or sample["wall_s"] < best["wall_s"]:
                 best = sample
         results[name] = best
-        rate = best["ops_per_sec"]
+        rate = best.get("ops_per_sec")
+        erate = best.get("events_per_sec")
         print(
             f"{name:10s} wall={best['wall_s']:.3f}s "
             f"ops/s={rate and int(rate) or 'n/a'} "
-            f"events/s={best['events_per_sec'] and int(best['events_per_sec']) or 'n/a'}"
+            f"events/s={erate and int(erate) or 'n/a'}"
         )
     return results
 

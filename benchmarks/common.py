@@ -28,22 +28,17 @@ conclusions rest on.
 
 from __future__ import annotations
 
-import hashlib
 import os
-from pathlib import Path
 
 from repro.config import RunConfig, SystemConfig
 from repro.core.runner import RunSample, run_space
 from repro.store import RunStore
 from repro.system.checkpoint import Checkpoint
-from repro.system.machine import Machine
+from repro.system.checkpoint import warm_checkpoint as _library_warm_checkpoint
 from repro.workloads.registry import make_workload
 
 #: the shared persistent run store (honours $REPRO_STORE_DIR)
 STORE = RunStore()
-
-#: warm-up checkpoints live beside the run store, not in the repo tree
-CACHE_DIR = STORE.root / "checkpoints"
 
 #: runs per configuration (paper: twenty)
 N_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "20"))
@@ -55,11 +50,6 @@ WARMUP_TXNS = int(os.environ.get("REPRO_BENCH_WARMUP", "3000"))
 MAX_TIME_NS = 10**13
 
 
-def _cache_key(*parts) -> str:
-    text = "|".join(str(p) for p in parts)
-    return hashlib.md5(text.encode()).hexdigest()[:16]
-
-
 def warm_checkpoint(
     workload_name: str = "oltp",
     *,
@@ -69,22 +59,21 @@ def warm_checkpoint(
 ) -> Checkpoint:
     """Warm a workload on the base configuration and checkpoint it.
 
-    Cached on disk keyed by (workload, config, warm-up length, params).
+    A thin wrapper over the library helper
+    (:func:`repro.system.checkpoint.warm_checkpoint`), which caches the
+    checkpoint in the run store under its cause key
+    (:func:`repro.store.warm_key`) -- re-running a bench skips the
+    warm-up, and campaigns/run_space resolve the very same checkpoint.
     """
     config = config or SystemConfig()
     warmup = warmup if warmup is not None else WARMUP_TXNS
-    params = workload_params or {}
-    CACHE_DIR.mkdir(parents=True, exist_ok=True)
-    key = _cache_key("v5", workload_name, config, warmup, sorted(params.items()))
-    path = CACHE_DIR / f"{workload_name}-{key}.ckpt"
-    if path.exists():
-        return Checkpoint.load(path)
-    machine = Machine(config, make_workload(workload_name, **params))
-    machine.hierarchy.seed_perturbation(8)
-    machine.run_until_transactions(warmup, max_time_ns=MAX_TIME_NS)
-    checkpoint = Checkpoint.capture(machine)
-    checkpoint.save(path)
-    return checkpoint
+    return _library_warm_checkpoint(
+        config,
+        make_workload(workload_name, **(workload_params or {})),
+        warmup_transactions=warmup,
+        max_time_ns=MAX_TIME_NS,
+        store=STORE,
+    )
 
 
 def sample_runs(
@@ -96,12 +85,14 @@ def sample_runs(
     seed_base: int = 100,
     workload_name: str = "oltp",
     workload_params: dict | None = None,
+    n_jobs: int = 1,
 ) -> RunSample:
     """N perturbed runs of one configuration from a shared checkpoint.
 
     Backed by the run store: completed runs persist as they finish, so
     an interrupted bench reuses them on the next invocation and only
-    executes the missing seeds.
+    executes the missing seeds.  ``n_jobs > 1`` fans the seeds out
+    through :mod:`repro.core.fanout` (bit-identical results).
     """
     run = RunConfig(
         measured_transactions=txns if txns is not None else N_TXNS,
@@ -117,6 +108,7 @@ def sample_runs(
         checkpoint=checkpoint,
         workload_params=workload_params or {},
         store=STORE,
+        n_jobs=n_jobs,
     )
 
 

@@ -10,14 +10,15 @@ front.  ``python -m repro campaign`` is the CLI entry point.
 """
 
 from repro.campaign.campaign import Campaign, CampaignReport, CellResult
-from repro.campaign.executor import execute_jobs
+from repro.campaign.executor import SharedRunContext, execute_shared
 from repro.campaign.plan import CampaignPlan, CampaignSpec, PlannedRun, plan_campaign
 
 __all__ = [
     "Campaign",
     "CampaignReport",
     "CellResult",
-    "execute_jobs",
+    "SharedRunContext",
+    "execute_shared",
     "CampaignPlan",
     "CampaignSpec",
     "PlannedRun",

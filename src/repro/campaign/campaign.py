@@ -10,7 +10,7 @@ loses only in-flight runs; re-invoking it resumes from the store.
 Two sampling modes per cell:
 
 - **fixed-N** (``spec.stop_rule is None``): exactly ``spec.n_runs``
-  seeds, built through the same job constructor as ``run_space`` --
+  seeds, executed through the same fan-out engine as ``run_space`` --
   the resulting sample is bit-for-bit identical to a direct
   ``run_space`` call with the same inputs;
 - **adaptive** (a :class:`~repro.core.sampling.AdaptiveStopRule`): run
@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.config import SystemConfig
-from repro.campaign.executor import execute_jobs
-from repro.campaign.plan import CampaignPlan, CampaignSpec, plan_campaign
+from repro.config import RunConfig, SystemConfig
+from repro.campaign.executor import SharedRunContext, execute_shared
+from repro.campaign.plan import CampaignPlan, CampaignSpec, cell_execution, plan_campaign
 from repro.core.confidence import confidence_interval
-from repro.core.runner import RunFailure, RunSample, WorkloadSpec, make_job
+from repro.core.runner import RunFailure, RunSample, WorkloadSpec
 from repro.store import RunStore, run_key
 from repro.system.simulation import SimulationResult
 
@@ -159,14 +159,22 @@ class Campaign:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _key(self, config: SystemConfig, wspec: WorkloadSpec, seed: int) -> str:
+    def _key(
+        self,
+        config: SystemConfig,
+        wspec: WorkloadSpec,
+        seed: int,
+        cell_run: RunConfig,
+        ckpt_digest: str | None,
+    ) -> str:
         return run_key(
             config,
-            replace(self.spec.run, seed=seed),
+            replace(cell_run, seed=seed),
             wspec.name,
             wspec.seed,
             wspec.scale,
             wspec.params_dict,
+            checkpoint_digest=ckpt_digest,
         )
 
     def _run_cell(
@@ -179,6 +187,37 @@ class Campaign:
         cached_hits = 0
         executed = 0
         issued = 0
+        cell_run, ckpt_digest = cell_execution(spec, config, wspec)
+        # One shared context per cell: every batch of an adaptive cell
+        # reuses the same object (and thus its cached digest), and the
+        # warm checkpoint is built only when a batch actually executes.
+        context_cache: list[SharedRunContext] = []
+
+        def context() -> SharedRunContext:
+            if not context_cache:
+                checkpoint = None
+                if spec.warm_start:
+                    from repro.system.checkpoint import warm_checkpoint
+                    from repro.workloads.registry import make_workload
+
+                    checkpoint = warm_checkpoint(
+                        config,
+                        make_workload(
+                            wspec.name,
+                            seed=wspec.seed,
+                            scale=wspec.scale,
+                            **wspec.params_dict,
+                        ),
+                        warmup_transactions=spec.run.warmup_transactions,
+                        max_time_ns=spec.run.max_time_ns,
+                        store=self.store,
+                    )
+                context_cache.append(
+                    SharedRunContext(
+                        config=config, spec=wspec, run=cell_run, checkpoint=checkpoint
+                    )
+                )
+            return context_cache[0]
 
         def say(text: str) -> None:
             if progress is not None:
@@ -188,30 +227,36 @@ class Campaign:
             nonlocal cached_hits, executed, issued
             seeds = [spec.run.seed + issued + i for i in range(count)]
             issued += count
-            jobs: dict[int, tuple] = {}
+            key_by_seed = {
+                seed: self._key(config, wspec, seed, cell_run, ckpt_digest)
+                for seed in seeds
+            }
+            found = self.store.get_many(list(key_by_seed.values()))
+            pending: list[int] = []
             for seed in seeds:
-                cached = self.store.get(self._key(config, wspec, seed))
+                cached = found.get(key_by_seed[seed])
                 if cached is not None:
                     results[seed] = cached
                     cached_hits += 1
                 else:
-                    jobs[seed] = make_job(config, wspec, spec.run, seed, None)
-            if not jobs:
+                    pending.append(seed)
+            if not pending:
                 say(f"{len(seeds)} runs served from store")
                 return
 
             def persist(seed: int, result: SimulationResult) -> None:
                 results[seed] = result
                 self.store.put(
-                    self._key(config, wspec, seed),
+                    key_by_seed[seed],
                     result,
                     workload=wspec.name,
                     config=label,
                     campaign=spec.name,
                 )
 
-            done, fails = execute_jobs(
-                jobs,
+            done, fails = execute_shared(
+                context(),
+                pending,
                 n_jobs=self.n_jobs,
                 timeout_s=self.timeout_s,
                 retries=self.retries,
@@ -220,8 +265,8 @@ class Campaign:
             executed += len(done)
             failures.extend(fails)
             say(
-                f"executed {len(done)}/{len(jobs)} "
-                f"({len(seeds) - len(jobs)} cached, {len(fails)} failed)"
+                f"executed {len(done)}/{len(pending)} "
+                f"({len(seeds) - len(pending)} cached, {len(fails)} failed)"
             )
 
         if rule is None:

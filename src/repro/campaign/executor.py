@@ -1,126 +1,18 @@
 """Fault-tolerant execution of campaign runs.
 
-The paper's coarse-grain parallelism assumes simulation hosts fail --
-long campaigns meet crashed workers, wedged runs, and Ctrl-C.  This
-executor makes those survivable:
-
-- **per-run wall-clock timeout**: each worker arms ``SIGALRM`` around
-  its simulation (worker processes run jobs on their main thread), so a
-  wedged run turns into a recorded ``timeout`` failure instead of a
-  stuck campaign;
-- **retry-once on worker crash**: a hard crash (e.g. OOM kill) breaks
-  the process pool; the pool is rebuilt and every unresolved run is
-  resubmitted, at most ``retries`` extra times per seed;
-- **partial results survive interrupts**: completed runs are handed to
-  ``on_result`` (which persists them to the store) the moment they
-  finish, so a ``KeyboardInterrupt`` loses only in-flight work and a
-  rerun resumes from the store.
+The heavy lifting lives in :mod:`repro.core.fanout`: campaigns execute
+each grid cell's seeds against one :class:`~repro.core.fanout.SharedRunContext`
+(configuration + workload + run template + optional warm checkpoint), so
+shared state ships to each worker once and every seed's machine is
+cloned from a worker-resident template.  The fault-tolerance contract
+this module historically provided -- per-run ``SIGALRM`` wall-clock
+timeouts inside workers, retry-on-crash with a per-seed budget, and
+immediate ``on_result`` delivery so interrupts lose only in-flight
+work -- carried over to the fan-out engine unchanged.
 """
 
 from __future__ import annotations
 
-import signal
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable
+from repro.core.fanout import SharedRunContext, execute_shared
 
-from repro.core.runner import RunFailure, _one_run
-from repro.system.simulation import SimulationResult
-
-
-class _RunTimeout(Exception):
-    """Raised inside a worker when its wall-clock budget expires."""
-
-
-def _campaign_worker(item: tuple) -> tuple:
-    """Execute one run with in-worker timeout and error capture.
-
-    Returns ``(seed, status, payload)`` where status is ``"ok"`` (payload
-    is the result), ``"timeout"``, or ``"error"`` (payload is a message).
-    """
-    seed, job, timeout_s = item
-    use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
-    if use_alarm:
-        def _expire(_signum, _frame):
-            raise _RunTimeout()
-
-        previous = signal.signal(signal.SIGALRM, _expire)
-        signal.setitimer(signal.ITIMER_REAL, timeout_s)
-    try:
-        return (seed, "ok", _one_run(job))
-    except _RunTimeout:
-        return (seed, "timeout", f"no result within {timeout_s:g}s wall clock")
-    except Exception as exc:  # noqa: BLE001 -- attribute, don't kill the pool
-        return (seed, "error", f"{type(exc).__name__}: {exc}")
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0)
-            signal.signal(signal.SIGALRM, previous)
-
-
-def execute_jobs(
-    jobs: dict[int, tuple],
-    *,
-    n_jobs: int = 1,
-    timeout_s: float | None = None,
-    retries: int = 1,
-    on_result: Callable[[int, SimulationResult], None] | None = None,
-) -> tuple[dict[int, SimulationResult], list[RunFailure]]:
-    """Execute ``{seed: job}`` with fault tolerance.
-
-    Returns ``(results, failures)``; the two partitions cover every seed.
-    ``on_result(seed, result)`` fires as each run completes (persist
-    there -- it is what makes interrupts resumable).
-    """
-    results: dict[int, SimulationResult] = {}
-    failures: list[RunFailure] = []
-
-    def record(seed: int, status: str, payload) -> None:
-        if status == "ok":
-            results[seed] = payload
-            if on_result is not None:
-                on_result(seed, payload)
-        else:
-            failures.append(RunFailure(seed=seed, error=payload, kind=status))
-
-    if n_jobs <= 1:
-        for seed, job in jobs.items():
-            record(*_campaign_worker((seed, job, timeout_s)))
-        return results, failures
-
-    pending = dict(jobs)
-    crash_count = {seed: 0 for seed in jobs}
-    while pending:
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
-        try:
-            futures = {
-                pool.submit(_campaign_worker, (seed, job, timeout_s)): seed
-                for seed, job in pending.items()
-            }
-            for future in as_completed(futures):
-                seed, status, payload = future.result()
-                del pending[seed]
-                record(seed, status, payload)
-            pool.shutdown(wait=True)
-            break
-        except BrokenProcessPool:
-            # A worker died hard; which seed killed it is unknowable from
-            # here, so every unresolved seed gets one more chance.
-            pool.shutdown(wait=False, cancel_futures=True)
-            for seed in list(pending):
-                crash_count[seed] += 1
-                if crash_count[seed] > retries:
-                    del pending[seed]
-                    failures.append(
-                        RunFailure(
-                            seed=seed,
-                            error=f"worker crashed {crash_count[seed]} times",
-                            kind="crash",
-                        )
-                    )
-        except BaseException:
-            # KeyboardInterrupt and friends: abandon in-flight work fast;
-            # everything already recorded has been persisted by on_result.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-    return results, failures
+__all__ = ["SharedRunContext", "execute_shared"]

@@ -35,6 +35,11 @@ class CampaignSpec:
     n_runs: int = 20
     stop_rule: AdaptiveStopRule | None = None
     name: str = "campaign"
+    #: pay the warm-up once per cell (shared warm checkpoint) instead of
+    #: once per seed; see :func:`repro.system.checkpoint.warm_checkpoint`.
+    #: Warm-started cells sample different initial conditions than
+    #: per-seed cold warm-up, so they key (and cache) separately.
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if not self.configs:
@@ -43,6 +48,8 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one workload")
         if self.stop_rule is None and self.n_runs <= 0:
             raise ValueError("n_runs must be positive")
+        if self.warm_start and self.run.warmup_transactions <= 0:
+            raise ValueError("warm_start needs run.warmup_transactions > 0")
 
     def cells(self):
         """The (label, config, workload spec) grid, in declaration order."""
@@ -109,20 +116,54 @@ class CampaignPlan:
         return table
 
 
+def cell_execution(spec: CampaignSpec, config: SystemConfig, wspec: WorkloadSpec):
+    """The effective (per-seed run config, checkpoint digest) of a cell.
+
+    For a cold campaign this is simply ``(spec.run, None)``.  For a
+    warm-started campaign each seed measures from the cell's shared warm
+    checkpoint -- so the per-seed run drops its warm-up leg and the key
+    carries ``"warm:" + warm_key(...)``.  Because the warm key is a
+    *cause* key (:func:`repro.store.warm_key`), planning can resolve
+    warm-started run keys without ever running the warm-up.
+
+    This is the single definition both :func:`plan_campaign` and
+    :class:`~repro.campaign.campaign.Campaign` key runs with, which is
+    what keeps ``--dry-run``, execution, and resume in agreement.
+    """
+    if not spec.warm_start:
+        return spec.run, None
+    from repro.store import warm_key
+    from repro.system.checkpoint import WARMUP_PERTURBATION_SEED
+
+    wkey = warm_key(
+        config,
+        wspec.name,
+        wspec.seed,
+        wspec.scale,
+        wspec.params_dict,
+        warmup_transactions=spec.run.warmup_transactions,
+        warmup_seed=WARMUP_PERTURBATION_SEED,
+        max_time_ns=spec.run.max_time_ns,
+    )
+    return replace(spec.run, warmup_transactions=0), f"warm:{wkey}"
+
+
 def plan_campaign(spec: CampaignSpec, store: RunStore) -> CampaignPlan:
     """Resolve the campaign grid against the store."""
     runs: list[PlannedRun] = []
     n_seeds = spec.initial_seed_count()
     for label, config, wspec in spec.cells():
+        cell_run, ckpt_digest = cell_execution(spec, config, wspec)
         for i in range(n_seeds):
             seed = spec.run.seed + i
             key = run_key(
                 config,
-                replace(spec.run, seed=seed),
+                replace(cell_run, seed=seed),
                 wspec.name,
                 wspec.seed,
                 wspec.scale,
                 wspec.params_dict,
+                checkpoint_digest=ckpt_digest,
             )
             runs.append(
                 PlannedRun(

@@ -92,12 +92,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_space(args: argparse.Namespace) -> int:
     """Sample the space of perturbed runs and print the variability summary."""
+    store = None
+    if args.store is not None:
+        from repro.store import RunStore
+
+        store = RunStore(args.store)
     sample = run_space(
         _base_config(args),
         args.workload,
         _run_config(args),
         args.runs,
         n_jobs=args.jobs,
+        warm_start=args.warm_start,
+        store=store,
     )
     if args.json:
         print(json.dumps(sample.to_dict(), indent=2))
@@ -183,6 +190,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             n_runs=args.runs,
             stop_rule=stop_rule,
             name=args.name,
+            warm_start=args.warm_start,
         )
     except ValueError as exc:
         print(f"campaign: {exc}", file=sys.stderr)
@@ -329,6 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
     space_parser.add_argument("--runs", type=int, default=10)
     space_parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
     space_parser.add_argument(
+        "--warm-start", action="store_true",
+        help="pay the warm-up once (shared checkpoint) instead of per seed; "
+             "seeds then measure from identical warm state",
+    )
+    space_parser.add_argument(
+        "--store", default=None,
+        help="persistent run store directory (caches runs and, with "
+             "--warm-start, the warm checkpoint)",
+    )
+    space_parser.add_argument(
         "--json", action="store_true",
         help="emit the serialized RunSample as JSON for scripting",
     )
@@ -392,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--batch", type=int, default=4,
                                  help="adaptive: runs added per batch")
     campaign_parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
+    campaign_parser.add_argument(
+        "--warm-start", action="store_true",
+        help="pay each cell's warm-up once (shared checkpoint, cached in the "
+             "store) instead of once per seed",
+    )
     campaign_parser.add_argument(
         "--timeout", type=float, default=None,
         help="per-run wall-clock timeout in seconds",

@@ -1,0 +1,337 @@
+"""Warm-state fan-out: amortized execution of multi-seed samples.
+
+The paper's methodology multiplies every experiment by N perturbation
+seeds, so campaign throughput -- runs per second across a seed fan-out --
+is the cost that matters, not single-run latency.  The naive pool path
+pays full setup N times: each job tuple carries the configuration *and*
+the entire checkpoint, so the parent pickles megabytes of identical
+state per seed (serially), ships it over IPC, and every worker
+unpickles, rebuilds the workload, and re-restores the machine from
+scratch.  For short measurement windows that redundant setup dominates.
+
+This module makes the per-seed marginal cost approach the measurement
+window alone:
+
+- **ship shared state once, not per job**: the pool initializer installs
+  a :class:`SharedRunContext` (configuration, workload spec, run
+  template, checkpoint) into a worker-resident cache keyed by the
+  context's content digest; job tuples shrink to ``(seed,
+  run_overrides, digest)`` and are chunked into batches to amortize
+  submission overhead;
+- **restore once, clone per seed**: inside a worker the checkpoint is
+  materialized a single time into a pristine machine whose frozen form
+  (:meth:`repro.system.machine.Machine.freeze`) becomes the resident
+  state template; each seed's machine is thawed from that template -- a
+  C-speed clone -- instead of a full rebuild + re-restore.
+
+Correctness gate: a thawed machine is bit-identical in behaviour to one
+built by the cold path (same workload reconstruction, same restore code,
+same measurement protocol via
+:func:`repro.system.simulation.measure_machine`), so fan-out samples are
+digest-equal to sequential cold-start samples; the golden-determinism
+suite and :mod:`tests.test_fanout` lock this.
+
+Fault tolerance carries over from the campaign executor, which now
+delegates here: per-run ``SIGALRM`` wall-clock timeouts inside workers,
+retry-on-worker-crash with a per-seed budget, and immediate
+``on_result`` delivery so interrupts lose only in-flight work.
+"""
+
+from __future__ import annotations
+
+import signal
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Callable
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.runner import RunFailure, WorkloadSpec
+from repro.system.machine import Machine
+from repro.system.simulation import SimulationResult, measure_machine
+from repro.workloads.registry import make_workload
+
+
+@dataclass(frozen=True)
+class SharedRunContext:
+    """Everything identical across the seeds of one sample.
+
+    This is what ships to each worker exactly once (via the pool
+    initializer) instead of travelling inside every job tuple.  The
+    per-seed jobs then carry only ``(seed, run_overrides, digest)``.
+    """
+
+    config: SystemConfig
+    spec: WorkloadSpec
+    run: RunConfig
+    checkpoint: object | None = None  # repro.system.checkpoint.Checkpoint
+
+    @cached_property
+    def digest(self) -> str:
+        """Content digest keying the worker-resident cache.
+
+        Covers the configuration, run template, workload identity, and
+        (when present) the checkpoint state, so two contexts collide only
+        when their warm state is genuinely interchangeable.
+        """
+        from repro.store import digest as _digest
+
+        return _digest(
+            {
+                "system": self.config.to_dict(),
+                "run": self.run.to_dict(),
+                "workload": [
+                    self.spec.name,
+                    self.spec.seed,
+                    self.spec.scale,
+                    [[k, v] for k, v in self.spec.params],
+                ],
+                "checkpoint": (
+                    self.checkpoint.digest() if self.checkpoint is not None else None
+                ),
+            }
+        )
+
+
+class _Resident:
+    """Worker-resident warm state for one shared context.
+
+    The point is that the expensive shared pieces arrive in the worker
+    exactly once -- the context (checkpoint included) ships via the pool
+    initializer instead of inside every job tuple -- and each seed then
+    pays only the cheapest available per-seed reset:
+
+    - *checkpoint contexts*: the resident checkpoint's state dict is the
+      pristine template; each seed's machine is materialized from it via
+      ``from_snapshot`` (a structured rebuild, measurably faster than a
+      pickle round-trip of a warm machine, and byte-identical to what
+      the sequential path does with the same checkpoint);
+    - *cold contexts*: the machine is booted once and frozen
+      (:meth:`repro.system.machine.Machine.freeze`); each seed thaws an
+      independent clone of that template, skipping workload generation
+      and machine construction.
+    """
+
+    __slots__ = ("context", "_template")
+
+    def __init__(self, context: SharedRunContext) -> None:
+        self.context = context
+        self._template: bytes | None = None
+
+    def template(self) -> bytes:
+        """The frozen cold-boot machine template (cold contexts only)."""
+        if self._template is None:
+            spec = self.context.spec
+            workload = make_workload(
+                spec.name, seed=spec.seed, scale=spec.scale, **spec.params_dict
+            )
+            self._template = Machine(self.context.config, workload).freeze()
+        return self._template
+
+    def materialize(self) -> Machine:
+        """An independent pristine machine for one seed."""
+        ctx = self.context
+        if ctx.checkpoint is not None:
+            ckpt = ctx.checkpoint
+            # A fresh workload per seed, exactly as the sequential path's
+            # ``materialize`` does -- instances must not be shared in case
+            # a workload carries mutable state.
+            workload = make_workload(
+                ckpt.workload_name,
+                seed=ckpt.workload_seed,
+                scale=ckpt.workload_scale,
+                **(ckpt.workload_params or {}),
+            )
+            return ckpt.materialize(ctx.config, workload=workload)
+        return Machine.thaw(self.template())
+
+
+#: per-process cache: context digest -> resident warm state.  Installed
+#: by the pool initializer in workers; sequential execution uses a local
+#: ``_Resident`` without touching this.
+_RESIDENT: dict[str, _Resident] = {}
+
+
+def _install_contexts(entries: list[tuple[str, SharedRunContext]]) -> None:
+    """Pool initializer: install the shared contexts in this worker."""
+    for digest, context in entries:
+        _RESIDENT[digest] = _Resident(context)
+
+
+def _simulate_resident(resident: _Resident, run: RunConfig) -> SimulationResult:
+    """One measured run from a resident template (the per-seed body)."""
+    return measure_machine(resident.materialize(), resident.context.config, run)
+
+
+class _RunTimeout(Exception):
+    """Raised inside a worker when a run's wall-clock budget expires."""
+
+
+def _run_guarded(
+    resident: _Resident, run: RunConfig, timeout_s: float | None
+) -> tuple[str, object]:
+    """Execute one run with wall-clock timeout and error capture.
+
+    Returns ``("ok", result)``, ``("timeout", message)``, or
+    ``("error", message)``; workers run jobs on their main thread, so
+    ``SIGALRM`` (where available) bounds a wedged simulation.
+    """
+    use_alarm = bool(timeout_s) and hasattr(signal, "SIGALRM")
+    if use_alarm:
+
+        def _expire(_signum, _frame):
+            raise _RunTimeout()
+
+        previous = signal.signal(signal.SIGALRM, _expire)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return ("ok", _simulate_resident(resident, run))
+    except _RunTimeout:
+        return ("timeout", f"no result within {timeout_s:g}s wall clock")
+    except Exception as exc:  # noqa: BLE001 -- attribute, don't kill the batch
+        return ("error", f"{type(exc).__name__}: {exc}")
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+def _run_batch(item: tuple) -> list[tuple[int, str, object]]:
+    """Worker body: run one batch of seeds against a resident context.
+
+    ``item`` is ``(digest, jobs, timeout_s)`` with ``jobs`` a tuple of
+    ``(seed, run_overrides)`` pairs -- the shrunken job form.  Returns
+    one ``(seed, status, payload)`` triple per job.
+    """
+    digest, jobs, timeout_s = item
+    resident = _RESIDENT.get(digest)
+    if resident is None:
+        # Initializer didn't run or shipped a different context: report
+        # rather than crash, so the parent can retry or fail the seeds.
+        return [
+            (seed, "error", f"worker has no shared context {digest[:12]}")
+            for seed, _overrides in jobs
+        ]
+    out = []
+    for seed, overrides in jobs:
+        run = replace(resident.context.run, seed=seed, **(overrides or {}))
+        status, payload = _run_guarded(resident, run, timeout_s)
+        out.append((seed, status, payload))
+    return out
+
+
+def _batches(seeds: list[int], n_jobs: int, batch_size: int | None) -> list[list[int]]:
+    """Chunk seeds into submission batches.
+
+    Default: about three batches per worker -- large enough to amortize
+    future/IPC overhead, small enough that an unlucky batch does not
+    serialize the tail of the sample.
+    """
+    if batch_size is None:
+        batch_size = max(1, -(-len(seeds) // (n_jobs * 3)))
+    return [seeds[i : i + batch_size] for i in range(0, len(seeds), batch_size)]
+
+
+def execute_shared(
+    context: SharedRunContext,
+    seeds: list[int],
+    *,
+    overrides: dict[int, dict] | None = None,
+    n_jobs: int = 1,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    batch_size: int | None = None,
+    on_result: Callable[[int, SimulationResult], None] | None = None,
+) -> tuple[dict[int, SimulationResult], list[RunFailure]]:
+    """Execute ``seeds`` against one shared context with fault tolerance.
+
+    Returns ``(results, failures)``; the two partitions cover every
+    seed.  ``on_result(seed, result)`` fires as each run completes
+    (persist there -- that is what makes interrupts resumable).
+    ``overrides`` maps a seed to :class:`~repro.config.RunConfig` field
+    overrides applied on top of the template for that seed alone.
+
+    Parallel semantics match the historical campaign executor: per-run
+    wall-clock timeouts are armed inside workers, a hard worker crash
+    (``BrokenProcessPool``) rebuilds the pool and resubmits every
+    unresolved seed at most ``retries`` extra times, and interrupts
+    abandon only in-flight work.
+    """
+    overrides = overrides or {}
+    results: dict[int, SimulationResult] = {}
+    failures: list[RunFailure] = []
+
+    def record(seed: int, status: str, payload) -> None:
+        if status == "ok":
+            results[seed] = payload
+            if on_result is not None:
+                on_result(seed, payload)
+        else:
+            failures.append(RunFailure(seed=seed, error=payload, kind=status))
+
+    if n_jobs <= 1:
+        resident = _Resident(context)
+        for seed in seeds:
+            run = replace(context.run, seed=seed, **(overrides.get(seed) or {}))
+            status, payload = _run_guarded(resident, run, timeout_s)
+            record(seed, status, payload)
+        return results, failures
+
+    digest = context.digest
+    initargs = ([(digest, context)],)
+    pending = list(seeds)
+    crash_count = {seed: 0 for seed in seeds}
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=_install_contexts, initargs=initargs
+        )
+        try:
+            futures = {
+                pool.submit(
+                    _run_batch,
+                    (
+                        digest,
+                        tuple((seed, overrides.get(seed)) for seed in batch),
+                        timeout_s,
+                    ),
+                ): batch
+                for batch in _batches(pending, n_jobs, batch_size)
+            }
+            done = set()
+            for future in as_completed(futures):
+                for seed, status, payload in future.result():
+                    done.add(seed)
+                    record(seed, status, payload)
+            pending = [seed for seed in pending if seed not in done]
+            pool.shutdown(wait=True)
+            if pending:
+                # A batch returned short (should not happen); treat the
+                # leftovers like a crash so the loop cannot spin forever.
+                raise BrokenProcessPool("batch returned fewer results than jobs")
+            break
+        except BrokenProcessPool:
+            # A worker died hard; which seed killed it is unknowable from
+            # here, so every unresolved seed gets one more chance.
+            pool.shutdown(wait=False, cancel_futures=True)
+            pending = [seed for seed in pending if seed not in results]
+            still = []
+            for seed in pending:
+                crash_count[seed] += 1
+                if crash_count[seed] > retries:
+                    failures.append(
+                        RunFailure(
+                            seed=seed,
+                            error=f"worker crashed {crash_count[seed]} times",
+                            kind="crash",
+                        )
+                    )
+                else:
+                    still.append(seed)
+            pending = still
+        except BaseException:
+            # KeyboardInterrupt and friends: abandon in-flight work fast;
+            # everything already recorded has been persisted by on_result.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    return results, failures

@@ -8,9 +8,11 @@ estimate.
 
 The paper notes the approach "permits reasonable simulation times using
 coarse-grain parallelism, provided that multiple simulation hosts are
-available"; ``n_jobs`` runs the sample across processes, one simulation
-per worker, with results returned in seed order regardless of completion
-order (determinism is preserved).
+available"; ``n_jobs`` fans the sample out across worker processes via
+:mod:`repro.core.fanout` -- shared state ships to each worker once, each
+seed's machine is cloned from a worker-resident template -- with results
+returned in seed order regardless of completion order (determinism is
+preserved: the fan-out is bit-identical to sequential execution).
 
 Two robustness layers sit on top:
 
@@ -24,7 +26,6 @@ Two robustness layers sit on top:
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 
 from repro.config import RunConfig, SystemConfig
@@ -241,6 +242,8 @@ def run_space(
     workload_params: dict | None = None,
     workload_seed: int | None = None,
     store=None,
+    warm_start: bool = False,
+    batch_size: int | None = None,
 ) -> RunSample:
     """Run ``n_runs`` perturbed simulations and collect the sample.
 
@@ -256,6 +259,27 @@ def run_space(
     caching: runs already stored are loaded instead of executed, and
     every completed run is persisted immediately, so an interrupted
     sample resumes from where it stopped on the next call.
+
+    ``warm_start=True`` pays the warm-up once instead of once per seed:
+    the warm-up leg runs under a fixed perturbation stream
+    (:data:`repro.system.checkpoint.WARMUP_PERTURBATION_SEED`), is
+    captured as a checkpoint (cached in the store by its cause key), and
+    every seed measures from that shared state.  This is the paper's
+    warm-then-checkpoint protocol (section 3.2.2) -- note it defines
+    *different* initial conditions than per-seed cold warm-up, so
+    warm-started runs have their own run keys and form their own sample
+    space.  Requires ``run.warmup_transactions > 0`` and no explicit
+    ``checkpoint``.
+
+    ``n_jobs > 1`` fans the pending seeds out across worker processes
+    through :mod:`repro.core.fanout`: shared state (configuration,
+    workload spec, checkpoint) ships to each worker once via the pool
+    initializer, the machine template is restored once per worker, and
+    each seed's machine is cloned from it -- so per-seed marginal cost
+    approaches the measurement window alone.  Results are bit-for-bit
+    identical to the sequential path.  ``batch_size`` overrides the
+    seeds-per-submission chunking (default: about three batches per
+    worker).
     """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
@@ -267,13 +291,39 @@ def run_space(
     if len(seeds) != n_runs:
         raise ValueError(f"need {n_runs} seeds, got {len(seeds)}")
 
+    warm_ckpt_key: str | None = None
+    warmup_transactions = run.warmup_transactions
+    if warm_start:
+        if checkpoint is not None:
+            raise ValueError("warm_start and an explicit checkpoint are exclusive")
+        if warmup_transactions <= 0:
+            raise ValueError("warm_start needs run.warmup_transactions > 0")
+        from repro.store import warm_key
+        from repro.system.checkpoint import WARMUP_PERTURBATION_SEED
+
+        warm_ckpt_key = warm_key(
+            config,
+            spec.name,
+            spec.seed,
+            spec.scale,
+            spec.params_dict,
+            warmup_transactions=warmup_transactions,
+            warmup_seed=WARMUP_PERTURBATION_SEED,
+            max_time_ns=run.max_time_ns,
+        )
+        # Seeds measure from the shared warm state: no per-run warm-up.
+        run = replace(run, warmup_transactions=0)
+
     keys: dict[int, str] = {}
     results: dict[int, SimulationResult] = {}
     pending: list[int] = []
     if store is not None:
         from repro.store import run_key
 
-        ckpt_digest = checkpoint.digest() if checkpoint is not None else None
+        if warm_ckpt_key is not None:
+            ckpt_digest = f"warm:{warm_ckpt_key}"
+        else:
+            ckpt_digest = checkpoint.digest() if checkpoint is not None else None
         for seed in seeds:
             keys[seed] = run_key(
                 config,
@@ -284,13 +334,31 @@ def run_space(
                 spec.params_dict,
                 checkpoint_digest=ckpt_digest,
             )
-            cached = store.get(keys[seed])
+        found = store.get_many([keys[seed] for seed in seeds])
+        for seed in seeds:
+            cached = found.get(keys[seed])
             if cached is not None:
                 results[seed] = cached
             else:
                 pending.append(seed)
     else:
         pending = list(seeds)
+
+    if pending and warm_start:
+        # Build (or fetch from the store) the shared warm state only when
+        # something actually needs to run -- a fully cached sample costs
+        # zero simulation.
+        from repro.system.checkpoint import warm_checkpoint
+
+        checkpoint = warm_checkpoint(
+            config,
+            make_workload(
+                spec.name, seed=spec.seed, scale=spec.scale, **spec.params_dict
+            ),
+            warmup_transactions=warmup_transactions,
+            max_time_ns=run.max_time_ns,
+            store=store,
+        )
 
     def record(seed: int, result: SimulationResult) -> None:
         results[seed] = result
@@ -299,31 +367,25 @@ def run_space(
 
     failures: list[RunFailure] = []
     if pending:
-        jobs = {seed: make_job(config, spec, run, seed, checkpoint) for seed in pending}
         if n_jobs > 1:
-            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                futures = {
-                    pool.submit(_one_run_captured, job): seed
-                    for seed, job in jobs.items()
-                }
-                for future in as_completed(futures):
-                    seed = futures[future]
-                    try:
-                        status, payload = future.result()
-                    except Exception as exc:  # pool-level crash (e.g. OOM kill)
-                        failures.append(
-                            RunFailure(
-                                seed=seed,
-                                error=f"{type(exc).__name__}: {exc}",
-                                kind="crash",
-                            )
-                        )
-                        continue
-                    if status == "ok":
-                        record(seed, payload)
-                    else:
-                        failures.append(RunFailure(seed=seed, error=payload))
+            from repro.core.fanout import SharedRunContext, execute_shared
+
+            context = SharedRunContext(
+                config=config, spec=spec, run=run, checkpoint=checkpoint
+            )
+            _done, failures = execute_shared(
+                context,
+                pending,
+                n_jobs=n_jobs,
+                retries=0,
+                batch_size=batch_size,
+                on_result=record,
+            )
         else:
+            jobs = {
+                seed: make_job(config, spec, run, seed, checkpoint)
+                for seed in pending
+            }
             for seed, job in jobs.items():
                 status, payload = _one_run_captured(job)
                 if status == "ok":

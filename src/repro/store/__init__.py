@@ -10,7 +10,7 @@ store before executing, so interrupted experiments resume where they
 stopped and repeated studies reuse prior measurements.
 """
 
-from repro.store.keys import KEY_VERSION, canonical_json, digest, run_key
+from repro.store.keys import KEY_VERSION, canonical_json, digest, run_key, warm_key
 from repro.store.serialize import (
     analysis_to_dict,
     run_config_from_dict,
@@ -29,6 +29,7 @@ __all__ = [
     "canonical_json",
     "digest",
     "run_key",
+    "warm_key",
     "analysis_to_dict",
     "run_config_from_dict",
     "run_config_to_dict",

@@ -72,3 +72,42 @@ def run_key(
         "checkpoint": checkpoint_digest,
     }
     return digest(payload)
+
+
+def warm_key(
+    config: SystemConfig,
+    workload_name: str,
+    workload_seed: int,
+    workload_scale: float,
+    workload_params: Mapping | None = None,
+    *,
+    warmup_transactions: int,
+    warmup_seed: int,
+    max_time_ns: int,
+) -> str:
+    """The cause key of a shared warm-up checkpoint.
+
+    A warm checkpoint is a pure function of its cause -- configuration,
+    workload identity, warm-up length, and the fixed warm-up perturbation
+    seed -- so, unlike ad-hoc checkpoints (keyed by state content), it
+    can be named *before* it exists.  That is what lets campaign planning
+    resolve warm-started run keys without running the warm-up, and what
+    lets a resumed campaign find both the cached checkpoint and every
+    cached run.  Runs started from a warm checkpoint carry
+    ``"warm:" + warm_key(...)`` as their ``checkpoint_digest``.
+    """
+    payload = {
+        "v": KEY_VERSION,
+        "kind": "warm-checkpoint",
+        "system": config.to_dict(),
+        "workload": {
+            "name": workload_name,
+            "seed": workload_seed,
+            "scale": workload_scale,
+            "params": dict(workload_params or {}),
+        },
+        "warmup_transactions": warmup_transactions,
+        "warmup_seed": warmup_seed,
+        "max_time_ns": max_time_ns,
+    }
+    return digest(payload)

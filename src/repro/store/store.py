@@ -94,6 +94,29 @@ class RunStore:
             )
             return None
 
+    def get_many(self, keys: list[str]) -> dict:
+        """Stored results for many keys in one directory pass.
+
+        One ``runs/`` listing resolves which keys exist, then only the
+        present files are opened -- replacing N per-key ``stat`` probes
+        (mostly misses, on a fresh campaign) with a single scan.  The
+        returned dict holds only the keys that were found and readable;
+        corrupt entries are skipped with the same warning as :meth:`get`.
+        """
+        wanted = set(keys)
+        if not wanted:
+            return {}
+        present = {
+            path.stem for path in self.runs_dir.glob("*.json") if path.stem in wanted
+        }
+        found = {}
+        for key in keys:
+            if key in present:
+                result = self.get(key)
+                if result is not None:
+                    found[key] = result
+        return found
+
     def put(self, key: str, result: SimulationResult, **meta) -> None:
         """Store a completed run and journal the event.
 
@@ -122,6 +145,43 @@ class RunStore:
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
+
+    # ------------------------------------------------------------------
+    # Warm-up checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint_path_for(self, key: str) -> Path:
+        """The cached-checkpoint path for a warm key."""
+        return self.root / "checkpoints" / f"{key}.ckpt"
+
+    def get_checkpoint(self, key: str):
+        """The cached checkpoint for a warm key, or ``None``.
+
+        Like :meth:`get`, a corrupt or unreadable file is a cache miss
+        (warned, never raised): losing a cached warm-up costs one
+        re-warm, not the campaign.
+        """
+        path = self.checkpoint_path_for(key)
+        if not path.exists():
+            return None
+        from repro.system.checkpoint import Checkpoint
+
+        try:
+            return Checkpoint.load(path)
+        except Exception as exc:  # noqa: BLE001 -- any corruption is a miss
+            warnings.warn(
+                f"run store: skipping corrupt checkpoint {path.name}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def put_checkpoint(self, key: str, checkpoint) -> None:
+        """Cache a warm-up checkpoint under its warm key (atomic write)."""
+        path = self.checkpoint_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        checkpoint.save(tmp)
+        os.replace(tmp, path)
 
     # ------------------------------------------------------------------
     # Journal

@@ -50,7 +50,14 @@ class Checkpoint:
     workload_seed: int
     workload_scale: float
     taken_at_transactions: int
-    workload_params: dict = None
+    workload_params: dict | None = None
+
+    def __post_init__(self) -> None:
+        # Normalize so consumers can treat the field as a plain dict;
+        # ``None`` is accepted for backward compatibility with older
+        # pickles and callers.
+        if self.workload_params is None:
+            self.workload_params = {}
 
     @classmethod
     def capture(cls, machine: Machine) -> "Checkpoint":
@@ -58,11 +65,7 @@ class Checkpoint:
         workload = machine.workload
         # Record instance-level parameter overrides (set by make_workload)
         # so a parameterized workload rebuilds identically.
-        params = {
-            key: value
-            for key, value in vars(workload).items()
-            if key not in ("seed", "scale") and hasattr(type(workload), key)
-        }
+        params = _instance_params(workload)
         return cls(
             state=machine.snapshot(),
             workload_name=workload.name,
@@ -142,6 +145,87 @@ class Checkpoint:
         if not isinstance(checkpoint, cls):
             raise TypeError(f"{path} does not contain a Checkpoint")
         return checkpoint
+
+
+#: perturbation seed of the shared warm-up leg (the warm-up is part of
+#: the initial conditions, so it uses one fixed stream -- per-run seeds
+#: perturb only the measurement, as with the paper's Simics checkpoints)
+WARMUP_PERTURBATION_SEED = 777
+
+
+def warm_checkpoint(
+    config: SystemConfig,
+    workload: Workload | str,
+    run=None,
+    *,
+    warmup_transactions: int | None = None,
+    warmup_seed: int = WARMUP_PERTURBATION_SEED,
+    max_time_ns: int | None = None,
+    store=None,
+) -> Checkpoint:
+    """Run the warm-up leg once and capture it as shared initial conditions.
+
+    The paper pays the warm-up cost once per workload -- record a Simics
+    checkpoint after warm-up, then start every perturbed run from it
+    (section 3.2.2).  This helper is that step as a library call: boot
+    ``workload`` cold under ``config``, run ``warmup_transactions`` (or
+    ``run.warmup_transactions``) under a *fixed* warm-up perturbation
+    stream, and capture the state.  Runs started from the returned
+    checkpoint with ``warmup_transactions=0`` then pay only the
+    measurement window, whatever the sample size.
+
+    With ``store`` (a :class:`repro.store.RunStore`), the checkpoint is
+    cached under its cause key (:func:`repro.store.warm_key`), so
+    repeated campaigns -- and resumed ones -- skip the warm-up entirely.
+    """
+    from repro.sim.rng import stream_seed
+
+    if isinstance(workload, str):
+        workload = make_workload(workload)
+    if warmup_transactions is None:
+        if run is None:
+            raise ValueError("pass warmup_transactions or a RunConfig")
+        warmup_transactions = run.warmup_transactions
+    if warmup_transactions <= 0:
+        raise ValueError("warm-up needs a positive transaction count")
+    if max_time_ns is None:
+        max_time_ns = run.max_time_ns if run is not None else 30_000_000_000
+
+    key = None
+    if store is not None:
+        from repro.store import warm_key
+
+        key = warm_key(
+            config,
+            workload.name,
+            workload.seed,
+            workload.scale,
+            _instance_params(workload),
+            warmup_transactions=warmup_transactions,
+            warmup_seed=warmup_seed,
+            max_time_ns=max_time_ns,
+        )
+        cached = store.get_checkpoint(key)
+        if cached is not None:
+            return cached
+
+    machine = Machine(config, workload)
+    machine.hierarchy.seed_perturbation(stream_seed(warmup_seed, "warmup"))
+    machine.run_until_transactions(warmup_transactions, max_time_ns=max_time_ns)
+    checkpoint = Checkpoint.capture(machine)
+    if store is not None:
+        store.put_checkpoint(key, checkpoint)
+    return checkpoint
+
+
+def _instance_params(workload: Workload) -> dict:
+    """Instance-level class-attribute overrides of a workload (the same
+    extraction :meth:`Checkpoint.capture` records)."""
+    return {
+        key: value
+        for key, value in vars(workload).items()
+        if key not in ("seed", "scale") and hasattr(type(workload), key)
+    }
 
 
 def make_checkpoints(

@@ -482,6 +482,55 @@ class Machine:
         )
 
     # ------------------------------------------------------------------
+    # Cloning (warm-state fan-out)
+    # ------------------------------------------------------------------
+    def freeze(self) -> bytes:
+        """Serialize this machine into a reusable state template.
+
+        The template is everything except the dispatch table, whose
+        closures are process-local and are rebuilt by :meth:`thaw`.
+        Freezing a quiesced machine once and thawing it per seed is how
+        the fan-out engine replaces N identical checkpoint restores with
+        one restore plus N cheap clones; a thawed machine is
+        behaviourally bit-identical to the frozen one (all simulator
+        state is plain data, and no hot path depends on container
+        identity or set insertion history).
+
+        Probes must be detached first (their callbacks are arbitrary
+        callables; attach them to the thawed copy instead).
+        """
+        if self.probes is not None:
+            raise ValueError("detach probes before freezing a machine")
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in ("_dispatch", "_simple_handlers")
+        }
+        import pickle
+
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def thaw(cls, template: bytes) -> "Machine":
+        """Materialize an independent machine from a :meth:`freeze` template.
+
+        Each call returns a fresh object graph (templates can be thawed
+        any number of times); the dispatch table is rebuilt so its
+        closures bind the new machine, not the frozen one.
+        """
+        import pickle
+
+        machine = cls.__new__(cls)
+        machine.__dict__.update(pickle.loads(template))
+        machine._simple_handlers = None
+        machine._build_dispatch()
+        return machine
+
+    def clone(self) -> "Machine":
+        """An independent machine with bit-identical state (freeze + thaw)."""
+        return type(self).thaw(self.freeze())
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

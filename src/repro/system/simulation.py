@@ -138,6 +138,33 @@ def run_simulation(
         machine = checkpoint.materialize(config)
     else:
         machine = Machine(config, workload)
+    return measure_machine(
+        machine,
+        config,
+        run,
+        collect_transaction_times=collect_transaction_times,
+        collect_schedule_trace=collect_schedule_trace,
+        probes=probes,
+    )
+
+
+def measure_machine(
+    machine: Machine,
+    config: SystemConfig,
+    run: RunConfig,
+    *,
+    collect_transaction_times: bool = False,
+    collect_schedule_trace: bool = False,
+    probes=None,
+) -> SimulationResult:
+    """Run the measurement protocol on an already-built machine.
+
+    This is the back half of :func:`run_simulation`, split out so the
+    fan-out engine (:mod:`repro.core.fanout`) can measure machines it
+    materialized from a worker-resident template; the protocol --
+    perturbation seeding, warm-up, window, result assembly -- is the
+    single shared implementation either way.
+    """
     machine.hierarchy.seed_perturbation(stream_seed(run.seed, "perturbation"))
     if probes is not None:
         machine.attach_probes(probes)

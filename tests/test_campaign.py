@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import RunConfig, SystemConfig
 from repro.campaign import Campaign, CampaignSpec
-from repro.campaign import executor as executor_mod
+from repro.core import fanout as fanout_mod
 from repro.core.runner import (
     RunSpaceError,
     WorkloadSpec,
@@ -94,28 +94,28 @@ class TestResumeAfterInterrupt:
     def test_interrupted_campaign_resumes_missing_seeds_only(self, tmp_path, monkeypatch):
         """Acceptance: kill mid-flight, re-invoke, only missing seeds run."""
         store = RunStore(tmp_path)
-        real_one_run = executor_mod._one_run
+        real_simulate = fanout_mod._simulate_resident
         calls = {"n": 0}
 
-        def interrupting(args):
+        def interrupting(resident, run):
             if calls["n"] >= 2:
                 raise KeyboardInterrupt  # the operator hits Ctrl-C
             calls["n"] += 1
-            return real_one_run(args)
+            return real_simulate(resident, run)
 
-        monkeypatch.setattr(executor_mod, "_one_run", interrupting)
+        monkeypatch.setattr(fanout_mod, "_simulate_resident", interrupting)
         with pytest.raises(KeyboardInterrupt):
             Campaign(fixed_spec(5), store).run()
         assert store.journal_length() == 2  # partial results persisted
 
-        monkeypatch.setattr(executor_mod, "_one_run", real_one_run)
+        monkeypatch.setattr(fanout_mod, "_simulate_resident", real_simulate)
         executions = {"n": 0}
 
-        def counting(args):
+        def counting(resident, run):
             executions["n"] += 1
-            return real_one_run(args)
+            return real_simulate(resident, run)
 
-        monkeypatch.setattr(executor_mod, "_one_run", counting)
+        monkeypatch.setattr(fanout_mod, "_simulate_resident", counting)
         report = Campaign(fixed_spec(5), store).run()
         assert executions["n"] == 3  # only the missing seeds
         assert report.cells[0].cached_hits == 2
@@ -136,15 +136,14 @@ class TestResumeAfterInterrupt:
 
 class TestFaultTolerance:
     def test_failed_run_reported_not_fatal(self, tmp_path, monkeypatch):
-        real_one_run = executor_mod._one_run
+        real_simulate = fanout_mod._simulate_resident
 
-        def flaky(args):
-            run = args[5]
+        def flaky(resident, run):
             if run.seed == RUN.seed + 1:
                 raise RuntimeError("synthetic fault")
-            return real_one_run(args)
+            return real_simulate(resident, run)
 
-        monkeypatch.setattr(executor_mod, "_one_run", flaky)
+        monkeypatch.setattr(fanout_mod, "_simulate_resident", flaky)
         report = Campaign(fixed_spec(3), RunStore(tmp_path)).run()
         cell = report.cells[0]
         assert len(cell.failures) == 1
@@ -156,10 +155,10 @@ class TestFaultTolerance:
     def test_per_run_timeout_recorded(self, tmp_path, monkeypatch):
         import time
 
-        def sleepy(_args):
+        def sleepy(_resident, _run):
             time.sleep(5)
 
-        monkeypatch.setattr(executor_mod, "_one_run", sleepy)
+        monkeypatch.setattr(fanout_mod, "_simulate_resident", sleepy)
         report = Campaign(
             fixed_spec(1), RunStore(tmp_path), timeout_s=0.2
         ).run()
