@@ -60,10 +60,13 @@ SEED_BASE = 100
 MAX_TIME_NS = 10**13
 
 
-def run_before(config, run, seeds, n_jobs) -> dict:
+def run_before(config, run, seeds, n_jobs, warmup_mode="timed") -> dict:
     """The historical path: self-contained cold jobs, warm-up per seed."""
     spec = WorkloadSpec.resolve("oltp")
-    jobs = {seed: make_job(config, spec, run, seed, None) for seed in seeds}
+    jobs = {
+        seed: make_job(config, spec, run, seed, None, warmup_mode=warmup_mode)
+        for seed in seeds
+    }
     results = {}
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
         futures = {
@@ -77,11 +80,11 @@ def run_before(config, run, seeds, n_jobs) -> dict:
     return results
 
 
-def run_after(config, run, seeds, n_jobs) -> dict:
-    """The fan-out path: warm once (timed), measure-only per seed."""
+def run_after(config, run, seeds, n_jobs, warmup_mode="timed") -> dict:
+    """The fan-out path: warm once, measure-only per seed."""
     sample = run_space(
         config, "oltp", run, len(seeds), seeds=list(seeds),
-        n_jobs=n_jobs, warm_start=True,
+        n_jobs=n_jobs, warm_start=True, warmup_mode=warmup_mode,
     )
     return dict(zip(seeds, sample.results))
 
@@ -90,7 +93,7 @@ def digest_of(results: dict) -> list:
     return [results[seed].to_dict() for seed in sorted(results)]
 
 
-def measure(reps: int, n_jobs: int) -> dict:
+def measure(reps: int, n_jobs: int, warmup_mode: str = "timed") -> dict:
     config = SystemConfig(n_cpus=N_CPUS)
     run = RunConfig(
         measured_transactions=MEASURED_TXNS,
@@ -105,7 +108,7 @@ def measure(reps: int, n_jobs: int) -> dict:
     for rep in range(reps):
         for label, fn in (("before", run_before), ("after", run_after)):
             start = time.perf_counter()
-            results = fn(config, run, seeds, n_jobs)
+            results = fn(config, run, seeds, n_jobs, warmup_mode)
             elapsed = time.perf_counter() - start
             timings[label].append(elapsed)
             if label not in references:
@@ -127,6 +130,7 @@ def measure(reps: int, n_jobs: int) -> dict:
             "n_seeds": N_SEEDS,
             "n_jobs": n_jobs,
             "reps": reps,
+            "warmup_mode": warmup_mode,
             "interleaved": True,
             "note": (
                 "before = per-seed cold warm-up (historical pool path); "
@@ -174,11 +178,15 @@ def main() -> int:
         "--smoke", action="store_true",
         help="tiny digest-equality gate (CI); writes no JSON",
     )
+    parser.add_argument(
+        "--warmup-mode", choices=("timed", "functional"), default="timed",
+        help="execute warm-up legs timed or functional (repro.core.ffwd)",
+    )
     args = parser.parse_args()
     if args.smoke:
         return smoke(args.jobs)
 
-    doc = measure(args.reps, args.jobs)
+    doc = measure(args.reps, args.jobs, args.warmup_mode)
     print(
         f"\nbefore: {doc['before']['runs_per_sec']:.1f} runs/s   "
         f"after: {doc['after']['runs_per_sec']:.1f} runs/s   "

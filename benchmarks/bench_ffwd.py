@@ -1,0 +1,212 @@
+"""Fast-forward benchmark: functional vs timed warm-up throughput.
+
+Measures the wall-clock cost of constructing warm machine state -- the
+leg every experiment pays before its measurement window -- two ways:
+
+- **timed**: the full event-driven simulation
+  (``run_until_transactions``), evaluating per-op core timing, cache and
+  interconnect latency, DRAM occupancy, and perturbation draws;
+- **functional**: the fast-forward engine (:mod:`repro.core.ffwd`),
+  driving the identical workload ops through the real cache/coherence,
+  lock, and scheduler state transitions while skipping event scheduling
+  and all latency evaluation.
+
+Reps are interleaved (timed, functional, timed, ...) so machine-load
+drift biases neither side; each side reports its best rep and is
+asserted byte-deterministic across reps (warm-state digest equality).
+
+A second leg demonstrates what the engine buys end-to-end: SMARTS-style
+multi-window sampled measurement
+(:func:`repro.core.sampling.multi_window_sample`) -- functional warm-up,
+then alternating timed windows and functional skips -- yielding several
+cycles-per-transaction observations from one seed, with their
+confidence interval.
+
+Writes ``BENCH_ffwd.json`` at the repo root.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ffwd.py
+    PYTHONPATH=src python benchmarks/bench_ffwd.py --smoke
+
+``--smoke`` runs a tiny functional warm-up plus a 2-window sampled
+measurement and asserts non-empty samples (CI gate); it writes no JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.sampling import multi_window_sample
+from repro.sim.rng import stream_seed
+from repro.store import digest as state_digest
+from repro.system.machine import Machine
+from repro.workloads.registry import make_workload
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ffwd.json"
+
+#: benchmark shape: a machine-lifetime warm-up on the OOO core (the
+#: expensive model -- its per-op timing is exactly what fast-forward
+#: skips) at a paper-scale processor count
+N_CPUS = 8
+WARMUP_TXNS = 1000
+ROB_ENTRIES = 64
+MAX_TIME_NS = 10**14
+#: the shared warm-up perturbation stream (repro.system.checkpoint)
+WARMUP_SEED = stream_seed(777, "warmup")
+
+
+def build_machine() -> Machine:
+    config = SystemConfig(n_cpus=N_CPUS).with_rob_entries(ROB_ENTRIES)
+    machine = Machine(config, make_workload("oltp"))
+    machine.hierarchy.seed_perturbation(WARMUP_SEED)
+    return machine
+
+
+def warm_digest(machine: Machine) -> str:
+    """Content digest of the warm state a leg produced."""
+    return state_digest(
+        {
+            "occupancy": machine.hierarchy.occupancy(include_order=True),
+            "locks": machine.locks.occupancy(),
+            "transactions": machine.completed_transactions,
+            "now": machine.clock.now,
+        }
+    )
+
+
+def one_rep(label: str) -> tuple[float, str]:
+    machine = build_machine()
+    start = time.perf_counter()
+    if label == "functional":
+        machine.fast_forward_transactions(WARMUP_TXNS, max_time_ns=MAX_TIME_NS)
+    else:
+        machine.run_until_transactions(WARMUP_TXNS, max_time_ns=MAX_TIME_NS)
+    elapsed = time.perf_counter() - start
+    return elapsed, warm_digest(machine)
+
+
+def measure(reps: int) -> dict:
+    timings: dict[str, list[float]] = {"timed": [], "functional": []}
+    digests: dict[str, str] = {}
+    for rep in range(reps):
+        for label in ("timed", "functional"):
+            elapsed, digest = one_rep(label)
+            timings[label].append(elapsed)
+            if label not in digests:
+                digests[label] = digest
+            elif digests[label] != digest:
+                raise RuntimeError(f"{label} rep {rep} is not deterministic")
+            print(
+                f"rep {rep}: {label:10s} {elapsed:6.2f}s "
+                f"({WARMUP_TXNS / elapsed:7.0f} txns/s)"
+            )
+
+    best = {label: min(times) for label, times in timings.items()}
+    speedup = best["timed"] / best["functional"]
+
+    # Sampled-measurement leg: one seed, several observations.
+    run = RunConfig(
+        measured_transactions=50,
+        warmup_transactions=WARMUP_TXNS,
+        seed=100,
+        max_time_ns=MAX_TIME_NS,
+    )
+    config = SystemConfig(n_cpus=N_CPUS).with_rob_entries(ROB_ENTRIES)
+    start = time.perf_counter()
+    sample = multi_window_sample(config, "oltp", run, n_windows=4)
+    sampled_s = time.perf_counter() - start
+    if sample.n_valid < 3:
+        raise RuntimeError(
+            f"multi-window sampling yielded only {sample.n_valid} valid windows"
+        )
+    ci = sample.interval()
+    print(
+        f"\nsampled measurement: {sample.n_valid} windows in {sampled_s:.2f}s, "
+        f"mean {ci.mean:,.0f} c/txn, CI half-width {ci.half_width:,.0f}"
+    )
+
+    return {
+        "scenario": {
+            "workload": "oltp",
+            "n_cpus": N_CPUS,
+            "rob_entries": ROB_ENTRIES,
+            "warmup_transactions": WARMUP_TXNS,
+            "reps": reps,
+            "interleaved": True,
+            "note": (
+                "timed = full event-driven warm-up; functional = "
+                "fast-forward engine (repro.core.ffwd), same architectural "
+                "state transitions without timing evaluation"
+            ),
+        },
+        "timed": {
+            "times_s": [round(t, 3) for t in timings["timed"]],
+            "best_s": round(best["timed"], 3),
+            "txns_per_sec": round(WARMUP_TXNS / best["timed"], 1),
+        },
+        "functional": {
+            "times_s": [round(t, 3) for t in timings["functional"]],
+            "best_s": round(best["functional"], 3),
+            "txns_per_sec": round(WARMUP_TXNS / best["functional"], 1),
+        },
+        "speedup": round(speedup, 2),
+        "deterministic_across_reps": True,
+        "sampled_measurement": {
+            "n_windows": len(sample.windows),
+            "n_valid": sample.n_valid,
+            "window_transactions": run.measured_transactions,
+            "values": [round(v, 1) for v in sample.values],
+            "ci_mean": round(ci.mean, 1),
+            "ci_half_width": round(ci.half_width, 1),
+            "wall_s": round(sampled_s, 3),
+        },
+    }
+
+
+def smoke() -> int:
+    """CI gate: functional warm-up + 2-window sampled measurement."""
+    config = SystemConfig(n_cpus=4)
+    run = RunConfig(
+        measured_transactions=20, warmup_transactions=150, seed=100,
+        max_time_ns=MAX_TIME_NS,
+    )
+    sample = multi_window_sample(config, "oltp", run, n_windows=2)
+    if not sample.values:
+        print("SMOKE FAIL: sampled measurement produced no valid windows")
+        return 1
+    print(
+        f"SMOKE PASS: functional warm-up + {sample.n_valid} timed windows, "
+        f"values {[round(v) for v in sample.values]}"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=3, help="interleaved A/B reps")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny functional-warm-up + sampling gate (CI); writes no JSON",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        return smoke()
+
+    doc = measure(args.reps)
+    print(
+        f"\ntimed: {doc['timed']['txns_per_sec']:,.0f} txns/s   "
+        f"functional: {doc['functional']['txns_per_sec']:,.0f} txns/s   "
+        f"speedup: {doc['speedup']:.2f}x"
+    )
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

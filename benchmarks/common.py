@@ -18,6 +18,10 @@ Environment knobs:
   sample size; set lower for a quick pass).
 - ``REPRO_BENCH_TXNS``: measured transactions for the standard OLTP
   experiments (default 200, as in Experiment 1).
+- ``REPRO_BENCH_WARMUP_MODE``: ``timed`` (default) or ``functional`` --
+  how warm-up legs execute (:mod:`repro.core.ffwd`).  Functional
+  warm-up reaches a different (but equally valid) warm state, so its
+  checkpoints and runs cache under separate keys.
 
 Scale note (see DESIGN.md): one synthetic transaction costs ~10^2-10^3
 memory operations, about 500x lighter than the paper's (~10^6
@@ -46,6 +50,8 @@ N_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "20"))
 N_TXNS = int(os.environ.get("REPRO_BENCH_TXNS", "200"))
 #: machine-lifetime transactions of warm-up before the checkpoint
 WARMUP_TXNS = int(os.environ.get("REPRO_BENCH_WARMUP", "3000"))
+#: how warm-up legs execute: "timed" or "functional" (repro.core.ffwd)
+WARMUP_MODE = os.environ.get("REPRO_BENCH_WARMUP_MODE", "timed")
 
 MAX_TIME_NS = 10**13
 
@@ -56,6 +62,7 @@ def warm_checkpoint(
     config: SystemConfig | None = None,
     warmup: int | None = None,
     workload_params: dict | None = None,
+    warmup_mode: str | None = None,
 ) -> Checkpoint:
     """Warm a workload on the base configuration and checkpoint it.
 
@@ -64,6 +71,9 @@ def warm_checkpoint(
     checkpoint in the run store under its cause key
     (:func:`repro.store.warm_key`) -- re-running a bench skips the
     warm-up, and campaigns/run_space resolve the very same checkpoint.
+
+    ``warmup_mode`` (default: ``$REPRO_BENCH_WARMUP_MODE`` or
+    ``"timed"``) selects timed or functional warm-up execution.
     """
     config = config or SystemConfig()
     warmup = warmup if warmup is not None else WARMUP_TXNS
@@ -73,6 +83,7 @@ def warm_checkpoint(
         warmup_transactions=warmup,
         max_time_ns=MAX_TIME_NS,
         store=STORE,
+        mode=warmup_mode if warmup_mode is not None else WARMUP_MODE,
     )
 
 

@@ -65,7 +65,10 @@ from repro.core.runner import (
 from repro.core.sampling import (
     AdaptiveStopRule,
     CheckpointStudy,
+    MultiWindowSample,
+    WindowMeasurement,
     checkpoint_study,
+    multi_window_sample,
     systematic_checkpoint_counts,
     windowed_cycles_per_transaction,
 )
@@ -77,6 +80,7 @@ from repro.system import (
     SimulationResult,
     make_checkpoints,
     run_simulation,
+    warm_checkpoint,
 )
 from repro.verify import (
     InvariantSuite,
@@ -117,7 +121,10 @@ __all__ = [
     "wrong_conclusion_ratio",
     "AdaptiveStopRule",
     "CheckpointStudy",
+    "MultiWindowSample",
+    "WindowMeasurement",
     "checkpoint_study",
+    "multi_window_sample",
     "systematic_checkpoint_counts",
     "windowed_cycles_per_transaction",
     "Campaign",
@@ -139,6 +146,7 @@ __all__ = [
     "SimulationResult",
     "make_checkpoints",
     "run_simulation",
+    "warm_checkpoint",
     "available_workloads",
     "make_workload",
     "InvariantSuite",

@@ -24,7 +24,13 @@ from dataclasses import dataclass, field, replace
 
 from repro.config import RunConfig, SystemConfig
 from repro.campaign.executor import SharedRunContext, execute_shared
-from repro.campaign.plan import CampaignPlan, CampaignSpec, cell_execution, plan_campaign
+from repro.campaign.plan import (
+    CampaignPlan,
+    CampaignSpec,
+    cell_execution,
+    cell_key_mode,
+    plan_campaign,
+)
 from repro.core.confidence import confidence_interval
 from repro.core.runner import RunFailure, RunSample, WorkloadSpec
 from repro.store import RunStore, run_key
@@ -175,6 +181,7 @@ class Campaign:
             wspec.scale,
             wspec.params_dict,
             checkpoint_digest=ckpt_digest,
+            warmup_mode=cell_key_mode(self.spec),
         )
 
     def _run_cell(
@@ -211,10 +218,15 @@ class Campaign:
                         warmup_transactions=spec.run.warmup_transactions,
                         max_time_ns=spec.run.max_time_ns,
                         store=self.store,
+                        mode=spec.warmup_mode,
                     )
                 context_cache.append(
                     SharedRunContext(
-                        config=config, spec=wspec, run=cell_run, checkpoint=checkpoint
+                        config=config,
+                        spec=wspec,
+                        run=cell_run,
+                        checkpoint=checkpoint,
+                        warmup_mode=spec.warmup_mode,
                     )
                 )
             return context_cache[0]

@@ -40,6 +40,11 @@ class CampaignSpec:
     #: Warm-started cells sample different initial conditions than
     #: per-seed cold warm-up, so they key (and cache) separately.
     warm_start: bool = False
+    #: how warm-up legs execute: "timed" (full event loop) or
+    #: "functional" (fast-forward, :mod:`repro.core.ffwd`).  Applies to
+    #: the shared warm-start leg or to each seed's cold warm-up;
+    #: measurement windows are always timed.
+    warmup_mode: str = "timed"
 
     def __post_init__(self) -> None:
         if not self.configs:
@@ -50,6 +55,8 @@ class CampaignSpec:
             raise ValueError("n_runs must be positive")
         if self.warm_start and self.run.warmup_transactions <= 0:
             raise ValueError("warm_start needs run.warmup_transactions > 0")
+        if self.warmup_mode not in ("timed", "functional"):
+            raise ValueError(f"unknown warm-up mode {self.warmup_mode!r}")
 
     def cells(self):
         """The (label, config, workload spec) grid, in declaration order."""
@@ -144,14 +151,31 @@ def cell_execution(spec: CampaignSpec, config: SystemConfig, wspec: WorkloadSpec
         warmup_transactions=spec.run.warmup_transactions,
         warmup_seed=WARMUP_PERTURBATION_SEED,
         max_time_ns=spec.run.max_time_ns,
+        warmup_mode=spec.warmup_mode,
     )
     return replace(spec.run, warmup_transactions=0), f"warm:{wkey}"
+
+
+def cell_key_mode(spec: CampaignSpec) -> str:
+    """The ``warmup_mode`` that belongs in a cell's *run* keys.
+
+    A warm-started cell carries the mode in its warm key (the per-seed
+    runs pay no warm-up), and a cell with no warm-up leg at all is
+    mode-independent -- both key as ``"timed"``.  Only a cold cell whose
+    seeds each pay a warm-up folds the mode into its run keys.  Shared by
+    :func:`plan_campaign` and the executor so ``--dry-run``, execution,
+    and resume agree.
+    """
+    if spec.warm_start or spec.run.warmup_transactions <= 0:
+        return "timed"
+    return spec.warmup_mode
 
 
 def plan_campaign(spec: CampaignSpec, store: RunStore) -> CampaignPlan:
     """Resolve the campaign grid against the store."""
     runs: list[PlannedRun] = []
     n_seeds = spec.initial_seed_count()
+    key_mode = cell_key_mode(spec)
     for label, config, wspec in spec.cells():
         cell_run, ckpt_digest = cell_execution(spec, config, wspec)
         for i in range(n_seeds):
@@ -164,6 +188,7 @@ def plan_campaign(spec: CampaignSpec, store: RunStore) -> CampaignPlan:
                 wspec.scale,
                 wspec.params_dict,
                 checkpoint_digest=ckpt_digest,
+                warmup_mode=key_mode,
             )
             runs.append(
                 PlannedRun(

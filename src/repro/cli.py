@@ -81,6 +81,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         args.workload,
         _run_config(args),
         workload_scale=args.scale,
+        warmup_mode=args.warmup_mode,
     )
     print(f"cycles per transaction : {result.cycles_per_transaction:,.0f}")
     print(f"simulated time         : {result.elapsed_ns:,} ns")
@@ -105,6 +106,7 @@ def cmd_space(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         warm_start=args.warm_start,
         store=store,
+        warmup_mode=args.warmup_mode,
     )
     if args.json:
         print(json.dumps(sample.to_dict(), indent=2))
@@ -191,6 +193,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             stop_rule=stop_rule,
             name=args.name,
             warm_start=args.warm_start,
+            warmup_mode=args.warmup_mode,
         )
     except ValueError as exc:
         print(f"campaign: {exc}", file=sys.stderr)
@@ -328,6 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel workers (a single run is serial; accepted so sweep "
              "scripts can pass --jobs to every subcommand uniformly)",
     )
+    run_parser.add_argument(
+        "--warmup-mode", choices=("timed", "functional"), default="timed",
+        help="execute the warm-up leg timed (full event loop) or "
+             "functional (fast-forward, ~5x throughput; measurement is "
+             "always timed)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     space_parser = subparsers.add_parser(
@@ -349,6 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
     space_parser.add_argument(
         "--json", action="store_true",
         help="emit the serialized RunSample as JSON for scripting",
+    )
+    space_parser.add_argument(
+        "--warmup-mode", choices=("timed", "functional"), default="timed",
+        help="execute warm-up legs (per-seed, or the shared --warm-start "
+             "leg) timed or functional (fast-forward); functional warm-up "
+             "keys its runs separately",
     )
     space_parser.set_defaults(func=cmd_space)
 
@@ -414,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-start", action="store_true",
         help="pay each cell's warm-up once (shared checkpoint, cached in the "
              "store) instead of once per seed",
+    )
+    campaign_parser.add_argument(
+        "--warmup-mode", choices=("timed", "functional"), default="timed",
+        help="execute warm-up legs timed or functional (fast-forward); "
+             "functional warm-up keys its cells separately",
     )
     campaign_parser.add_argument(
         "--timeout", type=float, default=None,

@@ -66,6 +66,9 @@ class SharedRunContext:
     spec: WorkloadSpec
     run: RunConfig
     checkpoint: object | None = None  # repro.system.checkpoint.Checkpoint
+    #: how any per-seed warm-up leg executes ("timed" | "functional");
+    #: see repro.core.ffwd
+    warmup_mode: str = "timed"
 
     @cached_property
     def digest(self) -> str:
@@ -73,25 +76,28 @@ class SharedRunContext:
 
         Covers the configuration, run template, workload identity, and
         (when present) the checkpoint state, so two contexts collide only
-        when their warm state is genuinely interchangeable.
+        when their warm state is genuinely interchangeable.  The
+        ``"timed"`` warm-up mode is omitted so pre-existing digests stay
+        stable.
         """
         from repro.store import digest as _digest
 
-        return _digest(
-            {
-                "system": self.config.to_dict(),
-                "run": self.run.to_dict(),
-                "workload": [
-                    self.spec.name,
-                    self.spec.seed,
-                    self.spec.scale,
-                    [[k, v] for k, v in self.spec.params],
-                ],
-                "checkpoint": (
-                    self.checkpoint.digest() if self.checkpoint is not None else None
-                ),
-            }
-        )
+        payload = {
+            "system": self.config.to_dict(),
+            "run": self.run.to_dict(),
+            "workload": [
+                self.spec.name,
+                self.spec.seed,
+                self.spec.scale,
+                [[k, v] for k, v in self.spec.params],
+            ],
+            "checkpoint": (
+                self.checkpoint.digest() if self.checkpoint is not None else None
+            ),
+        }
+        if self.warmup_mode != "timed":
+            payload["warmup_mode"] = self.warmup_mode
+        return _digest(payload)
 
 
 class _Resident:
@@ -161,7 +167,12 @@ def _install_contexts(entries: list[tuple[str, SharedRunContext]]) -> None:
 
 def _simulate_resident(resident: _Resident, run: RunConfig) -> SimulationResult:
     """One measured run from a resident template (the per-seed body)."""
-    return measure_machine(resident.materialize(), resident.context.config, run)
+    return measure_machine(
+        resident.materialize(),
+        resident.context.config,
+        run,
+        warmup_mode=resident.context.warmup_mode,
+    )
 
 
 class _RunTimeout(Exception):

@@ -190,6 +190,8 @@ def make_job(
     run: RunConfig,
     seed: int,
     checkpoint=None,
+    *,
+    warmup_mode: str = "timed",
 ) -> tuple:
     """Build the picklable job tuple :func:`_one_run` executes.
 
@@ -205,16 +207,28 @@ def make_job(
         spec.params_dict,
         replace(run, seed=seed),
         checkpoint,
+        warmup_mode,
     )
 
 
 def _one_run(args) -> SimulationResult:
     """Worker body (module-level for pickling)."""
-    config, workload_name, workload_seed, workload_scale, workload_params, run, checkpoint = args
+    (
+        config,
+        workload_name,
+        workload_seed,
+        workload_scale,
+        workload_params,
+        run,
+        checkpoint,
+        warmup_mode,
+    ) = args
     workload = make_workload(
         workload_name, seed=workload_seed, scale=workload_scale, **workload_params
     )
-    return run_simulation(config, workload, run, checkpoint=checkpoint)
+    return run_simulation(
+        config, workload, run, checkpoint=checkpoint, warmup_mode=warmup_mode
+    )
 
 
 def _one_run_captured(args) -> tuple:
@@ -244,6 +258,7 @@ def run_space(
     store=None,
     warm_start: bool = False,
     batch_size: int | None = None,
+    warmup_mode: str = "timed",
 ) -> RunSample:
     """Run ``n_runs`` perturbed simulations and collect the sample.
 
@@ -280,9 +295,17 @@ def run_space(
     identical to the sequential path.  ``batch_size`` overrides the
     seeds-per-submission chunking (default: about three batches per
     worker).
+
+    ``warmup_mode="functional"`` executes whatever warm-up leg this
+    sample pays -- the shared ``warm_start`` leg, or each seed's cold
+    warm-up -- through the fast-forward engine (:mod:`repro.core.ffwd`).
+    Functional warm-up reaches a different machine state than timed
+    warm-up, so those runs key (and cache) separately.
     """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
+    if warmup_mode not in ("timed", "functional"):
+        raise ValueError(f"unknown warm-up mode {warmup_mode!r}")
     spec = WorkloadSpec.resolve(
         workload, workload_seed=workload_seed, workload_params=workload_params
     )
@@ -310,9 +333,14 @@ def run_space(
             warmup_transactions=warmup_transactions,
             warmup_seed=WARMUP_PERTURBATION_SEED,
             max_time_ns=run.max_time_ns,
+            warmup_mode=warmup_mode,
         )
         # Seeds measure from the shared warm state: no per-run warm-up.
         run = replace(run, warmup_transactions=0)
+
+    # The mode is part of a run's own key only when the run itself pays a
+    # warm-up leg; a warm-started sample carries it in the warm key.
+    key_mode = warmup_mode if run.warmup_transactions > 0 else "timed"
 
     keys: dict[int, str] = {}
     results: dict[int, SimulationResult] = {}
@@ -333,6 +361,7 @@ def run_space(
                 spec.scale,
                 spec.params_dict,
                 checkpoint_digest=ckpt_digest,
+                warmup_mode=key_mode,
             )
         found = store.get_many([keys[seed] for seed in seeds])
         for seed in seeds:
@@ -358,6 +387,7 @@ def run_space(
             warmup_transactions=warmup_transactions,
             max_time_ns=run.max_time_ns,
             store=store,
+            mode=warmup_mode,
         )
 
     def record(seed: int, result: SimulationResult) -> None:
@@ -371,7 +401,11 @@ def run_space(
             from repro.core.fanout import SharedRunContext, execute_shared
 
             context = SharedRunContext(
-                config=config, spec=spec, run=run, checkpoint=checkpoint
+                config=config,
+                spec=spec,
+                run=run,
+                checkpoint=checkpoint,
+                warmup_mode=warmup_mode,
             )
             _done, failures = execute_shared(
                 context,
@@ -383,7 +417,9 @@ def run_space(
             )
         else:
             jobs = {
-                seed: make_job(config, spec, run, seed, checkpoint)
+                seed: make_job(
+                    config, spec, run, seed, checkpoint, warmup_mode=warmup_mode
+                )
                 for seed in pending
             }
             for seed, job in jobs.items():

@@ -14,15 +14,20 @@ Tools for studying how performance varies across a workload's lifetime:
   fixing N up front from a prior CoV estimate, run batches and stop when
   the confidence interval is tight enough.  :class:`repro.campaign.Campaign`
   executes this rule against the run store.
+- :func:`multi_window_sample` -- SMARTS-style sampled measurement within
+  one run: functional fast-forward (:mod:`repro.core.ffwd`) between
+  short timed measurement windows, yielding several
+  cycles-per-transaction observations per seed for the CI machinery at
+  a fraction of a fully timed run's cost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.config import RunConfig, SystemConfig
-from repro.core.confidence import confidence_interval, estimate_sample_size
+from repro.core.confidence import ConfidenceInterval, confidence_interval, estimate_sample_size
 from repro.core.metrics import (
     VariabilitySummary,
     mean,
@@ -250,4 +255,140 @@ def checkpoint_study(
     ]
     return CheckpointStudy(
         checkpoint_transactions=list(checkpoint_transactions), samples=samples
+    )
+
+
+@dataclass(frozen=True)
+class WindowMeasurement:
+    """One timed measurement window inside a sampled run."""
+
+    start_ns: int
+    end_ns: int
+    transactions: int
+    cycles_per_transaction: float
+
+    @property
+    def valid(self) -> bool:
+        """Whether the window completed any transactions (a window that
+        completed none carries no metric and is excluded from CIs)."""
+        return self.transactions > 0
+
+
+@dataclass
+class MultiWindowSample:
+    """Several per-window observations from one seed's execution.
+
+    The per-window cycles-per-transaction values feed the same CI
+    machinery as per-seed samples (:mod:`repro.core.confidence`);
+    windows of one run are serially correlated (they share lifetime
+    phase and warm state), so their CI describes within-run measurement
+    precision, not the across-seed space variability of ``run_space``.
+    """
+
+    windows: list[WindowMeasurement] = field(default_factory=list)
+    n_cpus: int = 1
+    seed: int = 0
+    timed_out: bool = False
+
+    @property
+    def values(self) -> list[float]:
+        """Cycles per transaction of each valid window, in order."""
+        return [w.cycles_per_transaction for w in self.windows if w.valid]
+
+    @property
+    def n_valid(self) -> int:
+        """Windows that completed at least one transaction."""
+        return sum(1 for w in self.windows if w.valid)
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Confidence interval over the valid windows' metrics."""
+        return confidence_interval(self.values, confidence)
+
+
+def multi_window_sample(
+    config: SystemConfig,
+    workload: Workload | str,
+    run: RunConfig,
+    *,
+    n_windows: int,
+    skip_transactions: int | None = None,
+    warmup_mode: str = "functional",
+    checkpoint: Checkpoint | None = None,
+) -> MultiWindowSample:
+    """Alternate fast-forward and timed windows within one run (SMARTS).
+
+    The machine first pays ``run.warmup_transactions`` under
+    ``warmup_mode`` (default functional -- that is the point), then
+    repeats ``n_windows`` times: a *timed* window of
+    ``run.measured_transactions``, followed by a fast-forward skip of
+    ``skip_transactions`` (default: the measured window length) in the
+    same mode.  Each window contributes one cycles-per-transaction
+    observation; the run's perturbation stream is seeded once from
+    ``run.seed``, so the whole sampled execution is deterministic.
+
+    ``checkpoint`` starts from captured initial conditions instead of a
+    cold boot, exactly as :func:`repro.system.simulation.run_simulation`.
+    """
+    from repro.sim.rng import stream_seed
+    from repro.system.machine import Machine
+    from repro.workloads.registry import make_workload
+
+    if n_windows <= 0:
+        raise ValueError("n_windows must be positive")
+    if run.measured_transactions <= 0:
+        raise ValueError("windows need run.measured_transactions > 0")
+    if warmup_mode not in ("timed", "functional"):
+        raise ValueError(f"unknown warm-up mode {warmup_mode!r}")
+    if skip_transactions is None:
+        skip_transactions = run.measured_transactions
+
+    if isinstance(workload, str):
+        workload = make_workload(workload)
+    if checkpoint is not None:
+        machine = checkpoint.materialize(config)
+    else:
+        machine = Machine(config, workload)
+    machine.hierarchy.seed_perturbation(stream_seed(run.seed, "perturbation"))
+
+    def advance(target: int) -> int:
+        if warmup_mode == "functional":
+            return machine.fast_forward_transactions(
+                target, max_time_ns=run.max_time_ns
+            )
+        return machine.run_until_transactions(target, max_time_ns=run.max_time_ns)
+
+    if run.warmup_transactions:
+        advance(machine.completed_transactions + run.warmup_transactions)
+
+    windows: list[WindowMeasurement] = []
+    for index in range(n_windows):
+        if machine.timed_out:
+            break
+        start_txns = machine.completed_transactions
+        start_ns = machine.clock.now
+        end_ns = machine.run_until_transactions(
+            start_txns + run.measured_transactions, max_time_ns=run.max_time_ns
+        )
+        measured = machine.completed_transactions - start_txns
+        elapsed = end_ns - start_ns
+        windows.append(
+            WindowMeasurement(
+                start_ns=start_ns,
+                end_ns=end_ns,
+                transactions=measured,
+                cycles_per_transaction=(
+                    elapsed * config.n_cpus / measured if measured else 0.0
+                ),
+            )
+        )
+        if machine.timed_out:
+            break
+        if skip_transactions and index < n_windows - 1:
+            advance(machine.completed_transactions + skip_transactions)
+
+    return MultiWindowSample(
+        windows=windows,
+        n_cpus=config.n_cpus,
+        seed=run.seed,
+        timed_out=machine.timed_out,
     )

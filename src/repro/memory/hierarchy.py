@@ -63,6 +63,16 @@ L1_READ_WRITE = "RW"
 
 #: hot-path constant: lines store coherence state as the enum value string
 _M_VALUE = MOSIState.M.value
+_S_VALUE = MOSIState.S.value
+_E_VALUE = MOSIState.E.value
+
+#: functional-path constants: protocol events hoisted once (enum member
+#: and ``.value`` descriptor hops are measurable at fast-forward rates)
+_OTHER_GETS = ProtocolEvent.OTHER_GETS
+_OTHER_GETM = ProtocolEvent.OTHER_GETM
+_OWN_ACK = ProtocolEvent.OWN_ACK
+_REPLACEMENT = ProtocolEvent.REPLACEMENT
+_WB_ACK = ProtocolEvent.WB_ACK
 
 #: shared empty sharer set (read-only uses only; avoids a set() per miss)
 _EMPTY_SET: frozenset = frozenset()
@@ -132,12 +142,26 @@ class MemoryHierarchy:
             for demand in (ProtocolEvent.LOAD, ProtocolEvent.STORE)
         )
         self._owner_state_values = frozenset(s.value for s in self._owner_states)
+        # Functional-path protocol view: (state value, event) ->
+        # (actions, next state value).  Same transitions as ``_table_v``
+        # but with the next state pre-resolved to its value string, so
+        # the fast-forward path never touches an enum descriptor.
+        self._table_f = {
+            (state.value, event): (tr.actions, tr.next_state.value)
+            for (state, event), tr in self._table.items()
+        }
         # Directory derived from L2 states: block -> owner node (M or O
         # copy), block -> set of nodes with any readable copy.
         self._owner: dict[int, int] = {}
         self._sharers: dict[int, set[int]] = {}
         # Per-block transaction busy windows (timing-dependent races).
         self._block_busy: dict[int, int] = {}
+        # Functional (timing-free) mode marker.  Toggled by the
+        # fast-forward engine (repro.core.ffwd) around a warm-up leg;
+        # always False on the timed path.  The functional access path
+        # uses its own *_f protocol plumbing, so this is a mode flag for
+        # introspection/assertions, not a hot-path branch.
+        self._functional = False
         # Perturbation stream; reseeded per run by the runner.
         self._perturb = RandomStream(seed=0)
         self._perturb_max = config.perturbation.max_ns
@@ -171,6 +195,18 @@ class MemoryHierarchy:
         and the interesting coherence behaviour is in the misses.
         """
         self._probe_cache = callback
+
+    def set_functional(self, enabled: bool) -> None:
+        """Enter or leave functional (timing-free) mode.
+
+        In functional mode :meth:`access_functional` drives the same
+        L1/L2/directory state transitions as :meth:`access` but the
+        crossbar and DRAM occupancy models are never consulted or
+        mutated, the per-block busy windows are not read or written, and
+        the perturbation stream is not drawn from.  The timed
+        :meth:`access` path does not depend on the flag at all.
+        """
+        self._functional = bool(enabled)
 
     # ------------------------------------------------------------------
     # The access path
@@ -283,6 +319,230 @@ class MemoryHierarchy:
             else:
                 lines[block] = CacheLine(block=block, state=state, dirty=is_write)
         return (latency, source)
+
+    def access_functional(
+        self,
+        node: int,
+        address: int,
+        is_write: bool,
+        now: int,
+        is_instruction: bool = False,
+    ) -> None:
+        """Perform one memory reference's *state* effects without timing.
+
+        Mirrors :meth:`access` transition-for-transition -- identical L1
+        lookup/fill (including MRU moves and eviction choices), identical
+        L2 demand transitions, and identical directory/coherence
+        resolution for misses -- but computes no latency: the block-race
+        busy windows, the perturbation draw, and the crossbar/DRAM
+        occupancy models are all skipped.  ``now`` is the functional
+        clock, used only to timestamp probe events.  Returns nothing (a
+        functional reference has no latency).
+        """
+        stats = self.stats
+        stats.accesses += 1
+        block = address // self._block_bytes
+        l1 = self.l1i[node] if is_instruction else self.l1d[node]
+
+        lines = l1._sets[block % l1.n_sets]
+        line = lines.get(block)
+        if line is None:
+            l1.stats.misses += 1
+        else:
+            del lines[block]
+            lines[block] = line
+            l1.stats.hits += 1
+            if not is_write or line.state == L1_READ_WRITE:
+                if is_write:
+                    line.dirty = True
+                stats.l1_hits += 1
+                return
+
+        l2 = self.l2[node]
+        l2_lines = l2._sets[block % l2.n_sets]
+        l2_line = l2_lines.get(block)
+        if l2_line is not None:
+            del l2_lines[block]
+            l2_lines[block] = l2_line
+            l2.stats.hits += 1
+            entry = self._l2_demand[1 if is_write else 0].get(l2_line.state)
+            if entry is None:
+                raise CoherenceError(
+                    f"illegal demand {'STORE' if is_write else 'LOAD'} "
+                    f"in state {l2_line.state}"
+                )
+            hit, next_value = entry
+            l2_line.state = next_value
+            if hit:
+                if is_write:
+                    l2_line.dirty = True
+                stats.l2_hits += 1
+                writable = next_value == _M_VALUE
+            else:
+                self._functional_transaction(
+                    node, block, is_write, now, upgrading=l2_line
+                )
+                writable = True
+        else:
+            l2.stats.misses += 1
+            self._functional_transaction(node, block, is_write, now, upgrading=None)
+            writable = is_write
+
+        # L1 fill: identical to the timed path (see access()).
+        state = L1_READ_WRITE if writable else L1_READ_ONLY
+        if line is not None:
+            line.state = state
+            line.dirty = is_write
+        else:
+            if len(lines) >= l1.associativity:
+                line = lines.pop(next(iter(lines)))
+                l1.stats.evictions += 1
+                line.block = block
+                line.state = state
+                line.dirty = is_write
+                lines[block] = line
+            else:
+                lines[block] = CacheLine(block=block, state=state, dirty=is_write)
+
+    def _functional_transaction(
+        self, node: int, block: int, is_write: bool, now: int, upgrading
+    ) -> None:
+        """Timing-free GetS/GetM: same protocol/directory transitions as
+        :meth:`_global_transaction`, no busy window, no perturbation draw,
+        no interconnect/DRAM occupancy.  Probe events fire with latency 0.
+        Called once per L2 miss/upgrade; kept out of
+        :meth:`access_functional` so the hit paths stay compact.
+        """
+        self.stats.l2_misses += 1
+        owner = self._owner.get(block)
+        sharers = self._sharers.get(block) or _EMPTY_SET
+
+        if is_write:
+            # Mirrors _resolve_getm without the latency legs.
+            data_from_cache = False
+            if sharers:
+                if len(sharers) == 1:
+                    # Dominant case: one holder.  Skip the set-difference /
+                    # sort allocations of the general path.  (Bind before
+                    # applying: the transition mutates the sharer set.)
+                    sharer = next(iter(sharers))
+                    if sharer != node:
+                        self._apply_remote_f(sharer, block, _OTHER_GETM)
+                else:
+                    for sharer in sorted(sharers - {node}):
+                        self._apply_remote_f(sharer, block, _OTHER_GETM)
+            if owner is not None and owner != node:
+                data_from_cache = True
+            if upgrading is not None:
+                entry = self._table_f.get((upgrading.state, _OWN_ACK))
+                if entry is None:
+                    raise CoherenceError(
+                        f"illegal event {_OWN_ACK.value} in state {upgrading.state}"
+                    )
+                upgrading.state = entry[1]
+                upgrading.dirty = True
+                source = SRC_UPGRADE
+                self.stats.upgrades += 1
+            elif data_from_cache:
+                source = SRC_CACHE
+                self.stats.cache_to_cache += 1
+                self._fill_f(node, block, _M_VALUE, True)
+            else:
+                source = SRC_MEMORY
+                self.stats.memory_fetches += 1
+                self._fill_f(node, block, _M_VALUE, True)
+            self._owner[block] = node
+            self._sharers[block] = {node}
+        else:
+            # Mirrors _resolve_gets without the latency legs.
+            if owner is not None and owner != node:
+                self._apply_remote_f(owner, block, _OTHER_GETS)
+                source = SRC_CACHE
+                self.stats.cache_to_cache += 1
+                supplier = self.l2[owner].peek(block)
+                if supplier is None or supplier.state not in self._owner_state_values:
+                    self._owner.pop(block, None)
+            else:
+                source = SRC_MEMORY
+                self.stats.memory_fetches += 1
+            exclusive = (
+                self._has_exclusive
+                and owner is None
+                and (not sharers or (len(sharers) == 1 and node in sharers))
+            )
+            self._fill_f(node, block, _E_VALUE if exclusive else _S_VALUE, False)
+            current = self._sharers.get(block)
+            if current is None:
+                self._sharers[block] = {node}
+            else:
+                current.add(node)
+            if exclusive:
+                self._owner[block] = node
+
+        if self._probe_cache is not None:
+            self._probe_cache(now, node, block, source, 0, is_write)
+
+    def _apply_remote_f(self, node: int, block: int, event: ProtocolEvent) -> None:
+        """Functional twin of :meth:`_apply_remote`: identical state
+        transitions through the value-keyed table; a MESI writeback is
+        counted but not sent to the DRAM occupancy model."""
+        l2 = self.l2[node]
+        lines = l2._sets[block % l2.n_sets]
+        line = lines.get(block)
+        if line is None:
+            return
+        entry = self._table_f.get((line.state, event))
+        if entry is None:
+            raise CoherenceError(
+                f"illegal event {event.value} in state {line.state}"
+            )
+        actions, next_value = entry
+        if "writeback" in actions:
+            self.stats.writebacks += 1
+            line.dirty = False
+        if "deallocate" in actions:
+            lines.pop(block, None)
+            self._drop_l1(node, block)
+            self._directory_remove(node, block)
+        else:
+            line.state = next_value
+            self._demote_l1(node, block)
+
+    def _fill_f(self, node: int, block: int, state_value: str, dirty: bool) -> None:
+        """Functional twin of :meth:`_fill` (state passed as its value
+        string); identical residency/eviction decisions."""
+        cache = self.l2[node]
+        lines = cache._sets[block % cache.n_sets]
+        existing = lines.get(block)
+        if existing is not None:
+            existing.state = state_value
+            existing.dirty = dirty
+            return
+        victim = None
+        if len(lines) >= cache.associativity:
+            victim = lines.pop(next(iter(lines)))
+            cache.stats.evictions += 1
+        lines[block] = CacheLine(block=block, state=state_value, dirty=dirty)
+        if victim is not None:
+            self._handle_l2_eviction_f(node, victim)
+
+    def _handle_l2_eviction_f(self, node: int, victim) -> None:
+        """Functional twin of :meth:`_handle_l2_eviction`: the PutM leg is
+        legality-checked and counted, the DRAM model untouched."""
+        entry = self._table_f.get((victim.state, _REPLACEMENT))
+        if entry is None:
+            raise CoherenceError(
+                f"illegal event {_REPLACEMENT.value} in state {victim.state}"
+            )
+        actions, next_value = entry
+        if "issue_putm" in actions:
+            if (next_value, _WB_ACK) not in self._table_f:
+                raise CoherenceError(
+                    f"illegal event {_WB_ACK.value} in state {next_value}"
+                )
+            self.stats.writebacks += 1
+        self._drop_l1(node, victim.block)
+        self._directory_remove(node, victim.block)
 
     def _global_transaction(
         self,
@@ -544,6 +804,47 @@ class MemoryHierarchy:
                         owner[block] = node
         self._owner = owner
         self._sharers = sharers
+
+    # ------------------------------------------------------------------
+    # Occupancy digests (differential checks, tests)
+    # ------------------------------------------------------------------
+    def occupancy(self, include_order: bool = False) -> dict:
+        """Timing-free content digest of cache and directory state.
+
+        Returns, per node, the sorted set of resident ``(block, state,
+        dirty)`` triples for each cache level, plus the directory's
+        owner/sharer maps.  Deliberately excludes everything timing owns:
+        busy windows, crossbar/DRAM occupancy, the perturbation cursor,
+        and counters.  With ``include_order=True`` also returns the
+        per-set LRU orderings (oldest first) under ``"lru"`` -- compared
+        report-only by the functional-vs-timed differential, since LRU
+        order legitimately diverges once interleaving differs.
+        """
+
+        def contents(cache) -> list:
+            return sorted(
+                (line.block, line.state, bool(line.dirty))
+                for lines in cache._sets
+                for line in lines.values()
+            )
+
+        def order(cache) -> list:
+            return [list(lines) for lines in cache._sets]
+
+        doc = {
+            "l1i": [contents(c) for c in self.l1i],
+            "l1d": [contents(c) for c in self.l1d],
+            "l2": [contents(c) for c in self.l2],
+            "owner": dict(sorted(self._owner.items())),
+            "sharers": {b: sorted(s) for b, s in sorted(self._sharers.items())},
+        }
+        if include_order:
+            doc["lru"] = {
+                "l1i": [order(c) for c in self.l1i],
+                "l1d": [order(c) for c in self.l1d],
+                "l2": [order(c) for c in self.l2],
+            }
+        return doc
 
     # ------------------------------------------------------------------
     # Invariant checking (tests + debugging)

@@ -137,6 +137,25 @@ class LockTable:
         """Every mutex created so far (stats/diagnostics)."""
         return list(self._mutexes.values())
 
+    def occupancy(self) -> dict:
+        """Timing-free content digest of the lock subsystem.
+
+        Holder/waiter/arrival state plus acquisition counters, keyed and
+        ordered deterministically -- compared by the functional-vs-timed
+        warm-up differential (:mod:`repro.verify.differential`).
+        """
+        return {
+            "mutexes": {
+                lock_id: (m.holder, tuple(m.waiters), m.acquisitions,
+                          m.contended_acquisitions)
+                for lock_id, m in sorted(self._mutexes.items())
+            },
+            "barriers": {
+                bid: (b.participants, tuple(b.arrived), b.generation)
+                for bid, b in sorted(self._barriers.items())
+            },
+        }
+
     def snapshot(self) -> dict:
         """Checkpointable lock-subsystem state."""
         return {

@@ -96,6 +96,23 @@ class CoreModel:
         """Time (ns) to execute ``n_instructions`` with perfect caches."""
         raise NotImplementedError
 
+    def functional_advance(
+        self, n_instructions: int, branch_ctx: BranchContext
+    ) -> None:
+        """Architectural effect of a batch without its timing model.
+
+        Used by the fast-forward engine (:mod:`repro.core.ffwd`): retires
+        the instructions and advances the branch-stream counter exactly as
+        both timing models do (one branch per five instructions), but
+        evaluates no timing -- in particular the OOO model's predictor
+        tables are not trained (they stay cold across a functional leg,
+        the same trade :meth:`repro.system.machine.Machine.from_snapshot`
+        makes for replayed L1s: transient state that re-warms within
+        microseconds of timed execution).
+        """
+        self.instructions_retired += n_instructions
+        branch_ctx.counter += n_instructions // 5
+
     def fetch_stall(self, latency_ns: int, source: str) -> int:
         """Frontend stall for an instruction fetch with given latency."""
         raise NotImplementedError

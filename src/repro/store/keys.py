@@ -51,6 +51,7 @@ def run_key(
     workload_params: Mapping | None = None,
     *,
     checkpoint_digest: str | None = None,
+    warmup_mode: str = "timed",
 ) -> str:
     """The content-addressed key of one simulation run.
 
@@ -58,6 +59,10 @@ def run_key(
     ``replace(run, seed=...)`` per sample member, as ``run_space`` does).
     ``checkpoint_digest`` is :meth:`repro.system.checkpoint.Checkpoint.digest`
     when the run starts from a checkpoint, ``None`` for a cold boot.
+    ``warmup_mode`` is how a cold boot's warm-up leg executes (``"timed"``
+    or ``"functional"``, see :mod:`repro.core.ffwd`); it perturbs the
+    post-warm-up state, so it is part of the run's cause.  The default is
+    folded in only when non-timed, keeping every pre-existing key stable.
     """
     payload = {
         "v": KEY_VERSION,
@@ -71,6 +76,8 @@ def run_key(
         },
         "checkpoint": checkpoint_digest,
     }
+    if warmup_mode != "timed":
+        payload["warmup_mode"] = warmup_mode
     return digest(payload)
 
 
@@ -84,6 +91,7 @@ def warm_key(
     warmup_transactions: int,
     warmup_seed: int,
     max_time_ns: int,
+    warmup_mode: str = "timed",
 ) -> str:
     """The cause key of a shared warm-up checkpoint.
 
@@ -95,6 +103,13 @@ def warm_key(
     lets a resumed campaign find both the cached checkpoint and every
     cached run.  Runs started from a warm checkpoint carry
     ``"warm:" + warm_key(...)`` as their ``checkpoint_digest``.
+
+    ``warmup_mode`` distinguishes timed warm-up from functional
+    fast-forward (:mod:`repro.core.ffwd`): the two leave different
+    machine states, so their checkpoints must never alias.  As with
+    protocols, the never-mix rule is enforced by the key itself; the
+    ``"timed"`` default is omitted from the payload so existing keys
+    stay byte-identical.
     """
     payload = {
         "v": KEY_VERSION,
@@ -110,4 +125,6 @@ def warm_key(
         "warmup_seed": warmup_seed,
         "max_time_ns": max_time_ns,
     }
+    if warmup_mode != "timed":
+        payload["warmup_mode"] = warmup_mode
     return digest(payload)

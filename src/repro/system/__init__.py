@@ -13,13 +13,14 @@ checkpointing.
   workload's lifetime.
 """
 
-from repro.system.checkpoint import Checkpoint, make_checkpoints
+from repro.system.checkpoint import Checkpoint, make_checkpoints, warm_checkpoint
 from repro.system.machine import Machine, SimulationStall
 from repro.system.simulation import SimulationResult, run_simulation
 
 __all__ = [
     "Checkpoint",
     "make_checkpoints",
+    "warm_checkpoint",
     "Machine",
     "SimulationStall",
     "SimulationResult",

@@ -162,6 +162,7 @@ def warm_checkpoint(
     warmup_seed: int = WARMUP_PERTURBATION_SEED,
     max_time_ns: int | None = None,
     store=None,
+    mode: str = "timed",
 ) -> Checkpoint:
     """Run the warm-up leg once and capture it as shared initial conditions.
 
@@ -177,9 +178,18 @@ def warm_checkpoint(
     With ``store`` (a :class:`repro.store.RunStore`), the checkpoint is
     cached under its cause key (:func:`repro.store.warm_key`), so
     repeated campaigns -- and resumed ones -- skip the warm-up entirely.
+
+    ``mode`` selects how the warm-up leg executes: ``"timed"`` runs the
+    full event-driven simulation; ``"functional"`` drives the same state
+    transitions through :mod:`repro.core.ffwd` at ~5x the throughput,
+    skipping latency evaluation.  The two produce different machine
+    states (functional time is a fixed clock), so they cache under
+    different warm keys and must never alias.
     """
     from repro.sim.rng import stream_seed
 
+    if mode not in ("timed", "functional"):
+        raise ValueError(f"unknown warm-up mode {mode!r}")
     if isinstance(workload, str):
         workload = make_workload(workload)
     if warmup_transactions is None:
@@ -204,6 +214,7 @@ def warm_checkpoint(
             warmup_transactions=warmup_transactions,
             warmup_seed=warmup_seed,
             max_time_ns=max_time_ns,
+            warmup_mode=mode,
         )
         cached = store.get_checkpoint(key)
         if cached is not None:
@@ -211,7 +222,10 @@ def warm_checkpoint(
 
     machine = Machine(config, workload)
     machine.hierarchy.seed_perturbation(stream_seed(warmup_seed, "warmup"))
-    machine.run_until_transactions(warmup_transactions, max_time_ns=max_time_ns)
+    if mode == "functional":
+        machine.fast_forward_transactions(warmup_transactions, max_time_ns=max_time_ns)
+    else:
+        machine.run_until_transactions(warmup_transactions, max_time_ns=max_time_ns)
     checkpoint = Checkpoint.capture(machine)
     if store is not None:
         store.put_checkpoint(key, checkpoint)

@@ -247,6 +247,21 @@ class Machine:
         self._target_time = None
         return completion
 
+    def fast_forward_transactions(
+        self, total: int, max_time_ns: int, *, interleave_ns: int | None = None
+    ) -> int:
+        """Functionally fast-forward to ``total`` machine-lifetime
+        transactions: full architectural state transitions, no timing
+        model (see :mod:`repro.core.ffwd`).  Same contract as
+        :meth:`run_until_transactions`; afterwards the machine can be
+        checkpointed or continued under the timed event loop.
+        """
+        from repro.core.ffwd import fast_forward_transactions
+
+        return fast_forward_transactions(
+            self, total, max_time_ns=max_time_ns, interleave_ns=interleave_ns
+        )
+
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------

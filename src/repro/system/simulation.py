@@ -119,6 +119,7 @@ def run_simulation(
     collect_schedule_trace: bool = False,
     workload_scale: float = 1.0,
     probes=None,
+    warmup_mode: str = "timed",
 ) -> SimulationResult:
     """Execute one measured run and return its result.
 
@@ -131,6 +132,10 @@ def run_simulation(
     ``probes`` (a :class:`repro.probes.ProbeBus`) attaches instrumentation
     for the whole run, warm-up included; probes observe without
     perturbing, so results are bit-identical with or without them.
+
+    ``warmup_mode="functional"`` executes the warm-up leg through the
+    fast-forward engine (:mod:`repro.core.ffwd`) instead of the timed
+    event loop; the measurement window is always timed.
     """
     if isinstance(workload, str):
         workload = make_workload(workload, scale=workload_scale)
@@ -145,6 +150,7 @@ def run_simulation(
         collect_transaction_times=collect_transaction_times,
         collect_schedule_trace=collect_schedule_trace,
         probes=probes,
+        warmup_mode=warmup_mode,
     )
 
 
@@ -156,6 +162,7 @@ def measure_machine(
     collect_transaction_times: bool = False,
     collect_schedule_trace: bool = False,
     probes=None,
+    warmup_mode: str = "timed",
 ) -> SimulationResult:
     """Run the measurement protocol on an already-built machine.
 
@@ -164,7 +171,13 @@ def measure_machine(
     materialized from a worker-resident template; the protocol --
     perturbation seeding, warm-up, window, result assembly -- is the
     single shared implementation either way.
+
+    ``warmup_mode="functional"`` fast-forwards the warm-up leg
+    (:mod:`repro.core.ffwd`); timing resumes for the measured window, so
+    the reported cycles-per-transaction is always a timed quantity.
     """
+    if warmup_mode not in ("timed", "functional"):
+        raise ValueError(f"unknown warm-up mode {warmup_mode!r}")
     machine.hierarchy.seed_perturbation(stream_seed(run.seed, "perturbation"))
     if probes is not None:
         machine.attach_probes(probes)
@@ -176,9 +189,14 @@ def measure_machine(
     base = machine.completed_transactions
     start_ns = machine.clock.now
     if run.warmup_transactions:
-        start_ns = machine.run_until_transactions(
-            base + run.warmup_transactions, max_time_ns=run.max_time_ns
-        )
+        if warmup_mode == "functional":
+            start_ns = machine.fast_forward_transactions(
+                base + run.warmup_transactions, max_time_ns=run.max_time_ns
+            )
+        else:
+            start_ns = machine.run_until_transactions(
+                base + run.warmup_transactions, max_time_ns=run.max_time_ns
+            )
     start_txns = machine.completed_transactions
     end_ns = machine.run_until_transactions(
         start_txns + run.measured_transactions, max_time_ns=run.max_time_ns

@@ -6,8 +6,9 @@ Composes the verification layers into one pass/fail report:
    protocol, both core models, contended locks, and barrier phases, each
    executed with the full :class:`repro.verify.invariants.InvariantSuite`
    attached.  Any recorded violation fails the run.
-2. **Differential checks** -- core-model agreement and checkpoint
-   convergence (:mod:`repro.verify.differential`).
+2. **Differential checks** -- core-model agreement, checkpoint
+   convergence, and functional-vs-timed warm-up agreement
+   (:mod:`repro.verify.differential`).
 3. **Fuzz sweep** (optional, ``--fuzz N``) -- N random configurations,
    each double-run for digest equality with checkers attached
    (:mod:`repro.verify.fuzz`).
@@ -26,6 +27,7 @@ from repro.verify.differential import (
     DifferentialResult,
     check_checkpoint_convergence,
     check_core_model_agreement,
+    check_functional_warmup_agreement,
 )
 from repro.verify.fuzz import FuzzReport, run_fuzz
 from repro.verify.invariants import attach_invariants
@@ -157,7 +159,11 @@ def run_verify(fuzz: int = 0, seed: int = 1, progress=None) -> VerifyReport:
         result = _run_scenario(label, workload_name, transactions, config)
         report.scenarios.append(result)
         say(f"invariants {label}: {'ok' if result.ok else 'FAIL'}")
-    for check in (check_core_model_agreement, check_checkpoint_convergence):
+    for check in (
+        check_core_model_agreement,
+        check_checkpoint_convergence,
+        check_functional_warmup_agreement,
+    ):
         result = check()
         report.differentials.append(result)
         say(f"{result.name}: {'ok' if result.ok else 'FAIL'}")

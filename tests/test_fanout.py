@@ -276,3 +276,92 @@ class TestExecuteShared:
             on_result=lambda seed, _r: seen.append(seed),
         )
         assert seen == [11, 12]
+
+
+class TestFunctionalWarmStart:
+    """Checkpoint interchange for fast-forwarded warm state.
+
+    A functionally-warmed checkpoint (:mod:`repro.core.ffwd`) must ship
+    through the shared-context fan-out exactly like a timed one --
+    parallel equals sequential bit-for-bit -- while caching under keys
+    that never alias the timed warm state.
+    """
+
+    def test_parallel_matches_sequential(self):
+        seq = run_space(
+            CONFIG, "oltp", RUN, 4, n_jobs=1, warm_start=True,
+            warmup_mode="functional",
+        )
+        par = run_space(
+            CONFIG, "oltp", RUN, 4, n_jobs=2, warm_start=True,
+            warmup_mode="functional",
+        )
+        assert digests(seq) == digests(par)
+
+    def test_functional_checkpoint_through_shared_context(self):
+        """from_snapshot rebuilds fast-forwarded state faithfully: the
+        fan-out's worker-resident materialization matches running the
+        checkpoint directly."""
+        ckpt = warm_checkpoint(
+            CONFIG, "oltp", warmup_transactions=RUN.warmup_transactions,
+            max_time_ns=RUN.max_time_ns, mode="functional",
+        )
+        measure_run = dataclasses.replace(RUN, warmup_transactions=0)
+        context = SharedRunContext(
+            config=CONFIG, spec=WorkloadSpec.resolve("oltp"),
+            run=measure_run, checkpoint=ckpt,
+        )
+        results, failures = execute_shared(context, [11, 12], n_jobs=2)
+        assert failures == []
+        for seed in (11, 12):
+            direct = run_simulation(
+                CONFIG,
+                make_workload("oltp"),
+                dataclasses.replace(measure_run, seed=seed),
+                checkpoint=ckpt,
+            )
+            assert results[seed].to_dict() == direct.to_dict()
+
+    def test_modes_sample_distinct_state(self):
+        timed = run_space(CONFIG, "oltp", RUN, 2, warm_start=True)
+        functional = run_space(
+            CONFIG, "oltp", RUN, 2, warm_start=True, warmup_mode="functional"
+        )
+        assert digests(timed) != digests(functional)
+
+    def test_modes_never_alias_in_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_space(
+            CONFIG, "oltp", RUN, 2, warm_start=True, store=store
+        )
+        timed_keys = set(store.keys())
+        run_space(
+            CONFIG, "oltp", RUN, 2, warm_start=True, store=store,
+            warmup_mode="functional",
+        )
+        functional_keys = set(store.keys()) - timed_keys
+        # disjoint run keys and two separately cached warm checkpoints
+        assert len(functional_keys) == 2
+        assert store.journal_length() == 4
+        ckpts = list((tmp_path / "checkpoints").glob("*.ckpt"))
+        assert len(ckpts) == 2
+
+    def test_context_digest_folds_mode(self):
+        base = dict(config=CONFIG, spec=WorkloadSpec.resolve("oltp"), run=RUN)
+        implicit = SharedRunContext(**base)
+        timed = SharedRunContext(warmup_mode="timed", **base)
+        functional = SharedRunContext(warmup_mode="functional", **base)
+        # the historical digest is untouched; functional never aliases it
+        assert implicit.digest == timed.digest
+        assert functional.digest != timed.digest
+
+    def test_cold_parallel_functional_warmup(self):
+        """Without warm_start each seed pays its own fast-forward leg;
+        the fan-out must still equal the sequential path."""
+        seq = run_space(
+            CONFIG, "oltp", RUN, 3, n_jobs=1, warmup_mode="functional"
+        )
+        par = run_space(
+            CONFIG, "oltp", RUN, 3, n_jobs=2, warmup_mode="functional"
+        )
+        assert digests(seq) == digests(par)

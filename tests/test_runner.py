@@ -19,6 +19,7 @@ class TestOneRunWorker:
             {"threads_per_cpu": 2},
             RunConfig(measured_transactions=15, seed=3),
             None,
+            "timed",
         )
         result = _one_run(job)
         assert result.measured_transactions == 15
@@ -34,6 +35,7 @@ class TestOneRunWorker:
                 {"threads_per_cpu": 2, "n_hot_districts": districts},
                 RunConfig(measured_transactions=40, seed=3),
                 None,
+                "timed",
             )
             results.append(_one_run(job).cycles_per_transaction)
         assert results[0] != results[1]
