@@ -1,0 +1,195 @@
+"""Campaign-service benchmark: queue + worker-fleet throughput.
+
+Measures runs/sec for draining one submitted campaign with 1 vs N real
+worker processes (``python -m repro campaign worker --drain``) sharing
+a sqlite-backed store and one lease queue -- the deployment the
+distributed campaign service targets.  The timed region covers the
+whole service path: claim transactions, heartbeats, simulation, store
+writes, and completion reports.
+
+Each fleet size drains its own freshly submitted copy of the same grid
+into its own store, and the stores are asserted byte-identical
+afterwards -- the scaling number is only meaningful if every fleet
+computes the same bytes.
+
+Writes ``BENCH_service.json`` at the repo root.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+``--smoke`` runs a tiny grid at 1 vs 4 workers and gates on completion,
+zero quarantined cells, and cross-fleet digest equality (CI); it does
+not write the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.runner import WorkloadSpec
+from repro.campaign import CampaignSpec
+from repro.service import WorkQueue, enumerate_cells, spec_to_dict
+from repro.store import RunStore
+
+REPO = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO / "BENCH_service.json"
+
+SEED_BASE = 100
+MAX_TIME_NS = 10**13
+
+
+def grid_spec(*, n_cpus, measured, warmup, n_seeds) -> CampaignSpec:
+    base = SystemConfig(n_cpus=n_cpus)
+    return CampaignSpec(
+        configs=[("base", base), ("dram=200", base.with_dram_latency(200))],
+        workloads=[WorkloadSpec.resolve("oltp")],
+        run=RunConfig(
+            measured_transactions=measured,
+            warmup_transactions=warmup,
+            seed=SEED_BASE,
+            max_time_ns=MAX_TIME_NS,
+        ),
+        n_runs=n_seeds,
+        name="bench-service",
+    )
+
+
+def drain_with_fleet(spec: CampaignSpec, root: Path, n_workers: int):
+    """Submit the grid to a fresh store and drain it with real worker
+    processes; returns (elapsed seconds, the store)."""
+    store = RunStore(root, backend="sqlite")
+    queue = WorkQueue(store.root / "queue.sqlite")
+    campaign_id = queue.submit(
+        spec.name, spec_to_dict(spec), enumerate_cells(spec, store)
+    )
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    command = [
+        sys.executable, "-m", "repro", "campaign", "worker",
+        "--store", str(store.root), "--store-backend", "sqlite",
+        "--queue", str(queue.path), "--drain", "--quiet", "--poll", "0.05",
+    ]
+    start = time.perf_counter()
+    workers = [subprocess.Popen(command, env=env) for _ in range(n_workers)]
+    for worker in workers:
+        worker.wait(timeout=1800)
+        if worker.returncode != 0:
+            raise RuntimeError(f"worker exited with {worker.returncode}")
+    elapsed = time.perf_counter() - start
+    counts = queue.counts(campaign_id)
+    if not queue.is_done(campaign_id) or counts["quarantined"]:
+        raise RuntimeError(f"campaign did not drain cleanly: {counts}")
+    return elapsed, store
+
+
+def digests_of(store: RunStore) -> dict:
+    return {key: store.get_payload(key) for key in store.keys()}
+
+
+def measure_fleets(spec: CampaignSpec, fleet_sizes) -> dict:
+    n_cells = len(spec.configs) * len(spec.workloads) * spec.n_runs
+    fleets = {}
+    reference = None
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        for n_workers in fleet_sizes:
+            elapsed, store = drain_with_fleet(
+                spec, Path(tmp) / f"fleet-{n_workers}", n_workers
+            )
+            digests = digests_of(store)
+            if len(digests) != n_cells:
+                raise RuntimeError(
+                    f"{n_workers}-worker fleet stored {len(digests)} of "
+                    f"{n_cells} runs"
+                )
+            if reference is None:
+                reference = digests
+            elif digests != reference:
+                raise RuntimeError(
+                    f"{n_workers}-worker fleet diverged from 1-worker bytes"
+                )
+            fleets[n_workers] = elapsed
+            print(
+                f"{n_workers} worker(s): {elapsed:6.2f}s "
+                f"({n_cells / elapsed:5.1f} runs/s)"
+            )
+    return fleets
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="fleet size to compare against a single worker",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny 1-vs-4-worker gate (CI); writes no JSON",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        spec = grid_spec(n_cpus=4, measured=20, warmup=50, n_seeds=6)
+    else:
+        spec = grid_spec(n_cpus=8, measured=30, warmup=500, n_seeds=12)
+    n_cells = len(spec.configs) * len(spec.workloads) * spec.n_runs
+    fleet_sizes = (1, args.workers)
+
+    try:
+        fleets = measure_fleets(spec, fleet_sizes)
+    except RuntimeError as exc:
+        print(f"SMOKE FAIL: {exc}" if args.smoke else f"FAIL: {exc}")
+        return 1
+
+    scaling = fleets[1] / fleets[args.workers]
+    if args.smoke:
+        print(
+            f"SMOKE PASS: {n_cells} cells drained by both fleets, "
+            f"identical bytes, {args.workers}-worker scaling {scaling:.2f}x"
+        )
+        return 0
+
+    doc = {
+        "scenario": {
+            "workload": "oltp",
+            "configs": [label for label, _ in spec.configs],
+            "n_cpus": spec.configs[0][1].n_cpus,
+            "warmup_transactions": spec.run.warmup_transactions,
+            "measured_transactions": spec.run.measured_transactions,
+            "n_cells": n_cells,
+            "store_backend": "sqlite",
+            "note": (
+                "each fleet drains a freshly submitted copy of the grid "
+                "through real `campaign worker --drain` processes; timed "
+                "region includes claims, heartbeats, and store writes"
+            ),
+        },
+        "fleets": {
+            str(n): {
+                "time_s": round(t, 3),
+                "runs_per_sec": round(n_cells / t, 2),
+            }
+            for n, t in fleets.items()
+        },
+        "scaling": round(scaling, 2),
+        "bytes_identical_across_fleets": True,
+    }
+    print(
+        f"\n1 worker: {doc['fleets']['1']['runs_per_sec']:.1f} runs/s   "
+        f"{args.workers} workers: "
+        f"{doc['fleets'][str(args.workers)]['runs_per_sec']:.1f} runs/s   "
+        f"scaling: {scaling:.2f}x"
+    )
+    OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

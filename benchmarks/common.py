@@ -14,6 +14,9 @@ executes only the missing seeds.
 Environment knobs:
 
 - ``REPRO_STORE_DIR``: run-store root (default ``~/.cache/repro``).
+- ``REPRO_STORE_BACKEND``: ``dir`` (default) or ``sqlite`` -- the store
+  backend (:mod:`repro.store.backends`); ``sqlite`` keeps the journal
+  safe under many concurrent writer processes.
 - ``REPRO_BENCH_RUNS``: runs per configuration (default 20, the paper's
   sample size; set lower for a quick pass).
 - ``REPRO_BENCH_TXNS``: measured transactions for the standard OLTP
@@ -41,7 +44,8 @@ from repro.system.checkpoint import Checkpoint
 from repro.system.checkpoint import warm_checkpoint as _library_warm_checkpoint
 from repro.workloads.registry import make_workload
 
-#: the shared persistent run store (honours $REPRO_STORE_DIR)
+#: the shared persistent run store (honours $REPRO_STORE_DIR and
+#: $REPRO_STORE_BACKEND)
 STORE = RunStore()
 
 #: runs per configuration (paper: twenty)

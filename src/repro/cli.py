@@ -9,11 +9,20 @@ Usage examples::
     python -m repro campaign --vary l2-assoc --values 2 4 --runs 10
     python -m repro campaign --adaptive --target 0.02 --max-runs 40
 
+    # the distributed campaign service (repro.service)
+    python -m repro campaign serve --port 8642 --store-backend sqlite
+    python -m repro campaign worker --store-backend sqlite --drain
+    python -m repro campaign submit --workload oltp --runs 20 --port 8642
+    python -m repro campaign watch --id <campaign-id> --port 8642
+
 The CLI wraps the same public API the examples use; it exists so the
 methodology can be driven from shell scripts and sweeps.  ``space`` and
 ``compare`` take ``--json`` to emit the serialized result objects for
 scripting; ``campaign`` runs (and, after an interrupt, *resumes*) a grid
-of runs against the persistent store.
+of runs against the persistent store.  ``campaign
+serve/worker/submit/watch/status`` shard campaigns across processes and
+hosts through a shared store and lease-based work queue; ``--store-backend
+sqlite`` (or ``$REPRO_STORE_BACKEND``) selects the multi-process store.
 """
 
 from __future__ import annotations
@@ -54,6 +63,176 @@ def _run_config(args: argparse.Namespace, seed: int | None = None) -> RunConfig:
         warmup_transactions=args.warmup,
         seed=seed if seed is not None else args.seed,
     )
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None,
+        help="store root (default: $REPRO_STORE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--store-backend", choices=("dir", "sqlite"), default=None,
+        help="store backend (default: $REPRO_STORE_BACKEND or 'dir'; 'sqlite' "
+             "lets many worker processes share one store safely)",
+    )
+
+
+def _store_from_args(args: argparse.Namespace):
+    from repro.store import RunStore
+
+    return RunStore(
+        getattr(args, "store", None),
+        backend=getattr(args, "store_backend", None),
+    )
+
+
+def _queue_from_args(args: argparse.Namespace, store):
+    from repro.service import WorkQueue, default_queue_path
+
+    path = getattr(args, "queue", None)
+    return WorkQueue(path if path else default_queue_path(store.root))
+
+
+def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid flags shared by ``campaign`` and ``campaign submit``."""
+    _add_run_arguments(parser)
+    parser.add_argument(
+        "--workloads", nargs="*", choices=available_workloads(),
+        help="workloads in the grid (default: the single --workload)",
+    )
+    parser.add_argument(
+        "--vary", choices=("l2-assoc", "dram", "rob"),
+        help="configuration dimension to sweep (with --values)",
+    )
+    parser.add_argument(
+        "--values", nargs="*", type=int,
+        help="values of the --vary dimension, one configuration each",
+    )
+    parser.add_argument("--runs", type=int, default=10,
+                        help="fixed runs per cell (ignored with --adaptive)")
+    parser.add_argument(
+        "--workload-seed", type=int, default=DEFAULT_WORKLOAD_SEED,
+        help="workload content seed (default %(default)s)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="grow each cell until the CI half-width target is met",
+    )
+    parser.add_argument(
+        "--target", type=float, default=0.02,
+        help="adaptive: CI half-width target as a fraction of the mean",
+    )
+    parser.add_argument("--confidence", type=float, default=0.95)
+    parser.add_argument("--min-runs", type=int, default=4,
+                        help="adaptive: runs before the rule is consulted")
+    parser.add_argument("--max-runs", type=int, default=40,
+                        help="adaptive: per-cell run cap")
+    parser.add_argument("--batch", type=int, default=4,
+                        help="adaptive: runs added per batch")
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="pay each cell's warm-up once (shared checkpoint, cached in the "
+             "store) instead of once per seed",
+    )
+    parser.add_argument(
+        "--warmup-mode", choices=("timed", "functional"), default="timed",
+        help="execute warm-up legs timed or functional (fast-forward); "
+             "functional warm-up keys its cells separately",
+    )
+    parser.add_argument(
+        "--name", default="campaign", help="campaign name recorded in the journal"
+    )
+
+
+def _add_service_client_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="server host")
+    parser.add_argument("--port", type=int, default=8642, help="server port")
+
+
+def _add_service_subcommands(campaign_parser: argparse.ArgumentParser) -> None:
+    """Attach serve/worker/submit/watch/status under ``campaign``."""
+    from repro.service import DEFAULT_LEASE_S, DEFAULT_MAX_ATTEMPTS
+
+    service = campaign_parser.add_subparsers(
+        dest="service_cmd", metavar="{serve,worker,submit,watch,status}",
+    )
+
+    serve = service.add_parser(
+        "serve", help="run the campaign service HTTP server",
+    )
+    _add_service_client_arguments(serve)
+    _add_store_arguments(serve)
+    serve.add_argument("--queue", default=None,
+                       help="queue database path (default: <store>/queue.sqlite)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="also spawn N local worker processes")
+    serve.add_argument("--lease", type=float, default=DEFAULT_LEASE_S,
+                       help="lease duration handed to local workers (seconds)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    worker = service.add_parser(
+        "worker", help="run one worker daemon against the shared store/queue",
+    )
+    _add_store_arguments(worker)
+    worker.add_argument("--queue", default=None,
+                        help="queue database path (default: <store>/queue.sqlite)")
+    worker.add_argument("--lease", type=float, default=DEFAULT_LEASE_S,
+                        help="lease duration in seconds")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="idle poll interval in seconds")
+    worker.add_argument("--drain", action="store_true",
+                        help="exit once no cell is pending or leased")
+    worker.add_argument("--max-cells", type=int, default=None,
+                        help="exit after completing this many cells")
+    worker.add_argument("--worker-id", default=None,
+                        help="worker identity (default: pid + random suffix)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+
+    submit = service.add_parser(
+        "submit", help="submit the campaign grid to a running server",
+    )
+    _add_campaign_grid_arguments(submit)
+    # The grid flags exist on the parent `campaign` parser too.  argparse
+    # applies subparser defaults AFTER parent parsing, which would clobber
+    # values typed before `submit`; suppressing the duplicates' defaults
+    # keeps parent values (typed or defaulted) unless retyped after
+    # `submit`.
+    for action in submit._actions:  # noqa: SLF001 -- no public hook for this
+        if action.dest != "help":
+            if action.help and "%(default)" in action.help:
+                action.help = action.help % {"default": action.default}
+            action.default = argparse.SUPPRESS
+    _add_service_client_arguments(submit)
+    submit.add_argument("--max-attempts", type=int, default=DEFAULT_MAX_ATTEMPTS,
+                        help="execution attempts before a cell is quarantined")
+    submit.add_argument("--watch", action="store_true",
+                        help="follow the campaign's event stream to completion")
+    submit.add_argument("--json", action="store_true",
+                        help="print raw JSON instead of rendered lines")
+
+    watch = service.add_parser(
+        "watch", help="stream one campaign's per-cell progress",
+    )
+    _add_service_client_arguments(watch)
+    watch.add_argument("--id", required=True, help="campaign id (from submit)")
+    watch.add_argument("--json", action="store_true",
+                       help="print raw JSON events")
+
+    status = service.add_parser(
+        "status", help="print campaign state counts",
+    )
+    _add_service_client_arguments(status)
+    status.add_argument("--id", default=None,
+                        help="campaign id (omit to list all campaigns)")
+
+    # serve/worker duplicate the parent's store flags; same clobbering
+    # hazard as submit's grid flags, same fix.
+    for sub in (serve, worker):
+        for action in sub._actions:  # noqa: SLF001
+            if action.dest in ("store", "store_backend"):
+                action.default = argparse.SUPPRESS
 
 
 def _vary(config: SystemConfig, dimension: str, value: int) -> SystemConfig:
@@ -97,7 +276,7 @@ def cmd_space(args: argparse.Namespace) -> int:
     if args.store is not None:
         from repro.store import RunStore
 
-        store = RunStore(args.store)
+        store = RunStore(args.store, backend=args.store_backend)
     sample = run_space(
         _base_config(args),
         args.workload,
@@ -146,25 +325,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 1
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    """Run (or resume) a persistent experiment campaign.
+def _campaign_spec_from_args(args: argparse.Namespace):
+    """Build the CampaignSpec the campaign/submit grid flags describe.
 
-    Completed runs live in the store (``--store`` or ``REPRO_STORE_DIR``
-    or ``~/.cache/repro``), so re-invoking an interrupted campaign
-    executes only the missing runs.  ``--dry-run`` prints the
-    cached-vs-pending plan without simulating.  Exit code 0 on success,
-    1 when any run failed.
+    Raises ``ValueError`` with a user-facing message on a bad grid;
+    shared by the in-process ``campaign`` path and ``campaign submit``
+    so both execute the very same spec (and thus the same run keys).
     """
-    from repro.campaign import Campaign, CampaignSpec
+    from repro.campaign import CampaignSpec
     from repro.core.runner import WorkloadSpec
     from repro.core.sampling import AdaptiveStopRule
-    from repro.store import RunStore
 
     base = _base_config(args)
     if args.vary:
         if not args.values or len(args.values) < 1:
-            print("campaign: --vary needs --values", file=sys.stderr)
-            return 2
+            raise ValueError("--vary needs --values")
         configs = [
             (f"{args.vary}={value}", _vary(base, args.vary, value))
             for value in args.values
@@ -175,30 +350,52 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         WorkloadSpec.resolve(name, workload_seed=args.workload_seed)
         for name in (args.workloads or [args.workload])
     ]
-    try:
-        stop_rule = None
-        if args.adaptive:
-            stop_rule = AdaptiveStopRule(
-                target_fraction=args.target,
-                confidence=args.confidence,
-                min_runs=args.min_runs,
-                max_runs=args.max_runs,
-                batch_size=args.batch,
-            )
-        spec = CampaignSpec(
-            configs=configs,
-            workloads=workloads,
-            run=_run_config(args),
-            n_runs=args.runs,
-            stop_rule=stop_rule,
-            name=args.name,
-            warm_start=args.warm_start,
-            warmup_mode=args.warmup_mode,
+    stop_rule = None
+    if args.adaptive:
+        stop_rule = AdaptiveStopRule(
+            target_fraction=args.target,
+            confidence=args.confidence,
+            min_runs=args.min_runs,
+            max_runs=args.max_runs,
+            batch_size=args.batch,
         )
+    return CampaignSpec(
+        configs=configs,
+        workloads=workloads,
+        run=_run_config(args),
+        n_runs=args.runs,
+        stop_rule=stop_rule,
+        name=args.name,
+        warm_start=args.warm_start,
+        warmup_mode=args.warmup_mode,
+    )
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run (or resume) a persistent experiment campaign.
+
+    Completed runs live in the store (``--store`` or ``REPRO_STORE_DIR``
+    or ``~/.cache/repro``), so re-invoking an interrupted campaign
+    executes only the missing runs.  ``--dry-run`` prints the
+    cached-vs-pending plan without simulating.  Exit code 0 on success,
+    1 when any run failed.
+
+    With a service subcommand (``serve``/``worker``/``submit``/
+    ``watch``/``status``), dispatches to the distributed campaign
+    service instead (:mod:`repro.service`).
+    """
+    service_cmd = getattr(args, "service_cmd", None)
+    if service_cmd is not None:
+        return _SERVICE_COMMANDS[service_cmd](args)
+
+    from repro.campaign import Campaign
+
+    try:
+        spec = _campaign_spec_from_args(args)
     except ValueError as exc:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
-    store = RunStore(args.store)
+    store = _store_from_args(args)
     campaign = Campaign(
         spec, store, n_jobs=args.jobs, timeout_s=args.timeout
     )
@@ -221,6 +418,212 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"\n{report.n_failures} runs failed; rerun to retry them")
         return 1
     return 0
+
+
+def cmd_campaign_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service HTTP server (and, optionally, workers).
+
+    The server accepts study submissions (``campaign submit``),
+    deduplicates them against the shared store, and streams per-cell
+    progress to ``campaign watch``.  ``--workers N`` also spawns N local
+    worker daemons against the same store and queue; remote hosts run
+    ``campaign worker`` pointing at the shared root instead.
+    """
+    import signal
+    import subprocess
+
+    from repro.service.server import serve_forever
+
+    store = _store_from_args(args)
+    queue = _queue_from_args(args, store)
+    children: list = []
+
+    # SIGTERM (the polite kill) would otherwise skip the finally clause
+    # and orphan the spawned workers; route it through KeyboardInterrupt
+    # so serve_forever unwinds and the children get reaped.
+    def _terminate(signum, frame):  # noqa: ARG001
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        for _ in range(args.workers):
+            command = [
+                sys.executable, "-m", "repro", "campaign", "worker",
+                "--store", str(store.root),
+                "--store-backend", store.backend.kind,
+                "--queue", str(queue.path),
+                "--lease", str(args.lease),
+            ]
+            children.append(subprocess.Popen(command))
+        print(
+            f"campaign service on http://{args.host}:{args.port} "
+            f"(store {store.backend.describe()}, queue {queue.path}, "
+            f"{args.workers} local workers)"
+        )
+        return serve_forever(
+            store, queue, host=args.host, port=args.port, verbose=args.verbose
+        )
+    finally:
+        for child in children:
+            child.terminate()
+        for child in children:
+            try:
+                child.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                child.kill()
+
+
+def cmd_campaign_worker(args: argparse.Namespace) -> int:
+    """Run one worker daemon against the shared store and queue.
+
+    The worker leases cells, executes them through the same
+    warm-state/fast-forward path as in-process campaigns, heartbeats
+    while running, and publishes results through the store.  ``--drain``
+    exits when no work remains; the default is to idle for more.
+    """
+    from repro.service import Worker
+
+    store = _store_from_args(args)
+    queue = _queue_from_args(args, store)
+    worker = Worker(
+        queue,
+        store,
+        worker_id=args.worker_id,
+        lease_s=args.lease,
+        poll_s=args.poll,
+        drain=args.drain,
+        max_cells=args.max_cells,
+        progress=None if args.quiet else print,
+    )
+    try:
+        worker.run_forever()
+    except KeyboardInterrupt:
+        print(
+            f"worker interrupted after {worker.completed} cells "
+            "(in-flight lease will lapse and requeue)",
+            file=sys.stderr,
+        )
+        return 130
+    return 0
+
+
+def cmd_campaign_submit(args: argparse.Namespace) -> int:
+    """Submit the campaign grid to a running ``campaign serve``.
+
+    The same grid flags as ``campaign`` itself describe the study; the
+    server deduplicates every (config × workload × seed) cell against
+    everything already in the shared store.  ``--watch`` follows the
+    stream until completion (exit 0 iff no cell was quarantined).
+    """
+    from repro.service import ServiceError, spec_to_dict
+    from repro.service.client import ServiceClientError, submit_campaign
+
+    try:
+        spec = _campaign_spec_from_args(args)
+        payload = spec_to_dict(spec)
+    except (ValueError, ServiceError) as exc:
+        print(f"campaign submit: {exc}", file=sys.stderr)
+        return 2
+    try:
+        receipt = submit_campaign(
+            args.host, args.port, payload, max_attempts=args.max_attempts
+        )
+    except (ServiceClientError, OSError) as exc:
+        print(f"campaign submit: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        # one line: with --watch the output is a JSONL stream
+        print(json.dumps(receipt))
+    else:
+        print(
+            f"campaign {receipt['id']} submitted: {receipt['cells']} cells, "
+            f"{receipt['cached']} already in the store, "
+            f"{receipt['pending']} queued"
+        )
+    if args.watch:
+        return _watch_stream(args.host, args.port, receipt["id"], args.json)
+    return 0
+
+
+def _watch_stream(host: str, port: int, campaign_id: str, as_json: bool) -> int:
+    """Follow one campaign's event stream; exit 0 iff it finished clean."""
+    from repro.service.client import ServiceClientError, watch_campaign
+
+    try:
+        for event in watch_campaign(host, port, campaign_id):
+            if as_json:
+                print(json.dumps(event), flush=True)
+            else:
+                print(_render_event(event), flush=True)
+            if event.get("kind") == "campaign-done":
+                return 0 if event.get("ok") else 1
+    except (ServiceClientError, OSError) as exc:
+        print(f"campaign watch: {exc}", file=sys.stderr)
+        return 1
+    # stream ended without a summary line: the server went away
+    print("campaign watch: stream ended before completion", file=sys.stderr)
+    return 1
+
+
+def _render_event(event: dict) -> str:
+    kind = event.get("kind", "?")
+    if kind == "campaign-done":
+        counts = event.get("counts", {})
+        status = "clean" if event.get("ok") else "with quarantined cells"
+        return (
+            f"campaign {event.get('id')} done {status}: "
+            f"{counts.get('done', 0)} executed, {counts.get('cached', 0)} cached, "
+            f"{counts.get('quarantined', 0)} quarantined"
+        )
+    cell = event.get("cell", "?")
+    if kind == "submitted":
+        return (
+            f"submitted: {event.get('cells')} cells "
+            f"({event.get('cached')} cached, {event.get('pending')} pending)"
+        )
+    if kind == "done" and event.get("cached"):
+        return f"cell {cell}: served from store"
+    detail = ""
+    if kind == "failed":
+        detail = f" ({event.get('error', '')[:80]})"
+    elif kind == "leased":
+        detail = f" -> {event.get('worker')}"
+    return f"cell {cell}: {kind}{detail}"
+
+
+def cmd_campaign_watch(args: argparse.Namespace) -> int:
+    """Stream one campaign's per-cell progress as it executes."""
+    return _watch_stream(args.host, args.port, args.id, args.json)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Print one campaign's state counts (or all campaigns without --id)."""
+    from repro.service.client import ServiceClientError, campaign_status
+
+    import urllib.request
+
+    try:
+        if args.id:
+            snapshot = campaign_status(args.host, args.port, args.id)
+        else:
+            with urllib.request.urlopen(
+                f"http://{args.host}:{args.port}/api/campaigns", timeout=30
+            ) as response:
+                snapshot = json.loads(response.read().decode("utf-8"))
+    except (ServiceClientError, OSError) as exc:
+        print(f"campaign status: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+_SERVICE_COMMANDS = {
+    "serve": cmd_campaign_serve,
+    "worker": cmd_campaign_worker,
+    "submit": cmd_campaign_submit,
+    "watch": cmd_campaign_watch,
+    "status": cmd_campaign_status,
+}
 
 
 def cmd_survey(args: argparse.Namespace) -> int:
@@ -356,6 +759,10 @@ def build_parser() -> argparse.ArgumentParser:
              "--warm-start, the warm checkpoint)",
     )
     space_parser.add_argument(
+        "--store-backend", choices=("dir", "sqlite"), default=None,
+        help="store backend (default: $REPRO_STORE_BACKEND or 'dir')",
+    )
+    space_parser.add_argument(
         "--json", action="store_true",
         help="emit the serialized RunSample as JSON for scripting",
     )
@@ -388,69 +795,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign_parser = subparsers.add_parser(
         "campaign",
-        help="run or resume a persistent experiment campaign (store-backed)",
+        help="run or resume a persistent experiment campaign (store-backed); "
+             "subcommands serve/worker/submit/watch/status run the "
+             "distributed campaign service",
     )
-    _add_run_arguments(campaign_parser)
-    campaign_parser.add_argument(
-        "--workloads", nargs="*", choices=available_workloads(),
-        help="workloads in the grid (default: the single --workload)",
-    )
-    campaign_parser.add_argument(
-        "--vary", choices=("l2-assoc", "dram", "rob"),
-        help="configuration dimension to sweep (with --values)",
-    )
-    campaign_parser.add_argument(
-        "--values", nargs="*", type=int,
-        help="values of the --vary dimension, one configuration each",
-    )
-    campaign_parser.add_argument("--runs", type=int, default=10,
-                                 help="fixed runs per cell (ignored with --adaptive)")
-    campaign_parser.add_argument(
-        "--workload-seed", type=int, default=DEFAULT_WORKLOAD_SEED,
-        help="workload content seed (default %(default)s)",
-    )
-    campaign_parser.add_argument(
-        "--adaptive", action="store_true",
-        help="grow each cell until the CI half-width target is met",
-    )
-    campaign_parser.add_argument(
-        "--target", type=float, default=0.02,
-        help="adaptive: CI half-width target as a fraction of the mean",
-    )
-    campaign_parser.add_argument("--confidence", type=float, default=0.95)
-    campaign_parser.add_argument("--min-runs", type=int, default=4,
-                                 help="adaptive: runs before the rule is consulted")
-    campaign_parser.add_argument("--max-runs", type=int, default=40,
-                                 help="adaptive: per-cell run cap")
-    campaign_parser.add_argument("--batch", type=int, default=4,
-                                 help="adaptive: runs added per batch")
+    _add_campaign_grid_arguments(campaign_parser)
     campaign_parser.add_argument("--jobs", type=int, default=1, help="parallel workers")
-    campaign_parser.add_argument(
-        "--warm-start", action="store_true",
-        help="pay each cell's warm-up once (shared checkpoint, cached in the "
-             "store) instead of once per seed",
-    )
-    campaign_parser.add_argument(
-        "--warmup-mode", choices=("timed", "functional"), default="timed",
-        help="execute warm-up legs timed or functional (fast-forward); "
-             "functional warm-up keys its cells separately",
-    )
     campaign_parser.add_argument(
         "--timeout", type=float, default=None,
         help="per-run wall-clock timeout in seconds",
     )
-    campaign_parser.add_argument(
-        "--store", default=None,
-        help="store directory (default: $REPRO_STORE_DIR or ~/.cache/repro)",
-    )
-    campaign_parser.add_argument(
-        "--name", default="campaign", help="campaign name recorded in the journal"
-    )
+    _add_store_arguments(campaign_parser)
     campaign_parser.add_argument(
         "--dry-run", action="store_true",
         help="print the cached-vs-pending plan and exit without simulating",
     )
-    campaign_parser.set_defaults(func=cmd_campaign)
+    campaign_parser.set_defaults(func=cmd_campaign, service_cmd=None)
+    _add_service_subcommands(campaign_parser)
 
     survey_parser = subparsers.add_parser(
         "survey", help="survey workload space variability (Table 3 protocol)"

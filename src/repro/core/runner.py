@@ -270,10 +270,12 @@ def run_space(
     is a name (default :data:`DEFAULT_WORKLOAD_SEED`); it must not
     contradict a workload instance's own seed.
 
-    ``store`` (a :class:`repro.store.RunStore`) enables persistent
-    caching: runs already stored are loaded instead of executed, and
-    every completed run is persisted immediately, so an interrupted
-    sample resumes from where it stopped on the next call.
+    ``store`` (a :class:`repro.store.RunStore`, or a root path resolved
+    through :func:`repro.store.resolve_store` -- honouring
+    ``$REPRO_STORE_BACKEND``) enables persistent caching: runs already
+    stored are loaded instead of executed, and every completed run is
+    persisted immediately, so an interrupted sample resumes from where
+    it stopped on the next call.
 
     ``warm_start=True`` pays the warm-up once instead of once per seed:
     the warm-up leg runs under a fixed perturbation stream
@@ -306,6 +308,10 @@ def run_space(
         raise ValueError("n_runs must be positive")
     if warmup_mode not in ("timed", "functional"):
         raise ValueError(f"unknown warm-up mode {warmup_mode!r}")
+    if store is not None:
+        from repro.store import resolve_store
+
+        store = resolve_store(store)
     spec = WorkloadSpec.resolve(
         workload, workload_seed=workload_seed, workload_params=workload_params
     )

@@ -1,0 +1,174 @@
+"""The service wire protocol: spec serialization and cell decomposition.
+
+A submitted study is a :class:`~repro.campaign.plan.CampaignSpec` in
+JSON form (:func:`spec_to_dict` / :func:`spec_from_dict`), and the unit
+of scheduling is a *cell*: one (configuration × workload × seed) grid
+point resolved to its content-addressed run key.  Decomposition
+(:func:`enumerate_cells`) reuses the exact key construction of
+:func:`repro.campaign.plan.plan_campaign` -- the same
+``cell_execution`` / ``cell_key_mode`` helpers -- which is what makes a
+served campaign's cache entries interchangeable with an in-process
+campaign's: plan, serve, execute, and resume all agree on what each
+grid point *is*.
+
+Only fixed-N specs are serializable for now: an adaptive stop rule
+grows cells from results sequentially, which contradicts decomposing
+the whole grid up front.  Submitting one raises :class:`ServiceError`
+with that explanation rather than silently degrading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.campaign.plan import CampaignSpec, cell_execution, cell_key_mode
+from repro.core.runner import WorkloadSpec
+from repro.store import run_key
+from repro.store.serialize import (
+    run_config_from_dict,
+    run_config_to_dict,
+    system_config_from_dict,
+    system_config_to_dict,
+)
+
+#: bump on incompatible changes to the submission wire format
+PROTOCOL_VERSION = 1
+
+
+class ServiceError(ValueError):
+    """A request the campaign service cannot honour (bad spec, unknown
+    campaign, protocol mismatch); the message is safe to show a client."""
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    """The JSON wire form of a fixed-N campaign spec."""
+    if spec.stop_rule is not None:
+        raise ServiceError(
+            "adaptive campaigns cannot be submitted to the service yet: an "
+            "adaptive cell grows from its own results, which contradicts "
+            "decomposing the grid into independent cells up front; submit a "
+            "fixed-N spec (n_runs) instead"
+        )
+    return {
+        "version": PROTOCOL_VERSION,
+        "name": spec.name,
+        "configs": [
+            [label, system_config_to_dict(config)] for label, config in spec.configs
+        ],
+        "workloads": [
+            {
+                "name": wspec.name,
+                "seed": wspec.seed,
+                "scale": wspec.scale,
+                "params": wspec.params_dict,
+            }
+            for wspec in spec.workloads
+        ],
+        "run": run_config_to_dict(spec.run),
+        "n_runs": spec.n_runs,
+        "warm_start": spec.warm_start,
+        "warmup_mode": spec.warmup_mode,
+    }
+
+
+def spec_from_dict(data: dict) -> CampaignSpec:
+    """Rebuild a campaign spec from its wire form (inverse of
+    :func:`spec_to_dict`)."""
+    try:
+        version = data.get("version", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"unsupported submission version {version} "
+                f"(this service speaks {PROTOCOL_VERSION})"
+            )
+        return CampaignSpec(
+            configs=[
+                (label, system_config_from_dict(config))
+                for label, config in data["configs"]
+            ],
+            workloads=[
+                WorkloadSpec(
+                    name=w["name"],
+                    seed=w["seed"],
+                    scale=w["scale"],
+                    params=tuple(sorted(dict(w.get("params") or {}).items())),
+                )
+                for w in data["workloads"]
+            ],
+            run=run_config_from_dict(data["run"]),
+            n_runs=data["n_runs"],
+            name=data.get("name", "campaign"),
+            warm_start=data.get("warm_start", False),
+            warmup_mode=data.get("warmup_mode", "timed"),
+        )
+    except ServiceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed campaign spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable grid point of a submitted campaign.
+
+    ``config_index``/``workload_index`` locate the cell's configuration
+    and workload inside the campaign's own spec (labels and names may
+    repeat; indices cannot), ``run_key`` is the content address its
+    result will be stored under, and ``cached`` marks cells the store
+    already satisfied at submission time.
+    """
+
+    config_index: int
+    workload_index: int
+    config_label: str
+    workload: str
+    seed: int
+    run_key: str
+    cached: bool = False
+
+
+def enumerate_cells(spec: CampaignSpec, store=None) -> list[Cell]:
+    """Decompose a fixed-N spec into cells, deduplicated against ``store``.
+
+    Key construction matches :func:`repro.campaign.plan.plan_campaign`
+    exactly (same ``cell_execution`` and ``cell_key_mode``), so a cell
+    executed by a remote worker lands on the very key an in-process
+    campaign would read it back from.  With a store, every key is
+    resolved in one batched :meth:`~repro.store.RunStore.get_many`-style
+    backend pass and already-satisfied cells come back ``cached=True``
+    -- the submit-side dedup that keeps N tenants from ever re-running
+    one another's grid points.
+    """
+    if spec.stop_rule is not None:
+        raise ServiceError("adaptive specs cannot be decomposed into cells")
+    cells: list[Cell] = []
+    key_mode = cell_key_mode(spec)
+    for ci, (label, config) in enumerate(spec.configs):
+        for wi, wspec in enumerate(spec.workloads):
+            cell_run, ckpt_digest = cell_execution(spec, config, wspec)
+            for i in range(spec.n_runs):
+                seed = spec.run.seed + i
+                key = run_key(
+                    config,
+                    replace(cell_run, seed=seed),
+                    wspec.name,
+                    wspec.seed,
+                    wspec.scale,
+                    wspec.params_dict,
+                    checkpoint_digest=ckpt_digest,
+                    warmup_mode=key_mode,
+                )
+                cells.append(
+                    Cell(
+                        config_index=ci,
+                        workload_index=wi,
+                        config_label=label,
+                        workload=wspec.name,
+                        seed=seed,
+                        run_key=key,
+                    )
+                )
+    if store is not None:
+        present = store.backend.contains_many([c.run_key for c in cells])
+        cells = [replace(cell, cached=cell.run_key in present) for cell in cells]
+    return cells

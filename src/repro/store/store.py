@@ -1,35 +1,38 @@
 """The persistent run store.
 
-Layout, under a root directory (default ``~/.cache/repro``, overridden
-by the ``REPRO_STORE_DIR`` environment variable or an explicit path):
+A :class:`RunStore` maps content-addressed keys to completed simulation
+results, with an append-only journal and cached warm-up checkpoints.
+*Where* that state lives is a :class:`~repro.store.backends.StoreBackend`:
 
-- ``runs/<key>.json`` -- one file per completed run, written atomically
-  (temp file + ``os.replace``), holding the serialized
-  :class:`~repro.system.simulation.SimulationResult` plus metadata.
-  These files are the source of truth.
-- ``journal.jsonl`` -- an append-only line journal, one JSON object per
-  stored run.  The journal is an audit trail (how many runs executed,
-  when, for which workload) and the cheap way to inventory a campaign
-  without opening every run file; each line is written with a single
-  ``write()`` on an ``O_APPEND`` descriptor, so concurrent writers
-  interleave whole lines rather than bytes.
-- ``checkpoints/`` -- warm-up checkpoints (pickles), managed by the
-  benchmark harness.
+- ``"dir"`` (default) -- the original filesystem layout under a root
+  directory: ``runs/<key>.json`` atomic per-run files, a
+  ``journal.jsonl`` whole-line-append journal, pickles under
+  ``checkpoints/``;
+- ``"sqlite"`` -- one ``store.sqlite`` database under the same root,
+  with compare-and-set journal appends, for many worker processes
+  sharing one store over a common filesystem (the campaign service's
+  deployment, :mod:`repro.service`).
 
-Robustness rules: readers never trust a file.  A corrupt or truncated
-run file or journal line (e.g. from a power cut mid-rename on a
-non-atomic filesystem) is skipped with a :class:`RuntimeWarning`, never
-raised -- losing one cached run costs a re-execution, not the store.
+The root defaults to ``~/.cache/repro``, overridden by the
+``REPRO_STORE_DIR`` environment variable or an explicit path; the
+backend defaults to ``dir``, overridden by ``REPRO_STORE_BACKEND`` or an
+explicit argument.  Both backends speak the same key space (keys name
+causes, not storage), so the same key always means the same result.
+
+Robustness rules: readers never trust stored bytes.  A corrupt or
+truncated run payload, journal entry, or checkpoint (e.g. from a power
+cut mid-rename on a non-atomic filesystem) is skipped with a
+:class:`RuntimeWarning`, never raised -- losing one cached run costs a
+re-execution, not the store.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
-import warnings
 from pathlib import Path
 
+from repro.store.backends import DirBackend, StoreBackend, make_backend
 from repro.system.simulation import SimulationResult
 
 #: environment variable naming the store root
@@ -44,77 +47,105 @@ def default_store_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write a file so readers see either the old content or the new,
-    never a torn mix (write temp in the same directory, then rename)."""
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
-
-
 class RunStore:
     """Content-addressed persistence for simulation runs.
 
-    Safe for concurrent use by multiple processes sharing one directory:
-    run files are written atomically under content-addressed names (two
-    writers racing on the same key write identical bytes), and journal
-    appends are single whole-line writes.
+    Safe for concurrent use by multiple processes sharing one root: the
+    ``dir`` backend relies on atomic renames and whole-line appends, the
+    ``sqlite`` backend on short write-locked transactions.  ``backend``
+    is ``"dir"``, ``"sqlite"``, an explicit
+    :class:`~repro.store.backends.StoreBackend` instance, or ``None`` to
+    honour ``$REPRO_STORE_BACKEND`` (default ``dir``).
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        backend: str | StoreBackend | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_store_dir()
-        self.runs_dir = self.root / "runs"
-        self.journal_path = self.root / "journal.jsonl"
-        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        if isinstance(backend, StoreBackend):
+            self.backend = backend
+        else:
+            self.backend = make_backend(self.root, backend)
 
     # ------------------------------------------------------------------
-    # Run files
+    # Filesystem-layout accessors (dir backend only)
     # ------------------------------------------------------------------
+    def _dir_backend(self) -> DirBackend:
+        if not isinstance(self.backend, DirBackend):
+            raise TypeError(
+                f"store backend {self.backend.kind!r} has no filesystem layout"
+            )
+        return self.backend
+
+    @property
+    def runs_dir(self) -> Path:
+        """The per-run file directory (``dir`` backend only)."""
+        return self._dir_backend().runs_dir
+
+    @property
+    def journal_path(self) -> Path:
+        """The JSONL journal path (``dir`` backend only)."""
+        return self._dir_backend().journal_path
+
     def path_for(self, key: str) -> Path:
-        """The run file path for a key."""
-        return self.runs_dir / f"{key}.json"
+        """The run file path for a key (``dir`` backend only)."""
+        return self._dir_backend().path_for(key)
 
+    def checkpoint_path_for(self, key: str) -> Path:
+        """The cached-checkpoint path for a warm key (``dir`` backend only)."""
+        return self._dir_backend().checkpoint_path_for(key)
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
     def contains(self, key: str) -> bool:
         """Whether a run with this key has been stored."""
-        return self.path_for(key).exists()
+        return self.backend.contains(key)
 
-    def get(self, key: str) -> SimulationResult | None:
-        """The stored result for a key, or ``None`` (missing or corrupt)."""
-        path = self.path_for(key)
-        if not path.exists():
+    def _result_of(self, key: str, payload: dict | None) -> SimulationResult | None:
+        if payload is None:
             return None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
             return SimulationResult.from_dict(payload["result"])
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError) as exc:
+        except (KeyError, TypeError, ValueError) as exc:
+            import warnings
+
             warnings.warn(
-                f"run store: skipping corrupt entry {path.name}: {exc}",
+                f"run store: skipping corrupt entry {key}: {exc}",
                 RuntimeWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
             return None
 
-    def get_many(self, keys: list[str]) -> dict:
-        """Stored results for many keys in one directory pass.
+    def get(self, key: str) -> SimulationResult | None:
+        """The stored result for a key, or ``None`` (missing or corrupt)."""
+        return self._result_of(key, self.backend.get_payload(key))
 
-        One ``runs/`` listing resolves which keys exist, then only the
-        present files are opened -- replacing N per-key ``stat`` probes
-        (mostly misses, on a fresh campaign) with a single scan.  The
-        returned dict holds only the keys that were found and readable;
-        corrupt entries are skipped with the same warning as :meth:`get`.
+    def get_payload(self, key: str) -> dict | None:
+        """The raw stored payload (``{"key", "result", "meta"}``) or ``None``.
+
+        This is what differential tests compare byte-for-byte across
+        execution paths and backends; normal consumers want :meth:`get`.
         """
-        wanted = set(keys)
-        if not wanted:
-            return {}
-        present = {
-            path.stem for path in self.runs_dir.glob("*.json") if path.stem in wanted
-        }
+        return self.backend.get_payload(key)
+
+    def get_many(self, keys: list[str]) -> dict:
+        """Stored results for many keys in one backend pass.
+
+        The returned dict holds only the keys that were found and
+        readable; corrupt entries are skipped with the same warning as
+        :meth:`get`.  Resolution goes through the backend interface
+        (one directory scan, or one batched query), so dedup-on-submit
+        behaves identically on every backend.
+        """
         found = {}
-        for key in keys:
-            if key in present:
-                result = self.get(key)
-                if result is not None:
-                    found[key] = result
+        for key, payload in self.backend.get_many_payloads(keys).items():
+            result = self._result_of(key, payload)
+            if result is not None:
+                found[key] = result
         return found
 
     def put(self, key: str, result: SimulationResult, **meta) -> None:
@@ -124,8 +155,8 @@ class RunStore:
         result and in the journal line; it does not affect the key.
         """
         payload = {"key": key, "result": result.to_dict(), "meta": dict(meta)}
-        _atomic_write_text(self.path_for(key), json.dumps(payload))
-        self._append_journal(
+        self.backend.put_payload(key, payload)
+        self.backend.append_journal(
             {
                 "key": key,
                 "seed": result.seed,
@@ -136,12 +167,63 @@ class RunStore:
             }
         )
 
+    def delete(self, key: str, **meta) -> bool:
+        """Evict one stored run, journaling the eviction.
+
+        Returns ``True`` if a run was actually removed.  The journal
+        gains an ``{"event": "delete", "key": ...}`` record either way a
+        run existed, so a shared store's audit trail explains shrinkage
+        as well as growth; ``meta`` (e.g. ``reason='stale'``) rides
+        along.  Checkpoints are untouched -- they are keyed by cause and
+        re-warm on demand.
+        """
+        removed = self.backend.delete_payload(key)
+        if removed:
+            self.backend.append_journal(
+                {
+                    "event": "delete",
+                    "key": key,
+                    "deleted_at": time.time(),
+                    **meta,
+                }
+            )
+        return removed
+
+    def prune(self, predicate) -> list[str]:
+        """Evict every stored run whose payload matches ``predicate``.
+
+        ``predicate(key, payload)`` receives each run's key and raw
+        payload dict (``{"key", "result", "meta"}``) and returns truthy
+        to evict.  Each eviction is journaled as
+        ``{"event": "delete", "reason": "prune"}``; the list of evicted
+        keys is returned.  A multi-tenant store uses this to enforce
+        retention (e.g. drop a retired campaign's runs) -- without it
+        the cache can only grow.
+        """
+        evicted: list[str] = []
+        for key in self.backend.keys():
+            payload = self.backend.get_payload(key)
+            if payload is None:
+                continue
+            if predicate(key, payload):
+                if self.backend.delete_payload(key):
+                    self.backend.append_journal(
+                        {
+                            "event": "delete",
+                            "key": key,
+                            "deleted_at": time.time(),
+                            "reason": "prune",
+                        }
+                    )
+                    evicted.append(key)
+        return evicted
+
     def keys(self) -> list[str]:
         """All stored run keys, sorted."""
-        return sorted(p.stem for p in self.runs_dir.glob("*.json"))
+        return self.backend.keys()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.runs_dir.glob("*.json"))
+        return self.backend.count()
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
@@ -149,71 +231,30 @@ class RunStore:
     # ------------------------------------------------------------------
     # Warm-up checkpoints
     # ------------------------------------------------------------------
-    def checkpoint_path_for(self, key: str) -> Path:
-        """The cached-checkpoint path for a warm key."""
-        return self.root / "checkpoints" / f"{key}.ckpt"
-
     def get_checkpoint(self, key: str):
         """The cached checkpoint for a warm key, or ``None``.
 
-        Like :meth:`get`, a corrupt or unreadable file is a cache miss
-        (warned, never raised): losing a cached warm-up costs one
+        Like :meth:`get`, a corrupt or unreadable checkpoint is a cache
+        miss (warned, never raised): losing a cached warm-up costs one
         re-warm, not the campaign.
         """
-        path = self.checkpoint_path_for(key)
-        if not path.exists():
-            return None
-        from repro.system.checkpoint import Checkpoint
-
-        try:
-            return Checkpoint.load(path)
-        except Exception as exc:  # noqa: BLE001 -- any corruption is a miss
-            warnings.warn(
-                f"run store: skipping corrupt checkpoint {path.name}: {exc}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return None
+        return self.backend.get_checkpoint(key)
 
     def put_checkpoint(self, key: str, checkpoint) -> None:
-        """Cache a warm-up checkpoint under its warm key (atomic write)."""
-        path = self.checkpoint_path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        checkpoint.save(tmp)
-        os.replace(tmp, path)
+        """Cache a warm-up checkpoint under its warm key."""
+        self.backend.put_checkpoint(key, checkpoint)
 
     # ------------------------------------------------------------------
     # Journal
     # ------------------------------------------------------------------
     def _append_journal(self, entry: dict) -> None:
-        line = json.dumps(entry, sort_keys=True) + "\n"
-        # A single write on an O_APPEND descriptor: concurrent writers
-        # interleave whole lines (POSIX guarantees append atomicity for
-        # writes well under PIPE_BUF-scale sizes on local filesystems).
-        with open(self.journal_path, "a", encoding="utf-8") as f:
-            f.write(line)
+        self.backend.append_journal(entry)
 
     def journal_entries(self) -> list[dict]:
-        """All journal entries, oldest first, skipping corrupt lines."""
-        if not self.journal_path.exists():
-            return []
-        entries: list[dict] = []
-        with open(self.journal_path, encoding="utf-8") as f:
-            for lineno, line in enumerate(f, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entries.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    warnings.warn(
-                        f"run store: skipping corrupt journal line {lineno}: {exc}",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-        return entries
+        """All journal entries, oldest first, skipping corrupt ones."""
+        return self.backend.journal_entries()
 
     def journal_length(self) -> int:
-        """Number of valid journal entries (executions recorded)."""
-        return len(self.journal_entries())
+        """Number of runs recorded in the journal (eviction records --
+        entries carrying an ``"event"`` field -- are not counted)."""
+        return sum(1 for e in self.journal_entries() if "event" not in e)

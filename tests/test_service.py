@@ -1,0 +1,313 @@
+"""End-to-end tests for the distributed campaign service.
+
+The load-bearing property is the differential one: a campaign executed
+by service workers must land byte-identical payloads on the very same
+keys an in-process :class:`~repro.campaign.Campaign` produces --
+including warm-started and functional-warm-up grids.  On top of that:
+submit-side dedup against a pre-seeded store, the HTTP surface
+(submit/status/watch over a real socket), and crash recovery (a worker
+SIGKILLed mid-cell changes nothing but wall-clock).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import Campaign, CampaignSpec
+from repro.config import RunConfig, SystemConfig
+from repro.core.runner import WorkloadSpec
+from repro.service import (
+    ServiceError,
+    Worker,
+    WorkQueue,
+    enumerate_cells,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.store import RunStore
+
+REPO = Path(__file__).resolve().parent.parent
+
+BASE = SystemConfig(n_cpus=2)
+WORKLOAD = WorkloadSpec.resolve("oltp", workload_params={"threads_per_cpu": 2})
+
+
+def small_spec(name="study", *, warm_start=False, warmup_mode="timed",
+               warmup=0, n_runs=2):
+    return CampaignSpec(
+        configs=[("base", BASE), ("dram=200", BASE.with_dram_latency(200))],
+        workloads=[WORKLOAD],
+        run=RunConfig(measured_transactions=5, warmup_transactions=warmup,
+                      seed=100),
+        n_runs=n_runs,
+        name=name,
+        warm_start=warm_start,
+        warmup_mode=warmup_mode,
+    )
+
+
+def service_run(spec, store, **worker_kwargs):
+    """Execute a spec the service way: enqueue cells, drain one worker."""
+    queue = WorkQueue(store.root / "queue.sqlite")
+    cells = enumerate_cells(spec, store)
+    campaign_id = queue.submit(spec.name, spec_to_dict(spec), cells)
+    worker = Worker(queue, store, drain=True, poll_s=0.05, lease_s=10.0,
+                    **worker_kwargs)
+    worker.run_forever()
+    assert queue.is_done(campaign_id)
+    assert queue.counts(campaign_id)["quarantined"] == 0
+    return queue, campaign_id, cells
+
+
+def assert_stores_identical(inproc: RunStore, served: RunStore):
+    keys = inproc.keys()
+    assert keys, "differential ran against an empty store"
+    assert served.keys() == keys
+    for key in keys:
+        assert served.get_payload(key) == inproc.get_payload(key)
+
+
+class TestWireProtocol:
+    def test_spec_round_trip(self):
+        spec = small_spec(warm_start=True, warmup=20)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+        # and through actual JSON text, as the wire does
+        assert spec_from_dict(json.loads(json.dumps(spec_to_dict(spec)))) == spec
+
+    def test_adaptive_specs_rejected(self):
+        from dataclasses import replace
+
+        from repro.core.sampling import AdaptiveStopRule
+
+        spec = replace(small_spec(), stop_rule=AdaptiveStopRule())
+        with pytest.raises(ServiceError, match="adaptive"):
+            spec_to_dict(spec)
+        with pytest.raises(ServiceError, match="adaptive"):
+            enumerate_cells(spec)
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            spec_from_dict({"configs": "nonsense"})
+        with pytest.raises(ServiceError, match="version"):
+            spec_from_dict({"version": 99})
+
+    def test_cells_match_campaign_plan(self, tmp_path):
+        """enumerate_cells agrees with plan_campaign key for key."""
+        from repro.campaign.plan import plan_campaign
+
+        store = RunStore(tmp_path)
+        spec = small_spec(warm_start=True, warmup=20)
+        cells = enumerate_cells(spec, store)
+        plan = plan_campaign(spec, store)
+        assert [c.run_key for c in cells] == [r.key for r in plan.runs]
+
+
+@pytest.mark.parametrize("backend", ["dir", "sqlite"])
+class TestDifferential:
+    def test_served_equals_in_process(self, tmp_path, backend):
+        spec = small_spec()
+        inproc = RunStore(tmp_path / "a", backend=backend)
+        Campaign(spec, inproc).run()
+        served = RunStore(tmp_path / "b", backend=backend)
+        service_run(spec, served)
+        assert_stores_identical(inproc, served)
+
+    def test_served_equals_in_process_warm_start(self, tmp_path, backend):
+        spec = small_spec(warm_start=True, warmup=30)
+        inproc = RunStore(tmp_path / "a", backend=backend)
+        Campaign(spec, inproc).run()
+        served = RunStore(tmp_path / "b", backend=backend)
+        service_run(spec, served)
+        assert_stores_identical(inproc, served)
+
+    def test_served_equals_in_process_functional_warmup(self, tmp_path, backend):
+        spec = small_spec(warm_start=True, warmup=30, warmup_mode="functional")
+        inproc = RunStore(tmp_path / "a", backend=backend)
+        Campaign(spec, inproc).run()
+        served = RunStore(tmp_path / "b", backend=backend)
+        service_run(spec, served)
+        assert_stores_identical(inproc, served)
+
+
+class TestDedup:
+    def test_submit_dedups_against_store(self, tmp_path):
+        spec = small_spec()
+        store = RunStore(tmp_path, backend="sqlite")
+        Campaign(spec, store).run()
+        executed = store.journal_length()
+        cells = enumerate_cells(spec, store)
+        assert all(c.cached for c in cells)
+        queue, campaign_id, _ = service_run(spec, store)
+        # the campaign is complete without a single new execution
+        assert queue.counts(campaign_id)["cached"] == len(cells)
+        assert store.journal_length() == executed
+
+    def test_second_campaign_reuses_overlap(self, tmp_path):
+        store = RunStore(tmp_path, backend="sqlite")
+        service_run(small_spec("first"), store)
+        executed = store.journal_length()
+        # same grid, more seeds: only the new seeds run
+        queue, cid, cells = service_run(small_spec("second", n_runs=3), store)
+        counts = queue.counts(cid)
+        assert counts["cached"] == 4  # 2 configs x 2 overlapping seeds
+        assert counts["done"] == 2
+        assert store.journal_length() == executed + 2
+
+
+class TestWorker:
+    def test_poisoned_cell_quarantined(self, tmp_path, monkeypatch):
+        """A cell that always crashes is retried then quarantined; the
+        rest of the campaign still completes."""
+        spec = small_spec()
+        store = RunStore(tmp_path, backend="sqlite")
+        queue = WorkQueue(store.root / "queue.sqlite")
+        cells = enumerate_cells(spec, store)
+        cid = queue.submit(spec.name, spec_to_dict(spec), cells,
+                           max_attempts=2)
+        poisoned_key = cells[0].run_key
+        worker = Worker(queue, store, drain=True, poll_s=0.05)
+        real_execute = worker._execute
+
+        def flaky(cell):
+            if cell.run_key == poisoned_key:
+                raise RuntimeError("synthetic poison")
+            return real_execute(cell)
+
+        monkeypatch.setattr(worker, "_execute", flaky)
+        worker.run_forever()
+        counts = queue.counts(cid)
+        assert counts["quarantined"] == 1
+        assert counts["done"] == len(cells) - 1
+        assert queue.is_done(cid)
+        rows = {r["run_key"]: r for r in queue.cells(cid)}
+        assert "synthetic poison" in rows[poisoned_key]["error"]
+
+    def test_crash_recovery_sigkill(self, tmp_path):
+        """SIGKILL a worker mid-cell: the lease lapses, the cell requeues,
+        and the final store is byte-identical to an uninterrupted run."""
+        spec = small_spec()
+        inproc = RunStore(tmp_path / "ref")
+        Campaign(spec, inproc).run()
+
+        store = RunStore(tmp_path / "served", backend="sqlite")
+        queue = WorkQueue(store.root / "queue.sqlite")
+        cid = queue.submit(spec.name, spec_to_dict(spec),
+                           enumerate_cells(spec, store))
+
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(REPO / "src"),
+            REPRO_SERVICE_TEST_SLEEP="60",
+        )
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "worker",
+             "--store", str(store.root), "--store-backend", "sqlite",
+             "--queue", str(queue.path), "--lease", "1", "--quiet"],
+            env=env,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while queue.counts(cid)["leased"] == 0:
+                assert time.monotonic() < deadline, "victim never claimed"
+                time.sleep(0.05)
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+
+        # a surviving worker recovers the lapsed lease and finishes
+        Worker(queue, store, drain=True, poll_s=0.1, lease_s=10.0).run_forever()
+        assert queue.is_done(cid)
+        counts = queue.counts(cid)
+        assert counts["quarantined"] == 0
+        assert counts["done"] + counts["cached"] == counts["total"]
+        kinds = [e["kind"] for e in queue.events_since(cid, 0)]
+        assert "lease-expired" in kinds
+        assert_stores_identical(inproc, store)
+
+
+class TestHTTP:
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service.server import make_server
+
+        store = RunStore(tmp_path, backend="sqlite")
+        queue = WorkQueue(store.root / "queue.sqlite")
+        httpd = make_server(store, queue, port=0)  # ephemeral port
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  kwargs={"poll_interval": 0.05}, daemon=True)
+        thread.start()
+        try:
+            yield httpd, store, queue
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+    def test_submit_watch_status(self, server):
+        from repro.service.client import (
+            ServiceClientError,
+            campaign_status,
+            submit_campaign,
+            wait_healthy,
+            watch_campaign,
+        )
+
+        httpd, store, queue = server
+        host, port = httpd.server_address
+        assert wait_healthy(host, port)
+
+        spec = small_spec()
+        receipt = submit_campaign(host, port, spec_to_dict(spec))
+        assert receipt["cells"] == 4 and receipt["pending"] == 4
+
+        worker = Worker(queue, store, drain=True, poll_s=0.05)
+        drainer = threading.Thread(target=worker.run_forever, daemon=True)
+        drainer.start()
+        events = list(watch_campaign(host, port, receipt["id"]))
+        drainer.join(timeout=60)
+
+        assert events[-1]["kind"] == "campaign-done"
+        assert events[-1]["ok"] is True
+        assert events[-1]["counts"]["done"] == 4
+        assert [e["kind"] for e in events[:1]] == ["submitted"]
+        assert sum(1 for e in events if e["kind"] == "done") == 4
+
+        status = campaign_status(host, port, receipt["id"])
+        assert status["done"] is True
+        assert len(status["cells"]) == 4
+        assert all(c["state"] == "done" for c in status["cells"])
+
+        with pytest.raises(ServiceClientError, match="unknown campaign"):
+            campaign_status(host, port, "nope")
+
+    def test_bad_submission_is_client_error(self, server):
+        from repro.service.client import ServiceClientError, submit_campaign
+
+        httpd, _, _ = server
+        host, port = httpd.server_address
+        with pytest.raises(ServiceClientError, match="malformed"):
+            submit_campaign(host, port, {"configs": "nonsense"})
+
+    def test_watch_replays_history_for_late_watcher(self, server):
+        from repro.service.client import submit_campaign, watch_campaign
+
+        httpd, store, queue = server
+        host, port = httpd.server_address
+        spec = small_spec()
+        receipt = submit_campaign(host, port, spec_to_dict(spec))
+        # campaign fully finishes before anyone watches
+        Worker(queue, store, drain=True, poll_s=0.05).run_forever()
+        events = list(watch_campaign(host, port, receipt["id"]))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "submitted"
+        assert kinds[-1] == "campaign-done"
+        assert kinds.count("done") == 4

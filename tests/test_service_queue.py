@@ -1,0 +1,161 @@
+"""Tests for the lease-based work queue (no simulation involved).
+
+Time is injected through every operation's ``now`` parameter, so lease
+expiry and quarantine are tested deterministically -- no sleeping.
+"""
+
+import pytest
+
+from repro.service.queue import WorkQueue
+
+
+def _cells(n, campaign="c"):
+    from repro.service.protocol import Cell
+
+    return [
+        Cell(config_index=0, workload_index=0, config_label="base",
+             workload="oltp", seed=100 + i, run_key=f"{campaign}-key-{i}")
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return WorkQueue(tmp_path / "queue.sqlite")
+
+
+class TestSubmitAndClaim:
+    def test_submit_enqueues_pending(self, queue):
+        cid = queue.submit("study", {"n": 1}, _cells(3), now=1000.0)
+        counts = queue.counts(cid)
+        assert counts["pending"] == 3 and counts["total"] == 3
+        assert not queue.is_done(cid)
+        assert queue.outstanding() == 3
+        assert queue.campaign(cid)["spec"] == {"n": 1}
+
+    def test_cached_cells_never_leased(self, queue):
+        from dataclasses import replace
+
+        cells = _cells(2)
+        cells[0] = replace(cells[0], cached=True)
+        cid = queue.submit("study", {}, cells, now=1000.0)
+        assert queue.counts(cid)["cached"] == 1
+        leased = queue.claim("w1", now=1001.0)
+        assert leased.run_key == cells[1].run_key
+        assert queue.claim("w2", now=1001.0) is None
+
+    def test_claims_are_exclusive_and_ordered(self, queue):
+        cid = queue.submit("study", {}, _cells(2), now=1000.0)
+        a = queue.claim("w1", now=1001.0)
+        b = queue.claim("w2", now=1001.0)
+        assert a.cell_id != b.cell_id
+        assert a.run_key == "c-key-0" and b.run_key == "c-key-1"  # oldest first
+        assert queue.claim("w3", now=1001.0) is None
+        assert queue.counts(cid)["leased"] == 2
+
+    def test_submit_rejects_bad_max_attempts(self, queue):
+        with pytest.raises(ValueError):
+            queue.submit("study", {}, _cells(1), max_attempts=0)
+
+
+class TestLeaseLifecycle:
+    def test_complete(self, queue):
+        cid = queue.submit("study", {}, _cells(1), now=1000.0)
+        cell = queue.claim("w1", lease_s=30, now=1001.0)
+        assert queue.complete(cell.cell_id, "w1", now=1002.0) is True
+        assert queue.counts(cid)["done"] == 1
+        assert queue.is_done(cid)
+        assert queue.outstanding() == 0
+
+    def test_heartbeat_extends_lease(self, queue):
+        queue.submit("study", {}, _cells(1), now=1000.0)
+        cell = queue.claim("w1", lease_s=30, now=1000.0)
+        assert queue.heartbeat(cell.cell_id, "w1", lease_s=30, now=1020.0)
+        # would have lapsed at 1030 without the heartbeat
+        assert queue.claim("w2", lease_s=30, now=1040.0) is None
+        assert queue.complete(cell.cell_id, "w1", now=1045.0)
+
+    def test_heartbeat_from_wrong_worker_fails(self, queue):
+        queue.submit("study", {}, _cells(1), now=1000.0)
+        cell = queue.claim("w1", lease_s=30, now=1000.0)
+        assert not queue.heartbeat(cell.cell_id, "impostor", now=1001.0)
+
+    def test_lapsed_lease_requeues_on_next_claim(self, queue):
+        cid = queue.submit("study", {}, _cells(1), now=1000.0)
+        first = queue.claim("w1", lease_s=30, now=1000.0)
+        assert first.attempts == 1
+        # w1 dies silently; after expiry anyone's claim recovers the cell
+        second = queue.claim("w2", lease_s=30, now=1031.0)
+        assert second is not None
+        assert second.cell_id == first.cell_id
+        assert second.attempts == 2
+        # the dead worker's late transitions are rejected
+        assert not queue.heartbeat(first.cell_id, "w1", now=1032.0)
+        assert not queue.complete(first.cell_id, "w1", now=1032.0)
+        kinds = [e["kind"] for e in queue.events_since(cid, 0)]
+        assert kinds == ["submitted", "leased", "lease-expired", "leased"]
+
+    def test_requeue_lapsed_without_claim(self, queue):
+        cid = queue.submit("study", {}, _cells(1), now=1000.0)
+        queue.claim("w1", lease_s=30, now=1000.0)
+        queue.requeue_lapsed(now=1031.0)
+        assert queue.counts(cid)["pending"] == 1
+
+    def test_quarantine_after_max_attempts(self, queue):
+        cid = queue.submit("study", {}, _cells(1), max_attempts=2, now=1000.0)
+        t = 1000.0
+        for _ in range(2):
+            cell = queue.claim("crashy", lease_s=10, now=t)
+            assert cell is not None
+            t += 11.0  # lapse without completing
+        queue.requeue_lapsed(now=t)
+        counts = queue.counts(cid)
+        assert counts["quarantined"] == 1
+        assert counts["pending"] == 0
+        assert queue.is_done(cid)  # quarantined is terminal
+        assert queue.claim("w9", now=t) is None
+        kinds = [e["kind"] for e in queue.events_since(cid, 0)]
+        assert kinds.count("quarantined") == 1
+
+    def test_fail_requeues_then_quarantines(self, queue):
+        cid = queue.submit("study", {}, _cells(1), max_attempts=2, now=1000.0)
+        cell = queue.claim("w1", now=1000.0)
+        assert queue.fail(cell.cell_id, "w1", "boom", now=1001.0)
+        assert queue.counts(cid)["pending"] == 1
+        cell = queue.claim("w1", now=1002.0)
+        assert queue.fail(cell.cell_id, "w1", "boom again", now=1003.0)
+        counts = queue.counts(cid)
+        assert counts["quarantined"] == 1
+        rows = queue.cells(cid)
+        assert rows[0]["state"] == "quarantined"
+        assert "boom again" in rows[0]["error"]
+
+
+class TestIntrospection:
+    def test_events_cursor(self, queue):
+        cid = queue.submit("study", {}, _cells(2), now=1000.0)
+        events = queue.events_since(cid, 0)
+        assert [e["kind"] for e in events] == ["submitted"]
+        cursor = events[-1]["seq"]
+        queue.claim("w1", now=1001.0)
+        tail = queue.events_since(cid, cursor)
+        assert [e["kind"] for e in tail] == ["leased"]
+        assert queue.events_since(cid, tail[-1]["seq"]) == []
+
+    def test_campaigns_listing(self, queue):
+        a = queue.submit("alpha", {}, _cells(1, "a"), now=1000.0)
+        b = queue.submit("beta", {}, _cells(2, "b"), now=1001.0)
+        listed = queue.campaigns()
+        assert [c["id"] for c in listed] == [a, b]
+        assert listed[1]["pending"] == 2
+
+    def test_unknown_campaign(self, queue):
+        assert queue.campaign("nope") is None
+        assert not queue.is_done("nope")
+
+    def test_events_isolated_per_campaign(self, queue):
+        a = queue.submit("alpha", {}, _cells(1, "a"), now=1000.0)
+        queue.submit("beta", {}, _cells(1, "b"), now=1001.0)
+        assert all(e["kind"] == "submitted"
+                   for e in queue.events_since(a, 0))
+        assert len(queue.events_since(a, 0)) == 1

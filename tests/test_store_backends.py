@@ -1,0 +1,191 @@
+"""Tests for the store backend abstraction (dir and sqlite).
+
+Both backends speak the same key space and must behave identically
+through the :class:`~repro.store.RunStore` facade; the sqlite backend
+additionally guarantees compare-and-set journal appends (dense,
+gap-free sequence numbers) under concurrent writers -- the
+multi-process half of that lives in ``test_store_concurrency.py``.
+"""
+
+import pytest
+
+from repro.config import RunConfig, SystemConfig
+from repro.core.runner import run_space
+from repro.store import RunStore
+from repro.store.backends import SQLITE_FILENAME, SQLiteBackend, make_backend
+
+CONFIG = SystemConfig(n_cpus=4)
+RUN = RunConfig(measured_transactions=10, seed=3)
+
+BACKENDS = ("dir", "sqlite")
+
+
+def _results(n):
+    sample = run_space(CONFIG, "oltp", RUN, n,
+                       workload_params={"threads_per_cpu": 2})
+    return sample.results
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestBackendContract:
+    """One behavioural contract, asserted against both backends."""
+
+    def test_put_get_round_trip(self, tmp_path, kind):
+        store = RunStore(tmp_path, backend=kind)
+        (result,) = _results(1)
+        store.put("k1", result, workload="oltp")
+        assert store.contains("k1")
+        assert "k1" in store
+        assert store.get("k1") == result
+        assert store.get("missing") is None
+        assert len(store) == 1
+        assert store.keys() == ["k1"]
+
+    def test_get_many_and_contains_many(self, tmp_path, kind):
+        store = RunStore(tmp_path, backend=kind)
+        results = _results(3)
+        for i, result in enumerate(results):
+            store.put(f"k{i}", result)
+        found = store.get_many(["k0", "k2", "nope"])
+        assert set(found) == {"k0", "k2"}
+        assert found["k0"] == results[0]
+        present = store.backend.contains_many(["k1", "nope", "k2"])
+        assert present == {"k1", "k2"}
+        assert store.backend.contains_many([]) == set()
+
+    def test_journal_records_every_put(self, tmp_path, kind):
+        store = RunStore(tmp_path, backend=kind)
+        for i, result in enumerate(_results(2)):
+            store.put(f"k{i}", result, workload="oltp")
+        entries = store.journal_entries()
+        assert len(entries) == 2
+        assert {e["key"] for e in entries} == {"k0", "k1"}
+        assert all(e["workload"] == "oltp" for e in entries)
+        assert store.journal_length() == 2
+
+    def test_delete_evicts_and_journals(self, tmp_path, kind):
+        store = RunStore(tmp_path, backend=kind)
+        (result,) = _results(1)
+        store.put("k1", result)
+        assert store.delete("k1", reason="stale") is True
+        assert not store.contains("k1")
+        assert store.get("k1") is None
+        assert len(store) == 0
+        # eviction is journaled, but runs-recorded count is unchanged
+        events = [e for e in store.journal_entries() if e.get("event") == "delete"]
+        assert len(events) == 1
+        assert events[0]["key"] == "k1"
+        assert events[0]["reason"] == "stale"
+        assert store.journal_length() == 1
+        # deleting a missing key is a no-op, not a second journal record
+        assert store.delete("k1") is False
+        assert sum(1 for e in store.journal_entries()
+                   if e.get("event") == "delete") == 1
+
+    def test_prune_by_predicate(self, tmp_path, kind):
+        store = RunStore(tmp_path, backend=kind)
+        for i, result in enumerate(_results(3)):
+            store.put(f"k{i}", result, campaign="old" if i < 2 else "live")
+        evicted = store.prune(lambda key, p: p["meta"].get("campaign") == "old")
+        assert sorted(evicted) == ["k0", "k1"]
+        assert store.keys() == ["k2"]
+        events = [e for e in store.journal_entries() if e.get("event") == "delete"]
+        assert {e["key"] for e in events} == {"k0", "k1"}
+        assert all(e["reason"] == "prune" for e in events)
+
+    def test_checkpoint_round_trip(self, tmp_path, kind):
+        from repro.system.checkpoint import Checkpoint
+        from repro.system.machine import Machine
+        from repro.workloads.registry import make_workload
+
+        machine = Machine(CONFIG, make_workload("oltp", threads_per_cpu=2))
+        machine.hierarchy.seed_perturbation(9)
+        machine.run_until_transactions(20, max_time_ns=10**12)
+        checkpoint = Checkpoint.capture(machine)
+
+        store = RunStore(tmp_path, backend=kind)
+        assert store.get_checkpoint("w1") is None
+        store.put_checkpoint("w1", checkpoint)
+        restored = store.get_checkpoint("w1")
+        assert restored is not None
+        assert restored.digest() == checkpoint.digest()
+
+    def test_run_space_through_backend(self, tmp_path, kind):
+        """run_space caches and resumes identically on either backend."""
+        store = RunStore(tmp_path, backend=kind)
+        kwargs = dict(workload_params={"threads_per_cpu": 2}, store=store)
+        first = run_space(CONFIG, "oltp", RUN, 2, **kwargs)
+        assert store.journal_length() == 2
+        second = run_space(CONFIG, "oltp", RUN, 2, **kwargs)
+        assert second.values == first.values
+        assert store.journal_length() == 2  # nothing re-executed
+
+
+class TestBackendEquivalence:
+    def test_payloads_identical_across_backends(self, tmp_path):
+        """The stored payload dict is backend-independent, byte for byte."""
+        stores = {
+            kind: RunStore(tmp_path / kind, backend=kind) for kind in BACKENDS
+        }
+        for store in stores.values():
+            run_space(CONFIG, "oltp", RUN, 2,
+                      workload_params={"threads_per_cpu": 2}, store=store)
+        keys = {kind: store.keys() for kind, store in stores.items()}
+        assert keys["dir"] == keys["sqlite"]
+        for key in keys["dir"]:
+            assert (stores["dir"].get_payload(key)
+                    == stores["sqlite"].get_payload(key))
+
+
+class TestSQLiteBackend:
+    def test_journal_seqs_dense(self, tmp_path):
+        store = RunStore(tmp_path, backend="sqlite")
+        for i, result in enumerate(_results(3)):
+            store.put(f"k{i}", result)
+        assert store.backend.journal_seqs() == [1, 2, 3]
+
+    def test_no_filesystem_layout(self, tmp_path):
+        store = RunStore(tmp_path, backend="sqlite")
+        assert (tmp_path / SQLITE_FILENAME).exists()
+        with pytest.raises(TypeError, match="no filesystem layout"):
+            store.runs_dir
+        with pytest.raises(TypeError, match="no filesystem layout"):
+            store.path_for("k1")
+
+    def test_corrupt_payload_is_cache_miss(self, tmp_path):
+        import contextlib
+        import sqlite3
+
+        store = RunStore(tmp_path, backend="sqlite")
+        (result,) = _results(1)
+        store.put("k1", result)
+        with contextlib.closing(
+            sqlite3.connect(tmp_path / SQLITE_FILENAME)
+        ) as conn:
+            conn.execute("UPDATE runs SET payload = '{ truncated'")
+            conn.commit()
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert store.get("k1") is None
+
+
+class TestBackendSelection:
+    def test_env_knob_selects_sqlite(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "sqlite")
+        store = RunStore()
+        assert store.backend.kind == "sqlite"
+        assert isinstance(store.backend, SQLiteBackend)
+
+    def test_explicit_argument_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "sqlite")
+        store = RunStore(tmp_path, backend="dir")
+        assert store.backend.kind == "dir"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            make_backend(tmp_path, "magnetic-tape")
+
+    def test_backend_instance_passthrough(self, tmp_path):
+        backend = SQLiteBackend(tmp_path)
+        store = RunStore(tmp_path, backend=backend)
+        assert store.backend is backend
