@@ -44,7 +44,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 
 from repro.config import RunConfig, SystemConfig
-from repro.core.runner import WorkloadSpec, make_job, run_space, _one_run_captured
+from repro.core.request import RunRequest, WorkloadSpec
+from repro.core.runner import run_space, _one_run_captured
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
@@ -62,11 +63,13 @@ MAX_TIME_NS = 10**13
 
 def run_before(config, run, seeds, n_jobs, warmup_mode="timed") -> dict:
     """The historical path: self-contained cold jobs, warm-up per seed."""
-    spec = WorkloadSpec.resolve("oltp")
-    jobs = {
-        seed: make_job(config, spec, run, seed, None, warmup_mode=warmup_mode)
-        for seed in seeds
-    }
+    template = RunRequest(
+        config=config,
+        workload=WorkloadSpec.resolve("oltp"),
+        run=run,
+        warmup_mode=warmup_mode,
+    )
+    jobs = {seed: (template.with_seed(seed), None) for seed in seeds}
     results = {}
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
         futures = {

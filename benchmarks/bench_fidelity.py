@@ -1,0 +1,198 @@
+"""Fidelity-tier benchmark: tier cost ratios and the escalation ladder.
+
+Two legs:
+
+1. **Tier costs** -- wall-clock per run of the same design point (an
+   8-CPU OOO configuration) at each fidelity tier (``ffwd``, ``simple``,
+   ``ooo``), interleaved reps, best-of reported, plus the cost ratios
+   the ladder's economics rest on (how much a full-fidelity run costs
+   relative to the cheap tiers).
+2. **Escalation ladder** -- a paper-style DRAM-latency sweep executed
+   twice from cold stores: every cell at full fidelity (the paper's
+   protocol), and through :func:`repro.core.fidelity.run_escalated_campaign`
+   (base tier everywhere, sentinels + escalations at full fidelity).
+   Reports the escalation rate (fraction of cells that paid reference
+   cost), per-cell conclusion agreement against the all-OOO study, and
+   the wall-clock ratio.
+
+Writes ``BENCH_fidelity.json`` at the repo root.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fidelity.py
+    PYTHONPATH=src python benchmarks/bench_fidelity.py --smoke
+
+``--smoke`` (the CI gate) runs a small sweep and asserts the ladder
+reproduces the all-OOO study's per-cell conclusions with *strictly
+fewer* full-fidelity cells -- at most half the grid; it still records
+the run in ``BENCH_fidelity.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.campaign.campaign import Campaign
+from repro.campaign.plan import CampaignSpec
+from repro.config import RunConfig, SystemConfig
+from repro.core.fidelity import EscalationPolicy, _conclude, run_escalated_campaign
+from repro.core.request import FIDELITY_TIERS, RunRequest, WorkloadSpec, execute_request
+from repro.store import RunStore
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fidelity.json"
+
+
+def tier_costs(reps: int) -> dict:
+    """Best-of-``reps`` wall-clock per tier for one fixed run."""
+    config = SystemConfig(n_cpus=8).with_rob_entries(64)
+    template = RunRequest(
+        config=config,
+        workload=WorkloadSpec.resolve("oltp"),
+        run=RunConfig(measured_transactions=60, warmup_transactions=30, seed=5),
+    )
+    best = {tier: float("inf") for tier in FIDELITY_TIERS}
+    for _rep in range(reps):
+        for tier in FIDELITY_TIERS:  # interleaved: drift biases no tier
+            t0 = time.perf_counter()
+            execute_request(template.with_fidelity(tier))
+            best[tier] = min(best[tier], time.perf_counter() - t0)
+    return best
+
+
+def sweep_spec(*, smoke: bool) -> CampaignSpec:
+    """A DRAM-latency sweep (paper Figure 4 shape) over an OOO core."""
+    base = SystemConfig(n_cpus=4).with_rob_entries(64)
+    latencies = (240, 320, 400, 480, 560) if smoke else (240, 320, 400, 480, 560, 640, 720)
+    return CampaignSpec(
+        configs=[("base", base)]
+        + [(f"dram={d}", base.with_dram_latency(d)) for d in latencies],
+        workloads=[WorkloadSpec.resolve("oltp")],
+        run=RunConfig(
+            measured_transactions=40 if smoke else 80,
+            warmup_transactions=20 if smoke else 40,
+            seed=21,
+        ),
+        n_runs=4 if smoke else 6,
+        name="bench-fidelity",
+    )
+
+
+def ladder_vs_all_ooo(spec: CampaignSpec, workdir: Path, progress=None) -> dict:
+    """Run the sweep both ways from cold stores and compare conclusions."""
+    t0 = time.perf_counter()
+    ladder_store = RunStore(workdir / "ladder")
+    report = run_escalated_campaign(
+        spec, ladder_store, policy=EscalationPolicy(), progress=progress
+    )
+    ladder_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ooo_store = RunStore(workdir / "all-ooo")
+    full = Campaign(
+        replace(spec, fidelity="ooo", name=f"{spec.name}-all-ooo"), ooo_store
+    ).run(progress)
+    all_ooo_s = time.perf_counter() - t0
+
+    baseline = spec.configs[0][0]
+    cells = []
+    matched = 0
+    for label, _config in spec.configs:
+        for wspec in spec.workloads:
+            ref_values = full.sample(label, wspec.name).values
+            ref_conclusion = (
+                "tie"
+                if label == baseline
+                else _conclude(
+                    ref_values, full.sample(baseline, wspec.name).values, 0.95
+                )
+            )
+            ladder_conclusion = report.conclusion(label, wspec.name)
+            matched += ladder_conclusion == ref_conclusion
+            cells.append(
+                {
+                    "config": label,
+                    "workload": wspec.name,
+                    "ladder": ladder_conclusion,
+                    "all_ooo": ref_conclusion,
+                }
+            )
+    return {
+        "n_cells": report.n_cells,
+        "reference_cells": report.n_reference_cells,
+        "reference_fraction": round(report.reference_fraction, 4),
+        "conclusions_matched": matched,
+        "conclusions_total": len(cells),
+        "cells": cells,
+        "ladder_seconds": round(ladder_s, 3),
+        "all_ooo_seconds": round(all_ooo_s, 3),
+        "speedup": round(all_ooo_s / ladder_s, 3) if ladder_s else None,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sweep, assert the CI gate, still record the JSON",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="tier-cost reps (default: 1 for --smoke, 3 otherwise)",
+    )
+    args = parser.parse_args()
+    reps = args.reps or (1 if args.smoke else 3)
+
+    print(f"tier costs ({reps} rep{'s' if reps != 1 else ''}, best-of) ...")
+    costs = tier_costs(reps)
+    ratios = {
+        "ooo_over_simple": round(costs["ooo"] / costs["simple"], 2),
+        "ooo_over_ffwd": round(costs["ooo"] / costs["ffwd"], 2),
+    }
+    for tier in FIDELITY_TIERS:
+        print(f"  {tier:6s} {costs[tier] * 1e3:9.1f} ms/run")
+    print(f"  ooo/simple x{ratios['ooo_over_simple']}, ooo/ffwd x{ratios['ooo_over_ffwd']}")
+
+    spec = sweep_spec(smoke=args.smoke)
+    print(f"\nescalation ladder vs all-OOO sweep ({len(spec.configs)} configs, "
+          f"{spec.n_runs} runs/cell) ...")
+    with tempfile.TemporaryDirectory() as td:
+        ladder = ladder_vs_all_ooo(spec, Path(td), progress=print)
+
+    print(
+        f"  conclusions: {ladder['conclusions_matched']}/{ladder['conclusions_total']} "
+        f"match all-OOO; {ladder['reference_cells']}/{ladder['n_cells']} cells "
+        f"({100 * ladder['reference_fraction']:.0f}%) paid full fidelity; "
+        f"wall-clock x{ladder['speedup']} vs all-OOO"
+    )
+
+    payload = {
+        "smoke": args.smoke,
+        "tier_seconds": {t: round(s, 4) for t, s in costs.items()},
+        "tier_ratios": ratios,
+        "ladder": ladder,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+
+    if args.smoke:
+        assert ladder["conclusions_matched"] == ladder["conclusions_total"], (
+            "escalated study changed a per-cell conclusion vs the all-OOO "
+            f"study: {ladder['cells']}"
+        )
+        assert ladder["reference_cells"] < ladder["n_cells"], (
+            "ladder escalated every cell -- no cost saving over all-OOO"
+        )
+        assert ladder["reference_fraction"] <= 0.5, (
+            f"ladder paid full fidelity on {100 * ladder['reference_fraction']:.0f}% "
+            "of cells (gate: at most half)"
+        )
+        assert costs["ooo"] > costs["simple"], "full tier not costlier than simple"
+        print("smoke gate passed: same conclusions, "
+              f"{ladder['reference_cells']}/{ladder['n_cells']} cells at full fidelity")
+
+
+if __name__ == "__main__":
+    main()

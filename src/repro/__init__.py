@@ -56,6 +56,13 @@ from repro.core import (
 )
 from repro.campaign import Campaign, CampaignPlan, CampaignReport, CampaignSpec
 from repro.core.experiment import compare_samples
+from repro.core.fidelity import EscalationPolicy, EscalationReport, run_escalated_campaign
+from repro.core.request import (
+    FIDELITY_TIERS,
+    RunRequest,
+    effective_config,
+    execute_request,
+)
 from repro.core.runner import (
     DEFAULT_WORKLOAD_SEED,
     RunFailure,
@@ -135,6 +142,13 @@ __all__ = [
     "RunFailure",
     "RunSpaceError",
     "WorkloadSpec",
+    "FIDELITY_TIERS",
+    "RunRequest",
+    "effective_config",
+    "execute_request",
+    "EscalationPolicy",
+    "EscalationReport",
+    "run_escalated_campaign",
     "RunStore",
     "default_store_dir",
     "run_key",

@@ -22,18 +22,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.config import RunConfig, SystemConfig
+from repro.config import SystemConfig
 from repro.campaign.executor import SharedRunContext, execute_shared
 from repro.campaign.plan import (
     CampaignPlan,
     CampaignSpec,
-    cell_execution,
-    cell_key_mode,
+    cell_request,
     plan_campaign,
 )
 from repro.core.confidence import confidence_interval
+from repro.core.request import effective_config
 from repro.core.runner import RunFailure, RunSample, WorkloadSpec
-from repro.store import RunStore, run_key
+from repro.store import RunStore
 from repro.system.simulation import SimulationResult
 
 
@@ -165,25 +165,6 @@ class Campaign:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _key(
-        self,
-        config: SystemConfig,
-        wspec: WorkloadSpec,
-        seed: int,
-        cell_run: RunConfig,
-        ckpt_digest: str | None,
-    ) -> str:
-        return run_key(
-            config,
-            replace(cell_run, seed=seed),
-            wspec.name,
-            wspec.seed,
-            wspec.scale,
-            wspec.params_dict,
-            checkpoint_digest=ckpt_digest,
-            warmup_mode=cell_key_mode(self.spec),
-        )
-
     def _run_cell(
         self, label: str, config: SystemConfig, wspec: WorkloadSpec, progress
     ) -> CellResult:
@@ -194,7 +175,7 @@ class Campaign:
         cached_hits = 0
         executed = 0
         issued = 0
-        cell_run, ckpt_digest = cell_execution(spec, config, wspec)
+        template = cell_request(spec, config, wspec)
         # One shared context per cell: every batch of an adaptive cell
         # reuses the same object (and thus its cached digest), and the
         # warm checkpoint is built only when a batch actually executes.
@@ -205,16 +186,12 @@ class Campaign:
                 checkpoint = None
                 if spec.warm_start:
                     from repro.system.checkpoint import warm_checkpoint
-                    from repro.workloads.registry import make_workload
 
+                    # The warm-up executes under the fidelity-effective
+                    # configuration, matching the cell's warm key.
                     checkpoint = warm_checkpoint(
-                        config,
-                        make_workload(
-                            wspec.name,
-                            seed=wspec.seed,
-                            scale=wspec.scale,
-                            **wspec.params_dict,
-                        ),
+                        effective_config(config, spec.fidelity),
+                        wspec.make(),
                         warmup_transactions=spec.run.warmup_transactions,
                         max_time_ns=spec.run.max_time_ns,
                         store=self.store,
@@ -224,9 +201,10 @@ class Campaign:
                     SharedRunContext(
                         config=config,
                         spec=wspec,
-                        run=cell_run,
+                        run=template.run,
                         checkpoint=checkpoint,
                         warmup_mode=spec.warmup_mode,
+                        fidelity=spec.fidelity,
                     )
                 )
             return context_cache[0]
@@ -240,8 +218,7 @@ class Campaign:
             seeds = [spec.run.seed + issued + i for i in range(count)]
             issued += count
             key_by_seed = {
-                seed: self._key(config, wspec, seed, cell_run, ckpt_digest)
-                for seed in seeds
+                seed: template.with_seed(seed).run_key for seed in seeds
             }
             found = self.store.get_many(list(key_by_seed.values()))
             pending: list[int] = []

@@ -13,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.config import RunConfig, SystemConfig
-from repro.core.runner import WorkloadSpec
+from repro.core.request import FIDELITY_FULL, RunRequest, WorkloadSpec
 from repro.core.sampling import AdaptiveStopRule
-from repro.store import RunStore, run_key
+from repro.store import RunStore
 
 
 @dataclass
@@ -45,6 +45,12 @@ class CampaignSpec:
     #: the shared warm-start leg or to each seed's cold warm-up;
     #: measurement windows are always timed.
     warmup_mode: str = "timed"
+    #: execution tier for every cell ("ffwd" | "simple" | "ooo"); see
+    #: :mod:`repro.core.request`.  Non-default tiers fold into every
+    #: cell's run keys (never mixed with full-fidelity results); the
+    #: escalation ladder (:mod:`repro.core.fidelity`) runs the same spec
+    #: at several tiers and reconciles them.
+    fidelity: str = FIDELITY_FULL
 
     def __post_init__(self) -> None:
         if not self.configs:
@@ -57,6 +63,13 @@ class CampaignSpec:
             raise ValueError("warm_start needs run.warmup_transactions > 0")
         if self.warmup_mode not in ("timed", "functional"):
             raise ValueError(f"unknown warm-up mode {self.warmup_mode!r}")
+        from repro.core.request import FIDELITY_TIERS
+
+        if self.fidelity not in FIDELITY_TIERS:
+            raise ValueError(
+                f"unknown fidelity tier {self.fidelity!r} "
+                f"(expected one of {', '.join(FIDELITY_TIERS)})"
+            )
 
     def cells(self):
         """The (label, config, workload spec) grid, in declaration order."""
@@ -139,21 +152,20 @@ def cell_execution(spec: CampaignSpec, config: SystemConfig, wspec: WorkloadSpec
     """
     if not spec.warm_start:
         return spec.run, None
-    from repro.store import warm_key
-    from repro.system.checkpoint import WARMUP_PERTURBATION_SEED
-
-    wkey = warm_key(
-        config,
-        wspec.name,
-        wspec.seed,
-        wspec.scale,
-        wspec.params_dict,
-        warmup_transactions=spec.run.warmup_transactions,
-        warmup_seed=WARMUP_PERTURBATION_SEED,
-        max_time_ns=spec.run.max_time_ns,
+    # The warm key comes from a request carrying the *original* warm-up
+    # length and the spec's fidelity (the warm-up executes under the
+    # fidelity-effective configuration).
+    warm = RunRequest(
+        config=config,
+        workload=wspec,
+        run=spec.run,
         warmup_mode=spec.warmup_mode,
+        fidelity=spec.fidelity,
     )
-    return replace(spec.run, warmup_transactions=0), f"warm:{wkey}"
+    return (
+        replace(spec.run, warmup_transactions=0),
+        f"warm:{warm.warm_checkpoint_key()}",
+    )
 
 
 def cell_key_mode(spec: CampaignSpec) -> str:
@@ -171,25 +183,37 @@ def cell_key_mode(spec: CampaignSpec) -> str:
     return spec.warmup_mode
 
 
+def cell_request(
+    spec: CampaignSpec, config: SystemConfig, wspec: WorkloadSpec
+) -> RunRequest:
+    """The :class:`~repro.core.request.RunRequest` template of one cell.
+
+    Seeded at ``spec.run.seed``; stamp out a cell's sample with
+    :meth:`~repro.core.request.RunRequest.with_seed`.  This is the single
+    definition planning, the executor, and the service worker all derive
+    keys and execution from, which is what keeps ``--dry-run``,
+    execution, resume, and served results in agreement.
+    """
+    cell_run, ckpt_ref = cell_execution(spec, config, wspec)
+    return RunRequest(
+        config=config,
+        workload=wspec,
+        run=cell_run,
+        checkpoint_ref=ckpt_ref,
+        warmup_mode=cell_key_mode(spec),
+        fidelity=spec.fidelity,
+    )
+
+
 def plan_campaign(spec: CampaignSpec, store: RunStore) -> CampaignPlan:
     """Resolve the campaign grid against the store."""
     runs: list[PlannedRun] = []
     n_seeds = spec.initial_seed_count()
-    key_mode = cell_key_mode(spec)
     for label, config, wspec in spec.cells():
-        cell_run, ckpt_digest = cell_execution(spec, config, wspec)
+        template = cell_request(spec, config, wspec)
         for i in range(n_seeds):
             seed = spec.run.seed + i
-            key = run_key(
-                config,
-                replace(cell_run, seed=seed),
-                wspec.name,
-                wspec.seed,
-                wspec.scale,
-                wspec.params_dict,
-                checkpoint_digest=ckpt_digest,
-                warmup_mode=key_mode,
-            )
+            key = template.with_seed(seed).run_key
             runs.append(
                 PlannedRun(
                     config_label=label,

@@ -140,6 +140,13 @@ def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
              "functional warm-up keys its cells separately",
     )
     parser.add_argument(
+        "--fidelity", choices=("ffwd", "simple", "ooo"), default="ooo",
+        help="execution tier for every cell: ooo (full fidelity, default), "
+             "simple (SimpleCore substituted for the configured model), or "
+             "ffwd (functional fast-forward with estimated cycles); "
+             "non-default tiers key their cells separately",
+    )
+    parser.add_argument(
         "--name", default="campaign", help="campaign name recorded in the journal"
     )
 
@@ -286,6 +293,7 @@ def cmd_space(args: argparse.Namespace) -> int:
         warm_start=args.warm_start,
         store=store,
         warmup_mode=args.warmup_mode,
+        fidelity=args.fidelity,
     )
     if args.json:
         print(json.dumps(sample.to_dict(), indent=2))
@@ -368,6 +376,7 @@ def _campaign_spec_from_args(args: argparse.Namespace):
         name=args.name,
         warm_start=args.warm_start,
         warmup_mode=args.warmup_mode,
+        fidelity=args.fidelity,
     )
 
 
@@ -771,6 +780,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute warm-up legs (per-seed, or the shared --warm-start "
              "leg) timed or functional (fast-forward); functional warm-up "
              "keys its runs separately",
+    )
+    space_parser.add_argument(
+        "--fidelity", choices=("ffwd", "simple", "ooo"), default="ooo",
+        help="execution tier: ooo (full fidelity, default), simple "
+             "(SimpleCore substituted), or ffwd (functional fast-forward "
+             "with estimated cycles); non-default tiers key separately",
     )
     space_parser.set_defaults(func=cmd_space)
 

@@ -40,6 +40,14 @@ from repro.core.confidence import (
 from repro.core.experiment import ComparisonResult, compare_configurations
 from repro.core.hypothesis import TTestResult, runs_needed, two_sample_t_test
 from repro.core.metrics import VariabilitySummary, summarize
+from repro.core.request import (
+    FIDELITY_FULL,
+    FIDELITY_TIERS,
+    RunRequest,
+    effective_config,
+    execute_request,
+    format_failure,
+)
 from repro.core.runner import (
     DEFAULT_WORKLOAD_SEED,
     RunFailure,
@@ -78,6 +86,12 @@ __all__ = [
     "RunSpaceError",
     "WorkloadSpec",
     "run_space",
+    "FIDELITY_FULL",
+    "FIDELITY_TIERS",
+    "RunRequest",
+    "effective_config",
+    "execute_request",
+    "format_failure",
     "AdaptiveStopRule",
     "Survey",
     "SurveyEntry",

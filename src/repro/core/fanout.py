@@ -47,7 +47,14 @@ from functools import cached_property
 from typing import Callable
 
 from repro.config import RunConfig, SystemConfig
-from repro.core.runner import RunFailure, WorkloadSpec
+from repro.core.request import (
+    FIDELITY_FULL,
+    RunRequest,
+    WorkloadSpec,
+    effective_config,
+    format_failure,
+)
+from repro.core.runner import RunFailure
 from repro.system.machine import Machine
 from repro.system.simulation import SimulationResult, measure_machine
 from repro.workloads.registry import make_workload
@@ -60,6 +67,11 @@ class SharedRunContext:
     This is what ships to each worker exactly once (via the pool
     initializer) instead of travelling inside every job tuple.  The
     per-seed jobs then carry only ``(seed, run_overrides, digest)``.
+
+    A context is the fan-out twin of a :class:`repro.core.request.RunRequest`
+    template: identity minus the per-seed ``run.seed``, plus the
+    *materialized* checkpoint (requests carry only the ref).  Use
+    :meth:`from_request` to build one from a template request.
     """
 
     config: SystemConfig
@@ -69,6 +81,32 @@ class SharedRunContext:
     #: how any per-seed warm-up leg executes ("timed" | "functional");
     #: see repro.core.ffwd
     warmup_mode: str = "timed"
+    #: execution tier ("ffwd" | "simple" | "ooo"); see repro.core.request
+    fidelity: str = FIDELITY_FULL
+
+    @classmethod
+    def from_request(
+        cls, request: RunRequest, checkpoint=None
+    ) -> "SharedRunContext":
+        """The shared context of a sample templated by ``request``.
+
+        ``checkpoint`` is the materialized checkpoint named by
+        ``request.checkpoint_ref`` (the request itself carries only the
+        ref; workers need the state).
+        """
+        return cls(
+            config=request.config,
+            spec=request.workload,
+            run=request.run,
+            checkpoint=checkpoint,
+            warmup_mode=request.warmup_mode,
+            fidelity=request.fidelity,
+        )
+
+    @property
+    def effective(self) -> SystemConfig:
+        """The configuration runs actually simulate (fidelity applied)."""
+        return effective_config(self.config, self.fidelity)
 
     @cached_property
     def digest(self) -> str:
@@ -77,8 +115,8 @@ class SharedRunContext:
         Covers the configuration, run template, workload identity, and
         (when present) the checkpoint state, so two contexts collide only
         when their warm state is genuinely interchangeable.  The
-        ``"timed"`` warm-up mode is omitted so pre-existing digests stay
-        stable.
+        ``"timed"`` warm-up mode and ``"ooo"`` fidelity defaults are
+        omitted so pre-existing digests stay stable.
         """
         from repro.store import digest as _digest
 
@@ -97,6 +135,8 @@ class SharedRunContext:
         }
         if self.warmup_mode != "timed":
             payload["warmup_mode"] = self.warmup_mode
+        if self.fidelity != FIDELITY_FULL:
+            payload["fidelity"] = self.fidelity
         return _digest(payload)
 
 
@@ -132,7 +172,7 @@ class _Resident:
             workload = make_workload(
                 spec.name, seed=spec.seed, scale=spec.scale, **spec.params_dict
             )
-            self._template = Machine(self.context.config, workload).freeze()
+            self._template = Machine(self.context.effective, workload).freeze()
         return self._template
 
     def materialize(self) -> Machine:
@@ -149,7 +189,7 @@ class _Resident:
                 scale=ckpt.workload_scale,
                 **(ckpt.workload_params or {}),
             )
-            return ckpt.materialize(ctx.config, workload=workload)
+            return ckpt.materialize(ctx.effective, workload=workload)
         return Machine.thaw(self.template())
 
 
@@ -167,11 +207,16 @@ def _install_contexts(entries: list[tuple[str, SharedRunContext]]) -> None:
 
 def _simulate_resident(resident: _Resident, run: RunConfig) -> SimulationResult:
     """One measured run from a resident template (the per-seed body)."""
+    ctx = resident.context
+    if ctx.fidelity == "ffwd":
+        from repro.core.fidelity import measure_functional
+
+        return measure_functional(resident.materialize(), ctx.effective, run)
     return measure_machine(
         resident.materialize(),
-        resident.context.config,
+        ctx.effective,
         run,
-        warmup_mode=resident.context.warmup_mode,
+        warmup_mode=ctx.warmup_mode,
     )
 
 
@@ -201,7 +246,7 @@ def _run_guarded(
     except _RunTimeout:
         return ("timeout", f"no result within {timeout_s:g}s wall clock")
     except Exception as exc:  # noqa: BLE001 -- attribute, don't kill the batch
-        return ("error", f"{type(exc).__name__}: {exc}")
+        return ("error", format_failure(exc))
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0)

@@ -26,79 +26,31 @@ Two robustness layers sit on top:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.config import RunConfig, SystemConfig
 from repro.core.metrics import VariabilitySummary, summarize
-from repro.system.simulation import SimulationResult, run_simulation
+from repro.core.request import (
+    DEFAULT_WORKLOAD_SEED,
+    FIDELITY_FULL,
+    RunRequest,
+    WorkloadSpec,
+    effective_config,
+    execute_request,
+    format_failure,
+)
+from repro.system.simulation import SimulationResult
 from repro.workloads.base import Workload
-from repro.workloads.registry import make_workload
 
-#: the workload content seed used when a workload is passed by name and no
-#: explicit ``workload_seed`` is given -- the registry default, so
-#: ``run_space(cfg, "oltp", ...)`` and ``run_space(cfg, make_workload("oltp"), ...)``
-#: sample the same stream.
-DEFAULT_WORKLOAD_SEED = 12345
-
-
-@dataclass(frozen=True)
-class WorkloadSpec:
-    """A workload identity as plain data: what a worker process rebuilds.
-
-    ``params`` holds class-attribute overrides as a sorted tuple of
-    (name, value) pairs so the spec is hashable and deterministic.
-    """
-
-    name: str
-    seed: int = DEFAULT_WORKLOAD_SEED
-    scale: float = 1.0
-    params: tuple = ()
-
-    @property
-    def params_dict(self) -> dict:
-        """The parameter overrides as a dict."""
-        return dict(self.params)
-
-    @classmethod
-    def resolve(
-        cls,
-        workload: Workload | str,
-        *,
-        workload_seed: int | None = None,
-        workload_params: dict | None = None,
-    ) -> "WorkloadSpec":
-        """Normalize a workload instance or name into a spec.
-
-        A workload *instance* carries its own seed/scale/overrides; an
-        explicit ``workload_seed`` that contradicts the instance is an
-        error (silent precedence hid bugs).  A workload *name* uses
-        ``workload_seed`` (default :data:`DEFAULT_WORKLOAD_SEED`).
-        """
-        if isinstance(workload, Workload):
-            if workload_seed is not None and workload_seed != workload.seed:
-                raise ValueError(
-                    f"workload instance has seed {workload.seed} but "
-                    f"workload_seed={workload_seed} was passed; drop one"
-                )
-            name = workload.name
-            seed = workload.seed
-            scale = workload.scale
-            # Instance-level parameter overrides travel with the job so
-            # worker processes rebuild the exact same workload.
-            instance_params = {
-                key: value
-                for key, value in vars(workload).items()
-                if key not in ("seed", "scale") and hasattr(type(workload), key)
-            }
-        else:
-            name = workload
-            seed = DEFAULT_WORKLOAD_SEED if workload_seed is None else workload_seed
-            scale = 1.0
-            instance_params = {}
-        params = {**instance_params, **(workload_params or {})}
-        return cls(
-            name=name, seed=seed, scale=scale, params=tuple(sorted(params.items()))
-        )
+__all__ = [
+    "DEFAULT_WORKLOAD_SEED",
+    "RunFailure",
+    "RunSample",
+    "RunSpaceError",
+    "WorkloadSpec",
+    "run_space",
+]
 
 
 @dataclass(frozen=True)
@@ -193,12 +145,21 @@ def make_job(
     *,
     warmup_mode: str = "timed",
 ) -> tuple:
-    """Build the picklable job tuple :func:`_one_run` executes.
+    """Deprecated compat shim: build the legacy positional job 8-tuple.
 
-    The campaign executor builds jobs through this same function, which
-    is what makes a fixed-N campaign bit-for-bit identical to
-    ``run_space``: same inputs, same worker, same result.
+    Before :class:`repro.core.request.RunRequest` existed, every layer
+    threaded a run's identity as this positional tuple.  New code builds
+    a ``RunRequest`` (plus its materialized checkpoint) instead; this
+    shim -- and :func:`_one_run`'s tuple-unpacking branch -- are the only
+    places the 8-tuple survives, kept so external callers keep working
+    through one deprecation cycle.
     """
+    warnings.warn(
+        "make_job() and positional job tuples are deprecated; build a "
+        "repro.core.request.RunRequest and call execute_request()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return (
         config,
         spec.name,
@@ -211,8 +172,23 @@ def make_job(
     )
 
 
-def _one_run(args) -> SimulationResult:
-    """Worker body (module-level for pickling)."""
+def _one_run(job) -> SimulationResult:
+    """Worker body (module-level so tests can intercept every execution).
+
+    ``job`` is a ``(RunRequest, checkpoint | None)`` pair -- or, through
+    one deprecation cycle, the legacy positional 8-tuple that
+    :func:`make_job` built, which is converted to a request here.
+    """
+    if isinstance(job, RunRequest):
+        return execute_request(job)
+    if len(job) == 2 and isinstance(job[0], RunRequest):
+        request, checkpoint = job
+        return execute_request(request, checkpoint)
+    warnings.warn(
+        "positional job tuples are deprecated; pass (RunRequest, checkpoint)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     (
         config,
         workload_name,
@@ -222,26 +198,35 @@ def _one_run(args) -> SimulationResult:
         run,
         checkpoint,
         warmup_mode,
-    ) = args
-    workload = make_workload(
-        workload_name, seed=workload_seed, scale=workload_scale, **workload_params
+    ) = job
+    request = RunRequest(
+        config=config,
+        workload=WorkloadSpec(
+            name=workload_name,
+            seed=workload_seed,
+            scale=workload_scale,
+            params=tuple(sorted(dict(workload_params or {}).items())),
+        ),
+        run=run,
+        warmup_mode=warmup_mode,
     )
-    return run_simulation(
-        config, workload, run, checkpoint=checkpoint, warmup_mode=warmup_mode
-    )
+    return execute_request(request, checkpoint)
 
 
-def _one_run_captured(args) -> tuple:
+def _one_run_captured(job) -> tuple:
     """Worker body with in-worker error capture.
 
     Returns ``("ok", result)`` or ``("error", message)`` so an exception
     in one run is attributed to its seed instead of surfacing as an
     opaque pool failure (a hard worker crash still breaks the pool; the
-    caller maps that onto the affected seeds)."""
+    caller maps that onto the affected seeds).  The message carries the
+    innermost traceback frames (:func:`repro.core.request.format_failure`)
+    so a campaign failure report names where the run died, not just the
+    exception type."""
     try:
-        return ("ok", _one_run(args))
+        return ("ok", _one_run(job))
     except Exception as exc:  # noqa: BLE001 -- report, don't kill the sample
-        return ("error", f"{type(exc).__name__}: {exc}")
+        return ("error", format_failure(exc))
 
 
 def run_space(
@@ -259,6 +244,7 @@ def run_space(
     warm_start: bool = False,
     batch_size: int | None = None,
     warmup_mode: str = "timed",
+    fidelity: str = FIDELITY_FULL,
 ) -> RunSample:
     """Run ``n_runs`` perturbed simulations and collect the sample.
 
@@ -303,11 +289,17 @@ def run_space(
     warm-up -- through the fast-forward engine (:mod:`repro.core.ffwd`).
     Functional warm-up reaches a different machine state than timed
     warm-up, so those runs key (and cache) separately.
+
+    ``fidelity`` selects the execution tier
+    (:data:`repro.core.request.FIDELITY_TIERS`): ``"ooo"`` (default)
+    runs the configuration exactly as given, ``"simple"`` substitutes
+    the SimpleCore model, ``"ffwd"`` fast-forwards functionally and
+    *estimates* cycles from hierarchy event counts.  Non-default tiers
+    fold into run keys (and warm keys, via the effective configuration),
+    so tiers never mix in the cache.
     """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
-    if warmup_mode not in ("timed", "functional"):
-        raise ValueError(f"unknown warm-up mode {warmup_mode!r}")
     if store is not None:
         from repro.store import resolve_store
 
@@ -320,6 +312,16 @@ def run_space(
     if len(seeds) != n_runs:
         raise ValueError(f"need {n_runs} seeds, got {len(seeds)}")
 
+    # Validates warmup_mode/fidelity up front; also the source of the
+    # shared warm key (which carries the *original* warm-up length).
+    template = RunRequest(
+        config=config,
+        workload=spec,
+        run=run,
+        warmup_mode=warmup_mode,
+        fidelity=fidelity,
+    )
+
     warm_ckpt_key: str | None = None
     warmup_transactions = run.warmup_transactions
     if warm_start:
@@ -327,48 +329,35 @@ def run_space(
             raise ValueError("warm_start and an explicit checkpoint are exclusive")
         if warmup_transactions <= 0:
             raise ValueError("warm_start needs run.warmup_transactions > 0")
-        from repro.store import warm_key
-        from repro.system.checkpoint import WARMUP_PERTURBATION_SEED
-
-        warm_ckpt_key = warm_key(
-            config,
-            spec.name,
-            spec.seed,
-            spec.scale,
-            spec.params_dict,
-            warmup_transactions=warmup_transactions,
-            warmup_seed=WARMUP_PERTURBATION_SEED,
-            max_time_ns=run.max_time_ns,
-            warmup_mode=warmup_mode,
-        )
+        warm_ckpt_key = template.warm_checkpoint_key()
         # Seeds measure from the shared warm state: no per-run warm-up.
         run = replace(run, warmup_transactions=0)
+
+    if warm_ckpt_key is not None:
+        ckpt_ref = f"warm:{warm_ckpt_key}"
+    elif checkpoint is not None and store is not None:
+        ckpt_ref = checkpoint.digest()
+    else:
+        ckpt_ref = None
 
     # The mode is part of a run's own key only when the run itself pays a
     # warm-up leg; a warm-started sample carries it in the warm key.
     key_mode = warmup_mode if run.warmup_transactions > 0 else "timed"
+    template = RunRequest(
+        config=config,
+        workload=spec,
+        run=run,
+        checkpoint_ref=ckpt_ref,
+        warmup_mode=key_mode,
+        fidelity=fidelity,
+    )
 
     keys: dict[int, str] = {}
     results: dict[int, SimulationResult] = {}
     pending: list[int] = []
     if store is not None:
-        from repro.store import run_key
-
-        if warm_ckpt_key is not None:
-            ckpt_digest = f"warm:{warm_ckpt_key}"
-        else:
-            ckpt_digest = checkpoint.digest() if checkpoint is not None else None
         for seed in seeds:
-            keys[seed] = run_key(
-                config,
-                replace(run, seed=seed),
-                spec.name,
-                spec.seed,
-                spec.scale,
-                spec.params_dict,
-                checkpoint_digest=ckpt_digest,
-                warmup_mode=key_mode,
-            )
+            keys[seed] = template.with_seed(seed).run_key
         found = store.get_many([keys[seed] for seed in seeds])
         for seed in seeds:
             cached = found.get(keys[seed])
@@ -382,14 +371,13 @@ def run_space(
     if pending and warm_start:
         # Build (or fetch from the store) the shared warm state only when
         # something actually needs to run -- a fully cached sample costs
-        # zero simulation.
+        # zero simulation.  The warm-up executes under the
+        # fidelity-effective configuration, matching the warm key.
         from repro.system.checkpoint import warm_checkpoint
 
         checkpoint = warm_checkpoint(
-            config,
-            make_workload(
-                spec.name, seed=spec.seed, scale=spec.scale, **spec.params_dict
-            ),
+            effective_config(config, fidelity),
+            spec.make(),
             warmup_transactions=warmup_transactions,
             max_time_ns=run.max_time_ns,
             store=store,
@@ -412,6 +400,7 @@ def run_space(
                 run=run,
                 checkpoint=checkpoint,
                 warmup_mode=warmup_mode,
+                fidelity=fidelity,
             )
             _done, failures = execute_shared(
                 context,
@@ -422,14 +411,10 @@ def run_space(
                 on_result=record,
             )
         else:
-            jobs = {
-                seed: make_job(
-                    config, spec, run, seed, checkpoint, warmup_mode=warmup_mode
+            for seed in pending:
+                status, payload = _one_run_captured(
+                    (template.with_seed(seed), checkpoint)
                 )
-                for seed in pending
-            }
-            for seed, job in jobs.items():
-                status, payload = _one_run_captured(job)
                 if status == "ok":
                     record(seed, payload)
                 else:

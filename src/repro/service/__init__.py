@@ -30,7 +30,7 @@ per-run payloads byte-identical to the same spec run through the
 in-process :class:`~repro.campaign.campaign.Campaign` -- the service
 changes *where* cells run, never *what* a run means.  That holds because
 workers execute through the very same job constructor
-(:func:`repro.core.runner.make_job`) and warm-checkpoint cache
+(:func:`repro.core.request.execute_request`) and warm-checkpoint cache
 (:func:`repro.system.checkpoint.warm_checkpoint`) as the in-process
 path, and results are keyed by the same content addresses.
 """

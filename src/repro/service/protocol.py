@@ -5,11 +5,18 @@ JSON form (:func:`spec_to_dict` / :func:`spec_from_dict`), and the unit
 of scheduling is a *cell*: one (configuration × workload × seed) grid
 point resolved to its content-addressed run key.  Decomposition
 (:func:`enumerate_cells`) reuses the exact key construction of
-:func:`repro.campaign.plan.plan_campaign` -- the same
-``cell_execution`` / ``cell_key_mode`` helpers -- which is what makes a
-served campaign's cache entries interchangeable with an in-process
-campaign's: plan, serve, execute, and resume all agree on what each
-grid point *is*.
+:func:`repro.campaign.plan.plan_campaign` -- the shared
+:func:`~repro.campaign.plan.cell_request` template -- which is what
+makes a served campaign's cache entries interchangeable with an
+in-process campaign's: plan, serve, execute, and resume all agree on
+what each grid point *is*.
+
+Version 2 of the wire format adds the ``fidelity`` tier
+(:mod:`repro.core.request`); version 1 submissions (no ``fidelity``
+field) are still accepted on read and decode to full fidelity.  Mode
+strings are validated *at submit time* (:func:`validate_modes`) so a
+typo fails the submission with one clear error instead of failing N
+cells into quarantine worker by worker.
 
 Only fixed-N specs are serializable for now: an adaptive stop rule
 grows cells from results sequentially, which contradicts decomposing
@@ -21,9 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.campaign.plan import CampaignSpec, cell_execution, cell_key_mode
-from repro.core.runner import WorkloadSpec
-from repro.store import run_key
+from repro.campaign.plan import CampaignSpec, cell_request
+from repro.core.request import FIDELITY_FULL, FIDELITY_TIERS, WARMUP_MODES, WorkloadSpec
 from repro.store.serialize import (
     run_config_from_dict,
     run_config_to_dict,
@@ -32,12 +38,35 @@ from repro.store.serialize import (
 )
 
 #: bump on incompatible changes to the submission wire format
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: versions this service still decodes (v1: no fidelity field)
+ACCEPTED_VERSIONS = (1, 2)
 
 
 class ServiceError(ValueError):
     """A request the campaign service cannot honour (bad spec, unknown
     campaign, protocol mismatch); the message is safe to show a client."""
+
+
+def validate_modes(warmup_mode: str, fidelity: str) -> None:
+    """Reject unknown mode strings with a client-safe explanation.
+
+    Called on both the submit and decode paths: a misspelled
+    ``warmup_mode``/``fidelity`` must bounce the submission immediately,
+    not surface later as N per-cell worker failures marching the cells
+    into quarantine.
+    """
+    if warmup_mode not in WARMUP_MODES:
+        raise ServiceError(
+            f"unknown warmup_mode {warmup_mode!r}: expected one of "
+            f"{', '.join(WARMUP_MODES)}"
+        )
+    if fidelity not in FIDELITY_TIERS:
+        raise ServiceError(
+            f"unknown fidelity {fidelity!r}: expected one of "
+            f"{', '.join(FIDELITY_TIERS)}"
+        )
 
 
 def spec_to_dict(spec: CampaignSpec) -> dict:
@@ -68,19 +97,26 @@ def spec_to_dict(spec: CampaignSpec) -> dict:
         "n_runs": spec.n_runs,
         "warm_start": spec.warm_start,
         "warmup_mode": spec.warmup_mode,
+        "fidelity": spec.fidelity,
     }
 
 
 def spec_from_dict(data: dict) -> CampaignSpec:
     """Rebuild a campaign spec from its wire form (inverse of
-    :func:`spec_to_dict`)."""
+    :func:`spec_to_dict`).  Accepts every version in
+    :data:`ACCEPTED_VERSIONS`; a v1 spec has no ``fidelity`` field and
+    decodes to full fidelity."""
     try:
         version = data.get("version", PROTOCOL_VERSION)
-        if version != PROTOCOL_VERSION:
+        if version not in ACCEPTED_VERSIONS:
             raise ServiceError(
                 f"unsupported submission version {version} "
-                f"(this service speaks {PROTOCOL_VERSION})"
+                f"(this service speaks {PROTOCOL_VERSION} and still reads "
+                f"{', '.join(str(v) for v in ACCEPTED_VERSIONS[:-1])})"
             )
+        validate_modes(
+            data.get("warmup_mode", "timed"), data.get("fidelity", FIDELITY_FULL)
+        )
         return CampaignSpec(
             configs=[
                 (label, system_config_from_dict(config))
@@ -100,6 +136,7 @@ def spec_from_dict(data: dict) -> CampaignSpec:
             name=data.get("name", "campaign"),
             warm_start=data.get("warm_start", False),
             warmup_mode=data.get("warmup_mode", "timed"),
+            fidelity=data.get("fidelity", FIDELITY_FULL),
         )
     except ServiceError:
         raise
@@ -131,9 +168,9 @@ def enumerate_cells(spec: CampaignSpec, store=None) -> list[Cell]:
     """Decompose a fixed-N spec into cells, deduplicated against ``store``.
 
     Key construction matches :func:`repro.campaign.plan.plan_campaign`
-    exactly (same ``cell_execution`` and ``cell_key_mode``), so a cell
-    executed by a remote worker lands on the very key an in-process
-    campaign would read it back from.  With a store, every key is
+    exactly (same :func:`~repro.campaign.plan.cell_request` template),
+    so a cell executed by a remote worker lands on the very key an
+    in-process campaign would read it back from.  With a store, every key is
     resolved in one batched :meth:`~repro.store.RunStore.get_many`-style
     backend pass and already-satisfied cells come back ``cached=True``
     -- the submit-side dedup that keeps N tenants from ever re-running
@@ -142,22 +179,12 @@ def enumerate_cells(spec: CampaignSpec, store=None) -> list[Cell]:
     if spec.stop_rule is not None:
         raise ServiceError("adaptive specs cannot be decomposed into cells")
     cells: list[Cell] = []
-    key_mode = cell_key_mode(spec)
     for ci, (label, config) in enumerate(spec.configs):
         for wi, wspec in enumerate(spec.workloads):
-            cell_run, ckpt_digest = cell_execution(spec, config, wspec)
+            template = cell_request(spec, config, wspec)
             for i in range(spec.n_runs):
                 seed = spec.run.seed + i
-                key = run_key(
-                    config,
-                    replace(cell_run, seed=seed),
-                    wspec.name,
-                    wspec.seed,
-                    wspec.scale,
-                    wspec.params_dict,
-                    checkpoint_digest=ckpt_digest,
-                    warmup_mode=key_mode,
-                )
+                key = template.with_seed(seed).run_key
                 cells.append(
                     Cell(
                         config_index=ci,

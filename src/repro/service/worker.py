@@ -6,10 +6,11 @@ publishes the result through the shared :class:`~repro.store.RunStore`.
 Everything that matters for correctness is therefore in infrastructure
 the in-process path already trusts:
 
-- the cell executes through the very same job constructor
-  (:func:`repro.core.runner.make_job` -> ``_one_run``) the fan-out
-  engine and ``run_space`` use, so its result is bit-identical to an
-  in-process campaign's;
+- the cell executes through the very same request template
+  (:func:`repro.campaign.plan.cell_request` ->
+  :func:`repro.core.request.execute_request`) the fan-out engine and
+  ``run_space`` use, so its result is bit-identical to an in-process
+  campaign's;
 - a warm-started cell resolves its shared warm checkpoint through
   :func:`repro.system.checkpoint.warm_checkpoint` with the store --
   cause-keyed, so N workers build it at most N times and usually zero
@@ -33,8 +34,8 @@ import threading
 import time
 import uuid
 
-from repro.core.runner import _one_run, make_job
-from repro.campaign.plan import cell_execution
+from repro.campaign.plan import cell_request
+from repro.core.request import effective_config, execute_request, format_failure
 from repro.service.protocol import spec_from_dict
 from repro.service.queue import DEFAULT_LEASE_S, LeasedCell, WorkQueue
 from repro.store import RunStore
@@ -167,10 +168,9 @@ class Worker:
         except Exception as exc:  # noqa: BLE001 -- a cell failure must not kill the daemon
             heartbeat.stop()
             self.failed += 1
-            self.queue.fail(
-                cell.cell_id, self.worker_id, f"{type(exc).__name__}: {exc}"
-            )
-            self._say(f"cell {cell.cell_id} failed: {type(exc).__name__}: {exc}")
+            message = format_failure(exc)
+            self.queue.fail(cell.cell_id, self.worker_id, message)
+            self._say(f"cell {cell.cell_id} failed: {message}")
             return False
         heartbeat.stop()
 
@@ -206,27 +206,21 @@ class Worker:
             raise RuntimeError(
                 f"cell {cell.cell_id} indexes outside its campaign spec"
             ) from exc
-        cell_run, _ckpt_digest = cell_execution(spec, config, wspec)
+        template = cell_request(spec, config, wspec)
         checkpoint = None
         if spec.warm_start:
             from repro.system.checkpoint import warm_checkpoint
-            from repro.workloads.registry import make_workload
 
+            # Warm-up under the fidelity-effective configuration, matching
+            # the cell's warm key (cause-keyed: first worker builds it,
+            # the rest read the cache).
             checkpoint = warm_checkpoint(
-                config,
-                make_workload(
-                    wspec.name,
-                    seed=wspec.seed,
-                    scale=wspec.scale,
-                    **wspec.params_dict,
-                ),
+                effective_config(config, spec.fidelity),
+                wspec.make(),
                 warmup_transactions=spec.run.warmup_transactions,
                 max_time_ns=spec.run.max_time_ns,
                 store=self.store,
                 mode=spec.warmup_mode,
             )
-        job = make_job(
-            config, wspec, cell_run, cell.seed, checkpoint,
-            warmup_mode=spec.warmup_mode,
-        )
-        return _one_run(job), spec, label, wspec
+        request = template.with_seed(cell.seed)
+        return execute_request(request, checkpoint), spec, label, wspec

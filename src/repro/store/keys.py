@@ -52,8 +52,14 @@ def run_key(
     *,
     checkpoint_digest: str | None = None,
     warmup_mode: str = "timed",
+    fidelity: str = "ooo",
 ) -> str:
     """The content-addressed key of one simulation run.
+
+    This is the canonical payload behind
+    :attr:`repro.core.request.RunRequest.run_key`; the request object
+    and this function are the only two spellings of a run's identity,
+    and they are byte-identical by construction.
 
     ``run.seed`` is the perturbation seed of *this* run (callers pass
     ``replace(run, seed=...)`` per sample member, as ``run_space`` does).
@@ -61,8 +67,14 @@ def run_key(
     when the run starts from a checkpoint, ``None`` for a cold boot.
     ``warmup_mode`` is how a cold boot's warm-up leg executes (``"timed"``
     or ``"functional"``, see :mod:`repro.core.ffwd`); it perturbs the
-    post-warm-up state, so it is part of the run's cause.  The default is
-    folded in only when non-timed, keeping every pre-existing key stable.
+    post-warm-up state, so it is part of the run's cause.  ``fidelity``
+    is the execution tier (``"ffwd"``/``"simple"``/``"ooo"``, see
+    :mod:`repro.core.fidelity`): a simple-tier run substitutes the
+    SimpleCore for the configured model and a ffwd-tier run only
+    estimates timing, so neither may ever alias the full-fidelity
+    result of the same nominal configuration.  Both defaults are folded
+    in only at non-default values, keeping every pre-existing key
+    byte-identical.
     """
     payload = {
         "v": KEY_VERSION,
@@ -78,6 +90,8 @@ def run_key(
     }
     if warmup_mode != "timed":
         payload["warmup_mode"] = warmup_mode
+    if fidelity != "ooo":
+        payload["fidelity"] = fidelity
     return digest(payload)
 
 
@@ -110,6 +124,13 @@ def warm_key(
     protocols, the never-mix rule is enforced by the key itself; the
     ``"timed"`` default is omitted from the payload so existing keys
     stay byte-identical.
+
+    Fidelity tiers need no parameter here: a warm-up leg's state depends
+    on the *effective* configuration it executed under, so callers pass
+    :func:`repro.core.request.effective_config` (as
+    :meth:`repro.core.request.RunRequest.warm_checkpoint_key` does) and
+    simple-tier warm state separates from full-fidelity warm state
+    through the ``system`` payload itself.
     """
     payload = {
         "v": KEY_VERSION,

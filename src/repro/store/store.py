@@ -167,6 +167,32 @@ class RunStore:
             }
         )
 
+    def log_event(self, event: str, **fields) -> None:
+        """Journal a non-run event (e.g. a fidelity escalation decision).
+
+        Event records carry an ``"event"`` field, so -- like evictions --
+        they are excluded from :meth:`journal_length` and never mistaken
+        for stored runs.  This is what makes decisions *about* runs (which
+        cells the escalation ladder promoted to full fidelity, and why)
+        reproducible from the same audit trail as the runs themselves.
+        """
+        if event in ("", "delete"):
+            raise ValueError(f"invalid event name {event!r}")
+        self.backend.append_journal(
+            {"event": event, "logged_at": time.time(), **fields}
+        )
+
+    def events(self, event: str | None = None) -> list[dict]:
+        """Journaled event records (non-run entries), oldest first.
+
+        ``event`` filters to one event name; evictions appear under
+        ``"delete"``.
+        """
+        entries = [e for e in self.journal_entries() if "event" in e]
+        if event is not None:
+            entries = [e for e in entries if e.get("event") == event]
+        return entries
+
     def delete(self, key: str, **meta) -> bool:
         """Evict one stored run, journaling the eviction.
 

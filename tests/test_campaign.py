@@ -282,11 +282,11 @@ class TestRunSpaceErrorCapture:
 
         real = runner_mod._one_run
 
-        def flaky(args):
-            run = args[5]
-            if run.seed == RUN.seed + 1:
+        def flaky(job):
+            request, _checkpoint = job
+            if request.run.seed == RUN.seed + 1:
                 raise ZeroDivisionError("boom")
-            return real(args)
+            return real(job)
 
         monkeypatch.setattr(runner_mod, "_one_run", flaky)
         with pytest.raises(RunSpaceError) as excinfo:
@@ -303,11 +303,11 @@ class TestRunSpaceErrorCapture:
         store = RunStore(tmp_path)
         real = runner_mod._one_run
 
-        def flaky(args):
-            run = args[5]
-            if run.seed == RUN.seed:
+        def flaky(job):
+            request, _checkpoint = job
+            if request.run.seed == RUN.seed:
                 raise RuntimeError("first seed dies")
-            return real(args)
+            return real(job)
 
         monkeypatch.setattr(runner_mod, "_one_run", flaky)
         with pytest.raises(RunSpaceError):

@@ -1,0 +1,297 @@
+"""The mixed-fidelity escalation ladder and the ffwd measurement tier."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import RunConfig, SystemConfig
+from repro.campaign.plan import CampaignSpec
+from repro.core.fidelity import (
+    CorrectionModel,
+    EscalationPolicy,
+    _conclude,
+    config_family,
+    measure_functional,
+    run_escalated_campaign,
+    sentinel_indices,
+)
+from repro.core.request import RunRequest, WorkloadSpec, execute_request
+from repro.core.sampling import AdaptiveStopRule
+from repro.store import RunStore
+
+
+def ffwd_request(seed=7, **kwargs):
+    return RunRequest(
+        config=SystemConfig(),
+        workload=WorkloadSpec.resolve("oltp"),
+        run=RunConfig(measured_transactions=40, warmup_transactions=10, seed=seed),
+        fidelity="ffwd",
+        **kwargs,
+    )
+
+
+class TestMeasureFunctional:
+    def test_deterministic_across_perturbation_seeds(self):
+        """Functional execution draws no perturbation: every seed of an
+        ffwd sample is the same run (the tier measures structure, not
+        variability)."""
+        a = execute_request(ffwd_request(seed=7))
+        b = execute_request(ffwd_request(seed=8))
+        assert a.cycles_per_transaction == b.cycles_per_transaction
+        assert a.seed == 7 and b.seed == 8
+
+    def test_result_shape_matches_timed_runs(self):
+        timed = execute_request(ffwd_request().with_fidelity("ooo"))
+        ffwd = execute_request(ffwd_request())
+        # same stats vocabulary (plus the estimated-timing marker), so
+        # analysis code consumes either without branching
+        assert set(timed.stats) | {"estimated_timing"} == set(ffwd.stats)
+        assert ffwd.stats["estimated_timing"] is True
+        assert ffwd.measured_transactions == 40
+        assert ffwd.cycles_per_transaction > 0
+
+    def test_estimate_prices_hierarchy_events(self):
+        """The cycle estimate is the latency-weighted event sum: doubling
+        the configured DRAM latency must raise the estimate."""
+        base = execute_request(ffwd_request())
+        slow = replace(
+            ffwd_request(), config=SystemConfig().with_dram_latency(360)
+        )
+        assert (
+            execute_request(slow).cycles_per_transaction
+            > base.cycles_per_transaction
+        )
+
+    def test_empty_window_rejected(self):
+        """A machine that makes no forward progress (e.g. a stalled
+        workload) must raise, not divide by zero."""
+
+        class StuckStats:
+            l1_hits = l2_hits = l2_misses = 0
+            memory_fetches = cache_to_cache = upgrades = writebacks = 0
+
+        class StuckHierarchy:
+            stats = StuckStats()
+
+            def seed_perturbation(self, seed):
+                pass
+
+        class StuckClock:
+            now = 0
+
+        class StuckMachine:
+            hierarchy = StuckHierarchy()
+            clock = StuckClock()
+            completed_transactions = 0
+            timed_out = True
+
+            def fast_forward_transactions(self, total, max_time_ns):
+                return 0
+
+        config = SystemConfig()
+        run = RunConfig(measured_transactions=50, warmup_transactions=0)
+        with pytest.raises(ValueError, match="no transactions"):
+            measure_functional(StuckMachine(), config, run)
+
+
+class TestEscalationPolicy:
+    def test_defaults(self):
+        policy = EscalationPolicy()
+        assert policy.base_tier == "simple"
+        assert policy.reference_tier == "ooo"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tier"):
+            EscalationPolicy(base_tier="bogus")
+        with pytest.raises(ValueError, match="differ"):
+            EscalationPolicy(base_tier="ooo", reference_tier="ooo")
+        with pytest.raises(ValueError, match="sentinel_fraction"):
+            EscalationPolicy(sentinel_fraction=0.0)
+        with pytest.raises(ValueError, match="min_sentinels"):
+            EscalationPolicy(min_sentinels=0)
+
+
+class TestSentinelSelection:
+    def test_always_includes_baseline_and_far_end(self):
+        picked = sentinel_indices(10, EscalationPolicy())
+        assert picked[0] == 0
+        assert picked[-1] == 9
+
+    def test_single_config_grid(self):
+        assert sentinel_indices(1, EscalationPolicy()) == [0]
+
+    def test_fraction_scales_count(self):
+        assert len(sentinel_indices(8, EscalationPolicy(sentinel_fraction=0.5))) == 4
+        # full audit: every index is a sentinel
+        assert sentinel_indices(4, EscalationPolicy(sentinel_fraction=1.0)) == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sentinel_indices(0, EscalationPolicy())
+
+
+class TestConfigFamily:
+    def test_sweep_label(self):
+        assert config_family("dram=180") == "dram"
+        assert config_family("rob=64") == "rob"
+
+    def test_bare_label_is_its_own_family(self):
+        assert config_family("base") == "base"
+
+
+class TestConclude:
+    def test_overlapping_intervals_tie(self):
+        assert _conclude([10.0, 11.0, 12.0], [10.5, 11.5, 12.5], 0.95) == "tie"
+
+    def test_separated_intervals_conclude(self):
+        fast = [10.0, 10.1, 10.2]
+        slow = [20.0, 20.1, 20.2]
+        assert _conclude(fast, slow, 0.95) == "faster"
+        assert _conclude(slow, fast, 0.95) == "slower"
+
+    def test_single_values_fall_back_to_means(self):
+        assert _conclude([10.0], [20.0], 0.95) == "faster"
+        assert _conclude([10.0], [10.0], 0.95) == "tie"
+
+    def test_zero_variance_falls_back_to_means(self):
+        # CI width 0 on both sides: scipy can't help; order decides
+        assert _conclude([10.0, 10.0], [20.0, 20.0], 0.95) == "faster"
+
+
+class TestCorrectionModel:
+    def test_recovers_exact_linear_relation(self):
+        pairs = [(x, 3.0 + 2.0 * x) for x in (1.0, 2.0, 5.0, 9.0)]
+        model = CorrectionModel.fit("dram", "oltp", pairs)
+        assert model.slope == pytest.approx(2.0)
+        assert model.intercept == pytest.approx(3.0)
+        assert model.apply([10.0]) == [pytest.approx(23.0)]
+
+    def test_too_few_pairs_is_identity(self):
+        model = CorrectionModel.fit("dram", "oltp", [(5.0, 9.0)])
+        assert model.apply([5.0]) == [5.0]
+        assert model.n_pairs == 1
+
+    def test_zero_variance_pairs_shift_only(self):
+        model = CorrectionModel.fit("dram", "oltp", [(5.0, 8.0), (5.0, 10.0)])
+        assert model.slope == 1.0
+        assert model.intercept == pytest.approx(4.0)
+
+
+def ladder_spec(configs, n_runs=3, name="ladder-test"):
+    return CampaignSpec(
+        configs=configs,
+        workloads=[WorkloadSpec.resolve("oltp")],
+        run=RunConfig(measured_transactions=30, warmup_transactions=10, seed=11),
+        n_runs=n_runs,
+        name=name,
+    )
+
+
+class TestEscalationLadder:
+    def test_adaptive_specs_rejected(self, tmp_path):
+        spec = replace(
+            ladder_spec([("base", SystemConfig())]), stop_rule=AdaptiveStopRule()
+        )
+        with pytest.raises(ValueError, match="fixed-N"):
+            run_escalated_campaign(spec, RunStore(tmp_path))
+
+    def test_duplicate_labels_rejected(self, tmp_path):
+        spec = ladder_spec([("base", SystemConfig()), ("base", SystemConfig())])
+        with pytest.raises(ValueError, match="unique"):
+            run_escalated_campaign(spec, RunStore(tmp_path))
+
+    def test_agreeing_tiers_never_escalate(self, tmp_path):
+        """On configs whose model is already 'simple', both tiers simulate
+        the identical effective machine: sentinels must agree and nothing
+        escalates beyond them."""
+        base = SystemConfig()
+        spec = ladder_spec(
+            [
+                ("base", base),
+                ("dram=120", base.with_dram_latency(120)),
+                ("dram=300", base.with_dram_latency(300)),
+            ]
+        )
+        store = RunStore(tmp_path)
+        report = run_escalated_campaign(spec, store)
+        assert report.n_cells == 3
+        assert all(d.ok for d in report.differentials)
+        kinds = {o.config_label: o.kind for o in report.outcomes}
+        assert kinds["base"] == "baseline"
+        assert kinds["dram=300"] == "sentinel"
+        assert kinds["dram=120"] == "corrected"
+        # identical tiers -> the fitted correction is (slope 1, shift 0)
+        model = report.corrections[("dram", "oltp")]
+        assert model.slope == pytest.approx(1.0)
+        assert model.intercept == pytest.approx(0.0, abs=1e-6)
+        # a 300ns DRAM against the 180ns baseline is unambiguously slower
+        assert report.conclusion("dram=300", "oltp") == "slower"
+        # no family/cell escalations were journaled, just the summary
+        actions = [e["action"] for e in store.events("escalation")]
+        assert actions == ["summary"]
+
+    def test_ladder_runs_are_store_cached(self, tmp_path):
+        base = SystemConfig()
+        spec = ladder_spec(
+            [("base", base), ("dram=300", base.with_dram_latency(300))],
+            name="ladder-cache",
+        )
+        store = RunStore(tmp_path)
+        first = run_escalated_campaign(spec, store)
+        stored = len(store)
+        second = run_escalated_campaign(spec, store)
+        assert len(store) == stored  # every run came from the cache
+        assert [o.conclusion for o in second.outcomes] == [
+            o.conclusion for o in first.outcomes
+        ]
+
+    def test_disagreement_escalates_and_journals(self, tmp_path):
+        """Over OOO configurations the simple tier is a different machine;
+        drive a sweep wide enough that conclusions diverge somewhere and
+        check every escalation is journaled with its reason."""
+        base = SystemConfig().with_rob_entries(64)
+        spec = ladder_spec(
+            [
+                ("base", base),
+                ("dram=120", base.with_dram_latency(120)),
+                ("dram=300", base.with_dram_latency(300)),
+                ("dram=500", base.with_dram_latency(500)),
+            ],
+            name="ladder-escalate",
+        )
+        store = RunStore(tmp_path)
+        report = run_escalated_campaign(spec, store)
+        assert report.n_cells == 4
+        # baseline + far-end sentinel always pay reference cost
+        assert report.n_reference_cells >= 2
+        # the extreme sweep point is slower at any fidelity
+        assert report.conclusion("dram=500", "oltp") == "slower"
+        # whatever escalated must have a journaled reason
+        escalations = [
+            e
+            for e in store.events("escalation")
+            if e["action"] in ("escalate-family", "escalate-cell")
+        ]
+        escalated_outcomes = [o for o in report.outcomes if o.kind == "escalated"]
+        assert len(escalations) >= len(escalated_outcomes)
+        for event in escalations:
+            assert event["campaign"] == "ladder-escalate"
+            assert event["reason"]
+        summary = store.events("escalation")[-1]
+        assert summary["action"] == "summary"
+        assert summary["n_cells"] == 4
+        assert summary["n_reference_cells"] == report.n_reference_cells
+
+    def test_report_renders(self, tmp_path):
+        spec = ladder_spec(
+            [("base", SystemConfig())], n_runs=2, name="ladder-render"
+        )
+        report = run_escalated_campaign(spec, RunStore(tmp_path))
+        text = report.render()
+        assert "escalation ladder" in text
+        assert "base" in text

@@ -1,16 +1,25 @@
-"""Tests for multi-run orchestration internals."""
+"""Tests for multi-run orchestration internals.
+
+``TestLegacyJobTuples`` is the deprecation test for the positional
+8-tuple job form: the shims in ``repro.core.runner`` must keep accepting
+it (warning) and produce results bit-identical to the ``RunRequest``
+path until the deprecation cycle ends.
+"""
 
 import pytest
 
 from repro.config import RunConfig, SystemConfig
-from repro.core.runner import _one_run, run_space
+from repro.core.request import RunRequest, WorkloadSpec, execute_request
+from repro.core.runner import _one_run, make_job, run_space
 from repro.workloads.registry import make_workload
 
 CONFIG = SystemConfig(n_cpus=4)
 
 
-class TestOneRunWorker:
-    def test_worker_reconstructs_workload(self):
+class TestLegacyJobTuples:
+    """Deprecation shims for the pre-RunRequest positional job tuples."""
+
+    def test_tuple_job_warns_and_still_runs(self):
         job = (
             CONFIG,
             "oltp",
@@ -21,10 +30,21 @@ class TestOneRunWorker:
             None,
             "timed",
         )
-        result = _one_run(job)
+        with pytest.warns(DeprecationWarning, match="positional job tuples"):
+            result = _one_run(job)
         assert result.measured_transactions == 15
 
-    def test_worker_param_override_matters(self):
+    def test_make_job_warns_and_matches_request_path(self):
+        spec = WorkloadSpec.resolve("oltp", workload_params={"threads_per_cpu": 2})
+        run = RunConfig(measured_transactions=15, seed=3)
+        with pytest.warns(DeprecationWarning, match="make_job"):
+            job = make_job(CONFIG, spec, run, seed=7)
+        with pytest.warns(DeprecationWarning, match="positional job tuples"):
+            legacy = _one_run(job)
+        request = RunRequest(config=CONFIG, workload=spec, run=run).with_seed(7)
+        assert legacy.to_dict() == execute_request(request).to_dict()
+
+    def test_tuple_param_override_matters(self):
         results = []
         for districts in (2, 64):
             job = (
@@ -37,8 +57,23 @@ class TestOneRunWorker:
                 None,
                 "timed",
             )
-            results.append(_one_run(job).cycles_per_transaction)
+            with pytest.warns(DeprecationWarning):
+                results.append(_one_run(job).cycles_per_transaction)
         assert results[0] != results[1]
+
+
+class TestOneRunWorker:
+    def test_worker_accepts_request_checkpoint_pair(self):
+        request = RunRequest(
+            config=CONFIG,
+            workload=WorkloadSpec.resolve(
+                "oltp", workload_params={"threads_per_cpu": 2}
+            ),
+            run=RunConfig(measured_transactions=15, seed=3),
+        )
+        result = _one_run((request, None))
+        assert result.measured_transactions == 15
+        assert result.to_dict() == _one_run(request).to_dict()
 
 
 class TestRunSpaceParams:

@@ -98,6 +98,41 @@ class TestWireProtocol:
         with pytest.raises(ServiceError, match="version"):
             spec_from_dict({"version": 99})
 
+    def test_unknown_warmup_mode_rejected_at_submit(self):
+        data = spec_to_dict(small_spec())
+        data["warmup_mode"] = "psychic"
+        with pytest.raises(
+            ServiceError, match="unknown warmup_mode 'psychic': expected one of"
+        ):
+            spec_from_dict(data)
+
+    def test_unknown_fidelity_rejected_at_submit(self):
+        data = spec_to_dict(small_spec())
+        data["fidelity"] = "quantum"
+        with pytest.raises(
+            ServiceError, match="unknown fidelity 'quantum': expected one of"
+        ):
+            spec_from_dict(data)
+
+    def test_fidelity_round_trips(self):
+        from dataclasses import replace
+
+        spec = replace(small_spec(), fidelity="simple")
+        data = spec_to_dict(spec)
+        assert data["fidelity"] == "simple"
+        assert spec_from_dict(data) == spec
+
+    def test_v1_payload_decodes_at_full_fidelity(self):
+        """A spec serialized before the fidelity field existed (protocol
+        v1) must decode to the full-fidelity tier, keying exactly as it
+        always did."""
+        data = spec_to_dict(small_spec())
+        data["version"] = 1
+        del data["fidelity"]
+        spec = spec_from_dict(data)
+        assert spec.fidelity == "ooo"
+        assert spec == small_spec()
+
     def test_cells_match_campaign_plan(self, tmp_path):
         """enumerate_cells agrees with plan_campaign key for key."""
         from repro.campaign.plan import plan_campaign

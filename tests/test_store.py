@@ -188,6 +188,45 @@ class TestRunStore:
         assert len(list(store.runs_dir.iterdir())) == 1
 
 
+class TestStoreEvents:
+    def test_log_event_round_trips_fields(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.log_event("escalation", campaign="c", action="escalate-cell",
+                        reason="flip")
+        store.log_event("rebalance", shard=3)
+        assert [e["event"] for e in store.events()] == ["escalation", "rebalance"]
+        (event,) = store.events("escalation")
+        assert event["campaign"] == "c"
+        assert event["reason"] == "flip"
+        assert "logged_at" in event
+
+    def test_events_excluded_from_journal_length(self, tmp_path):
+        store = RunStore(tmp_path)
+        sample = run_space(CONFIG, "oltp", RUN, 1,
+                           workload_params={"threads_per_cpu": 2})
+        store.put("k1", sample.results[0])
+        store.log_event("escalation", campaign="c")
+        assert store.journal_length() == 1
+        assert len(store.events()) == 1
+
+    def test_reserved_event_names_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError, match="invalid event name"):
+            store.log_event("")
+        with pytest.raises(ValueError, match="invalid event name"):
+            store.log_event("delete")
+
+    def test_deletions_surface_as_events(self, tmp_path):
+        store = RunStore(tmp_path)
+        sample = run_space(CONFIG, "oltp", RUN, 1,
+                           workload_params={"threads_per_cpu": 2})
+        store.put("k1", sample.results[0])
+        store.delete("k1", reason="stale")
+        (event,) = store.events("delete")
+        assert event["key"] == "k1"
+        assert event["reason"] == "stale"
+
+
 class TestRunSpaceStoreIntegration:
     def test_cached_runs_not_reexecuted(self, tmp_path, monkeypatch):
         store = RunStore(tmp_path)
