@@ -1,0 +1,317 @@
+"""Live-sampling benchmark: precision per timed transaction, and the
+fixed-vs-live conclusion gate.
+
+Two legs:
+
+1. **Precision ladder** -- a two-phase scripted workload (compute-bound
+   half, lock-serialized half) measured two ways: live sampling
+   (:func:`repro.core.livesample.live_window_sample` -- survey, detect,
+   stratify, Neyman-allocate) against the fixed SMARTS cadence
+   (:func:`repro.core.sampling.multi_window_sample`) at every window
+   count that spans the same region.  Records the timed transactions
+   each needs to reach the live run's CI half-width -- the
+   "measurably fewer timed window-cycles" number.
+2. **Conclusion grid** -- a small DRAM-latency sweep executed twice
+   from cold stores, ``sampling_mode="fixed"`` and ``"live"``, through
+   the ordinary campaign machinery.  Every cell's conclusion vs the
+   baseline config (CI separation, as in the fidelity ladder) must
+   match between modes, with live spending a bounded fraction of the
+   fixed mode's timed-transaction budget.
+
+Writes ``BENCH_livesample.json`` at the repo root.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_livesample.py
+    PYTHONPATH=src python benchmarks/bench_livesample.py --smoke
+
+``--smoke`` (the CI gate) runs the small grid and asserts live mode
+reproduces every fixed-mode conclusion with at most 60 % of the fixed
+mode's timed window budget; it still records the run in the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.campaign.campaign import Campaign
+from repro.campaign.plan import CampaignSpec
+from repro.config import RunConfig, SystemConfig
+from repro.core.fidelity import _conclude
+from repro.core.livesample import live_window_sample
+from repro.core.request import WorkloadSpec
+from repro.core.sampling import multi_window_sample
+from repro.store import RunStore
+from repro.system.machine import Machine
+from repro.workloads.base import Op, Workload, WorkloadClock, WorkloadProgram
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_livesample.json"
+
+#: script addresses: unshared code, per-thread private data, shared lines
+CODE = 0x0800_0000
+PRIVATE = 0x2000_0000
+SHARED = 0x1000_0000
+
+
+class TwoPhaseProgram(WorkloadProgram):
+    """Compute-bound until ``switch_at`` lifetime transactions, then
+    lock-serialized shared writes -- one sharp, detectable phase change."""
+
+    global_queue = False
+
+    def __init__(self, name, tid, seed, clock, switch_at, repeats):
+        super().__init__(name, tid, seed, clock)
+        self.switch_at = switch_at
+        self.repeats = repeats
+
+    def build_transaction(self) -> list[Op]:
+        if self.txn_index >= self.repeats:
+            self.finished = True
+            return [("txn_end", 0)]
+        if self.clock.total_transactions < self.switch_at:
+            return [
+                ("cpu", 400, CODE),
+                ("mem", PRIVATE + self.tid * 0x10000, 0),
+                ("cpu", 200, CODE),
+                ("txn_end", 0),
+            ]
+        return [
+            ("lock", 7),
+            ("mem", SHARED, 1),
+            ("mem", SHARED + 64, 1),
+            ("unlock", 7),
+            ("io", 3000),
+            ("txn_end", 1),
+        ]
+
+
+class TwoPhaseWorkload(Workload):
+    name = "twophase"
+
+    def __init__(self, switch_at, repeats=6000, threads=2, seed=1):
+        super().__init__(seed=seed)
+        self.switch_at = switch_at
+        self.repeats = repeats
+        self.threads = threads
+
+    def n_threads(self, n_cpus: int) -> int:
+        return self.threads
+
+    def make_program(self, tid: int, clock: WorkloadClock) -> TwoPhaseProgram:
+        return TwoPhaseProgram(
+            self.name, tid, self.seed, clock, self.switch_at, self.repeats
+        )
+
+
+def precision_ladder(*, smoke: bool) -> dict:
+    """Timed transactions each strategy needs for the live half-width."""
+    n_intervals = 12 if smoke else 24
+    interval_txns = 20 if smoke else 40
+    warmup = 40
+    config = SystemConfig(n_cpus=2)
+    run = RunConfig(
+        measured_transactions=interval_txns,
+        warmup_transactions=warmup,
+        seed=5,
+    )
+    switch_at = warmup + (n_intervals // 2) * interval_txns
+
+    def factory():
+        return Machine(config, TwoPhaseWorkload(switch_at=switch_at))
+
+    t0 = time.perf_counter()
+    live = live_window_sample(
+        config,
+        None,
+        run,
+        n_intervals=n_intervals,
+        interval_transactions=interval_txns,
+        budget_windows=n_intervals // 2,
+        target_fraction=0.05,
+        machine_factory=factory,
+    )
+    live_s = time.perf_counter() - t0
+    live_half = live.interval().half_width
+
+    # The fixed cadence at every window count spanning the same region:
+    # k windows of the same length, evenly spaced skips.
+    region = n_intervals * interval_txns
+    cadence = []
+    fixed_needed = None
+    for k in range(2, n_intervals + 1):
+        skip = ((region - k * interval_txns) // (k - 1)) if k > 1 else 0
+        sample = multi_window_sample(
+            config,
+            TwoPhaseWorkload(switch_at=switch_at),
+            run,
+            n_windows=k,
+            skip_transactions=skip,
+        )
+        timed = sum(w.transactions for w in sample.windows)
+        half = sample.interval().half_width if sample.n_valid >= 2 else None
+        cadence.append({"windows": k, "timed_transactions": timed, "half_width": half})
+        if fixed_needed is None and half is not None and half <= live_half:
+            fixed_needed = {"windows": k, "timed_transactions": timed, "half_width": half}
+
+    return {
+        "n_intervals": n_intervals,
+        "interval_transactions": interval_txns,
+        "live": {
+            "timed_windows": live.n_timed_windows,
+            "timed_transactions": live.timed_transactions,
+            "half_width": live_half,
+            "point_estimate": live.point_estimate,
+            "change_points": live.change_points,
+            "n_strata": len(live.strata),
+            "seconds": round(live_s, 3),
+        },
+        "fixed_cadence": cadence,
+        "fixed_needed_for_live_half_width": fixed_needed,
+    }
+
+
+def grid_spec(*, smoke: bool) -> CampaignSpec:
+    base = SystemConfig(n_cpus=2)
+    latencies = (240, 400) if smoke else (160, 240, 320, 400)
+    return CampaignSpec(
+        configs=[("base", base)]
+        + [(f"dram={d}", base.with_dram_latency(d)) for d in latencies],
+        workloads=[
+            WorkloadSpec.resolve("oltp", workload_params={"threads_per_cpu": 2})
+        ],
+        run=RunConfig(
+            measured_transactions=64 if smoke else 128,
+            warmup_transactions=30,
+            seed=21,
+        ),
+        n_runs=4 if smoke else 8,
+        name="bench-livesample",
+    )
+
+
+def conclusion_grid(spec: CampaignSpec, workdir: Path, progress=None) -> dict:
+    """The sweep both ways from cold stores; per-cell conclusions and
+    the timed-transaction budgets actually spent."""
+    reports = {}
+    timed = {}
+    seconds = {}
+    for mode in ("fixed", "live"):
+        t0 = time.perf_counter()
+        store = RunStore(workdir / mode)
+        report = Campaign(
+            replace(spec, sampling_mode=mode, name=f"{spec.name}-{mode}"), store
+        ).run(progress)
+        seconds[mode] = time.perf_counter() - t0
+        reports[mode] = report
+        timed[mode] = sum(
+            result.measured_transactions
+            for cell in report.cells
+            for result in cell.sample.results
+        )
+
+    baseline = spec.configs[0][0]
+    wname = spec.workloads[0].name
+    cells = []
+    matched = 0
+    for label, _config in spec.configs:
+        conclusions = {}
+        for mode in ("fixed", "live"):
+            values = reports[mode].sample(label, wname).values
+            base_values = reports[mode].sample(baseline, wname).values
+            conclusions[mode] = (
+                "tie" if label == baseline else _conclude(values, base_values, 0.95)
+            )
+        matched += conclusions["fixed"] == conclusions["live"]
+        cells.append({"config": label, **conclusions})
+
+    return {
+        "conclusions_matched": matched,
+        "conclusions_total": len(cells),
+        "cells": cells,
+        "timed_transactions": timed,
+        "live_budget_fraction": (
+            round(timed["live"] / timed["fixed"], 4) if timed["fixed"] else None
+        ),
+        "fixed_seconds": round(seconds["fixed"], 3),
+        "live_seconds": round(seconds["live"], 3),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small grid, assert the CI gate, still record the JSON",
+    )
+    args = parser.parse_args()
+
+    print("precision ladder (two-phase workload, live vs fixed cadence) ...")
+    ladder = precision_ladder(smoke=args.smoke)
+    live = ladder["live"]
+    needed = ladder["fixed_needed_for_live_half_width"]
+    print(
+        f"  live: {live['timed_windows']} windows, "
+        f"{live['timed_transactions']} timed txns, "
+        f"half-width {live['half_width']:.1f} "
+        f"(strata={live['n_strata']}, change points {live['change_points']})"
+    )
+    if needed is None:
+        print(
+            "  fixed cadence never reached the live half-width "
+            f"(max {ladder['n_intervals']} windows = "
+            f"{ladder['fixed_cadence'][-1]['timed_transactions']} timed txns)"
+        )
+    else:
+        print(
+            f"  fixed cadence needs {needed['windows']} windows = "
+            f"{needed['timed_transactions']} timed txns for the same half-width"
+        )
+
+    spec = grid_spec(smoke=args.smoke)
+    print(
+        f"\nconclusion grid ({len(spec.configs)} configs, "
+        f"{spec.n_runs} runs/cell, fixed vs live) ..."
+    )
+    with tempfile.TemporaryDirectory() as td:
+        grid = conclusion_grid(spec, Path(td), progress=print)
+    print(
+        f"  conclusions: {grid['conclusions_matched']}/{grid['conclusions_total']} "
+        f"match; live timed budget "
+        f"{100 * grid['live_budget_fraction']:.0f}% of fixed "
+        f"({grid['timed_transactions']['live']}/{grid['timed_transactions']['fixed']} txns)"
+    )
+
+    payload = {"smoke": args.smoke, "precision_ladder": ladder, "grid": grid}
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+
+    if args.smoke:
+        assert grid["conclusions_matched"] == grid["conclusions_total"], (
+            f"live sampling changed a conclusion vs fixed mode: {grid['cells']}"
+        )
+        assert grid["live_budget_fraction"] <= 0.6, (
+            f"live mode spent {100 * grid['live_budget_fraction']:.0f}% of the "
+            "fixed timed budget (gate: at most 60%)"
+        )
+        fixed_timed = (
+            needed["timed_transactions"]
+            if needed is not None
+            else ladder["fixed_cadence"][-1]["timed_transactions"]
+        )
+        assert live["timed_transactions"] < fixed_timed, (
+            "live sampling did not save timed transactions over the fixed "
+            f"cadence ({live['timed_transactions']} vs {fixed_timed})"
+        )
+        print(
+            "smoke gate passed: same conclusions, "
+            f"{100 * grid['live_budget_fraction']:.0f}% timed budget, "
+            f"{live['timed_transactions']} vs {fixed_timed} txns for the "
+            "precision target"
+        )
+
+
+if __name__ == "__main__":
+    main()

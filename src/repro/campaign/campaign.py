@@ -205,6 +205,7 @@ class Campaign:
                         checkpoint=checkpoint,
                         warmup_mode=spec.warmup_mode,
                         fidelity=spec.fidelity,
+                        sampling_mode=spec.sampling_mode,
                     )
                 )
             return context_cache[0]

@@ -51,6 +51,11 @@ class CampaignSpec:
     #: escalation ladder (:mod:`repro.core.fidelity`) runs the same spec
     #: at several tiers and reconciles them.
     fidelity: str = FIDELITY_FULL
+    #: how every cell observes its measured region ("fixed" | "live");
+    #: see :mod:`repro.core.livesample`.  The non-default mode folds
+    #: into every cell's run keys (estimates never alias exhaustive
+    #: timing).
+    sampling_mode: str = "fixed"
 
     def __post_init__(self) -> None:
         if not self.configs:
@@ -69,6 +74,18 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown fidelity tier {self.fidelity!r} "
                 f"(expected one of {', '.join(FIDELITY_TIERS)})"
+            )
+        from repro.core.request import SAMPLING_MODES
+
+        if self.sampling_mode not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode {self.sampling_mode!r} "
+                f"(expected one of {', '.join(SAMPLING_MODES)})"
+            )
+        if self.sampling_mode == "live" and self.fidelity == "ffwd":
+            raise ValueError(
+                "sampling_mode='live' places timed windows; the ffwd tier "
+                "has none (use fidelity='simple' or 'ooo')"
             )
 
     def cells(self):
@@ -202,6 +219,7 @@ def cell_request(
         checkpoint_ref=ckpt_ref,
         warmup_mode=cell_key_mode(spec),
         fidelity=spec.fidelity,
+        sampling_mode=spec.sampling_mode,
     )
 
 

@@ -147,6 +147,13 @@ def _add_campaign_grid_arguments(parser: argparse.ArgumentParser) -> None:
              "non-default tiers key their cells separately",
     )
     parser.add_argument(
+        "--sampling-mode", choices=("fixed", "live"), default="fixed",
+        help="how each run observes its measured region: fixed (one "
+             "contiguous timed window, default) or live (phase-detecting "
+             "stratified window placement -- an estimate at a fraction of "
+             "the timed cost); live keys its cells separately",
+    )
+    parser.add_argument(
         "--name", default="campaign", help="campaign name recorded in the journal"
     )
 
@@ -294,6 +301,7 @@ def cmd_space(args: argparse.Namespace) -> int:
         store=store,
         warmup_mode=args.warmup_mode,
         fidelity=args.fidelity,
+        sampling_mode=args.sampling_mode,
     )
     if args.json:
         print(json.dumps(sample.to_dict(), indent=2))
@@ -377,6 +385,7 @@ def _campaign_spec_from_args(args: argparse.Namespace):
         warm_start=args.warm_start,
         warmup_mode=args.warmup_mode,
         fidelity=args.fidelity,
+        sampling_mode=args.sampling_mode,
     )
 
 
@@ -786,6 +795,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution tier: ooo (full fidelity, default), simple "
              "(SimpleCore substituted), or ffwd (functional fast-forward "
              "with estimated cycles); non-default tiers key separately",
+    )
+    space_parser.add_argument(
+        "--sampling-mode", choices=("fixed", "live"), default="fixed",
+        help="fixed (one contiguous timed window, default) or live "
+             "(phase-detecting stratified window placement, "
+             "repro.core.livesample); live keys its runs separately",
     )
     space_parser.set_defaults(func=cmd_space)
 

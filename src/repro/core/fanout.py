@@ -83,6 +83,9 @@ class SharedRunContext:
     warmup_mode: str = "timed"
     #: execution tier ("ffwd" | "simple" | "ooo"); see repro.core.request
     fidelity: str = FIDELITY_FULL
+    #: how the measured region is observed ("fixed" | "live"); see
+    #: repro.core.livesample
+    sampling_mode: str = "fixed"
 
     @classmethod
     def from_request(
@@ -101,6 +104,7 @@ class SharedRunContext:
             checkpoint=checkpoint,
             warmup_mode=request.warmup_mode,
             fidelity=request.fidelity,
+            sampling_mode=request.sampling_mode,
         )
 
     @property
@@ -137,6 +141,8 @@ class SharedRunContext:
             payload["warmup_mode"] = self.warmup_mode
         if self.fidelity != FIDELITY_FULL:
             payload["fidelity"] = self.fidelity
+        if self.sampling_mode != "fixed":
+            payload["sampling_mode"] = self.sampling_mode
         return _digest(payload)
 
 
@@ -212,6 +218,15 @@ def _simulate_resident(resident: _Resident, run: RunConfig) -> SimulationResult:
         from repro.core.fidelity import measure_functional
 
         return measure_functional(resident.materialize(), ctx.effective, run)
+    if ctx.sampling_mode == "live":
+        from repro.core.livesample import measure_live
+
+        # ``materialize`` already returns a fresh, independent machine
+        # per call -- exactly the factory contract live sampling needs
+        # for its survey/pilot/allocation passes.
+        return measure_live(
+            resident.materialize, ctx.effective, run, warmup_mode=ctx.warmup_mode
+        )
     return measure_machine(
         resident.materialize(),
         ctx.effective,

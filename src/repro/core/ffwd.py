@@ -55,6 +55,12 @@ completions only in the timed engine's dispatch table; the functional
 loop fires txn probes itself but bypasses the dispatch table, so *op*
 hooks do not fire (documented; the verify checkers that consume op
 events are not meaningful in functional mode -- see DESIGN.md section 9).
+The cache/lock/txn hooks staying live is what the live sampler's survey
+pass is built on: :mod:`repro.core.livesample` fast-forwards across the
+measured region with a
+:class:`~repro.probes.collectors.PhaseSignatureProbe` attached and gets
+per-interval behaviour signatures for free -- phase detection without a
+timing model.
 """
 
 from __future__ import annotations

@@ -62,6 +62,18 @@ FIDELITY_FULL = "ooo"
 #: warm-up execution modes (see repro.core.ffwd)
 WARMUP_MODES = ("timed", "functional")
 
+#: measurement sampling modes (see repro.core.livesample): "fixed" times
+#: the whole measured region as one contiguous window (the historical
+#: behaviour, and the only mode that folds to nothing in store keys);
+#: "live" surveys the region functionally, detects phases online from
+#: probe-bus signatures, and spends a timed-window budget across phase
+#: strata -- an *estimate* of the same region at a fraction of the
+#: timed work.
+SAMPLING_MODES = ("fixed", "live")
+
+#: the default sampling mode: exhaustive contiguous timing.
+SAMPLING_FIXED = "fixed"
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -188,6 +200,7 @@ class RunRequest:
     checkpoint_ref: str | None = None
     warmup_mode: str = "timed"
     fidelity: str = FIDELITY_FULL
+    sampling_mode: str = SAMPLING_FIXED
 
     def __post_init__(self) -> None:
         if self.warmup_mode not in WARMUP_MODES:
@@ -196,6 +209,17 @@ class RunRequest:
             raise ValueError(
                 f"unknown fidelity tier {self.fidelity!r} "
                 f"(expected one of {', '.join(FIDELITY_TIERS)})"
+            )
+        if self.sampling_mode not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode {self.sampling_mode!r} "
+                f"(expected one of {', '.join(SAMPLING_MODES)})"
+            )
+        if self.sampling_mode == "live" and self.fidelity == "ffwd":
+            raise ValueError(
+                "sampling_mode='live' places timed measurement windows, but "
+                "the ffwd fidelity tier has no timed execution; use "
+                "fidelity='simple' or 'ooo' with live sampling"
             )
 
     # ------------------------------------------------------------------
@@ -240,6 +264,7 @@ class RunRequest:
             checkpoint_digest=self.checkpoint_ref,
             warmup_mode=self.warmup_mode,
             fidelity=self.fidelity,
+            sampling_mode=self.sampling_mode,
         )
 
     def warm_checkpoint_key(self) -> str:
@@ -287,6 +312,8 @@ class RunRequest:
             data["warmup_mode"] = self.warmup_mode
         if self.fidelity != FIDELITY_FULL:
             data["fidelity"] = self.fidelity
+        if self.sampling_mode != SAMPLING_FIXED:
+            data["sampling_mode"] = self.sampling_mode
         return data
 
     @classmethod
@@ -299,6 +326,7 @@ class RunRequest:
             checkpoint_ref=data.get("checkpoint_ref"),
             warmup_mode=data.get("warmup_mode", "timed"),
             fidelity=data.get("fidelity", FIDELITY_FULL),
+            sampling_mode=data.get("sampling_mode", SAMPLING_FIXED),
         )
 
 
@@ -335,6 +363,27 @@ def execute_request(request: RunRequest, checkpoint=None):
 
             machine = Machine(config, workload)
         return measure_functional(machine, config, request.run)
+    if request.sampling_mode == "live":
+        from repro.core.livesample import measure_live
+
+        def machine_factory():
+            # Live sampling runs several passes (functional scout, pilot
+            # windows, allocated windows), each from identical initial
+            # conditions -- so the factory rebuilds workload state fresh
+            # every call rather than sharing one mutated instance.
+            fresh = request.workload.make()
+            if checkpoint is not None:
+                return checkpoint.materialize(config, workload=fresh)
+            from repro.system.machine import Machine
+
+            return Machine(config, fresh)
+
+        return measure_live(
+            machine_factory,
+            config,
+            request.run,
+            warmup_mode=request.warmup_mode,
+        )
     return run_simulation(
         config,
         workload,

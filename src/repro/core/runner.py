@@ -245,6 +245,7 @@ def run_space(
     batch_size: int | None = None,
     warmup_mode: str = "timed",
     fidelity: str = FIDELITY_FULL,
+    sampling_mode: str = "fixed",
 ) -> RunSample:
     """Run ``n_runs`` perturbed simulations and collect the sample.
 
@@ -297,6 +298,15 @@ def run_space(
     *estimates* cycles from hierarchy event counts.  Non-default tiers
     fold into run keys (and warm keys, via the effective configuration),
     so tiers never mix in the cache.
+
+    ``sampling_mode`` selects how each run observes its measured region
+    (:data:`repro.core.request.SAMPLING_MODES`): ``"fixed"`` (default)
+    times the whole region as one contiguous window; ``"live"``
+    surveys it functionally, detects phases from probe signatures, and
+    times a stratified subset of windows
+    (:mod:`repro.core.livesample`) -- an estimate at a fraction of the
+    timed cost.  The non-default mode folds into run keys, so
+    estimated results never alias exhaustively-timed ones.
     """
     if n_runs <= 0:
         raise ValueError("n_runs must be positive")
@@ -320,6 +330,7 @@ def run_space(
         run=run,
         warmup_mode=warmup_mode,
         fidelity=fidelity,
+        sampling_mode=sampling_mode,
     )
 
     warm_ckpt_key: str | None = None
@@ -350,6 +361,7 @@ def run_space(
         checkpoint_ref=ckpt_ref,
         warmup_mode=key_mode,
         fidelity=fidelity,
+        sampling_mode=sampling_mode,
     )
 
     keys: dict[int, str] = {}
@@ -401,6 +413,7 @@ def run_space(
                 checkpoint=checkpoint,
                 warmup_mode=warmup_mode,
                 fidelity=fidelity,
+                sampling_mode=sampling_mode,
             )
             _done, failures = execute_shared(
                 context,

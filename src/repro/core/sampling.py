@@ -318,16 +318,28 @@ def multi_window_sample(
     """Alternate fast-forward and timed windows within one run (SMARTS).
 
     The machine first pays ``run.warmup_transactions`` under
-    ``warmup_mode`` (default functional -- that is the point), then
-    repeats ``n_windows`` times: a *timed* window of
-    ``run.measured_transactions``, followed by a fast-forward skip of
-    ``skip_transactions`` (default: the measured window length) in the
-    same mode.  Each window contributes one cycles-per-transaction
-    observation; the run's perturbation stream is seeded once from
-    ``run.seed``, so the whole sampled execution is deterministic.
+    ``warmup_mode`` (default functional -- that is the point), then runs
+    ``n_windows`` *timed* windows of ``run.measured_transactions``,
+    separated by fast-forward skips of ``skip_transactions`` (default:
+    the measured window length) in the same mode.  Skips sit strictly
+    *between* windows -- the run ends with its last timed window, never
+    a trailing skip (it could not affect any measurement).  Each window
+    contributes one cycles-per-transaction observation; the run's
+    perturbation stream is seeded once from ``run.seed``, so the whole
+    sampled execution is deterministic.
+
+    Window accounting is exact: both engines stop exactly at their
+    target transaction count, so window ``i`` covers transactions
+    ``[warmup + i*(measured+skip), ... + measured)`` of the lifetime,
+    no transaction is counted in two windows, and a window's clock span
+    begins only after the preceding skip's event-loop re-arm
+    (:mod:`repro.core.ffwd`) -- locked by the boundary tests in
+    ``tests/test_sampling.py``.
 
     ``checkpoint`` starts from captured initial conditions instead of a
     cold boot, exactly as :func:`repro.system.simulation.run_simulation`.
+    For behaviour-aware window *placement* instead of a fixed cadence,
+    see :func:`repro.core.livesample.live_window_sample`.
     """
     from repro.sim.rng import stream_seed
     from repro.system.machine import Machine

@@ -96,6 +96,73 @@ class ScheduleTraceProbe:
         self.decisions.append((now, cpu, tid))
 
 
+class PhaseSignatureProbe:
+    """Per-interval behaviour signatures from cheap probe-bus signals.
+
+    Folds the signals that stay live during functional fast-forward --
+    global coherence transactions (``cache``), lock contention
+    (``lock``), and transaction completions (``txn``) -- into one
+    feature vector per ``interval_transactions`` completions.  This is
+    the survey input of :mod:`repro.core.livesample`: the vectors cost
+    no timing model, yet shift when the workload changes phase (miss
+    rate, sharing, contention, or transaction mix).
+
+    Features are per-transaction rates (or fractions), so vectors are
+    comparable across intervals regardless of interval length; the
+    trailing partial interval is dropped (rate estimates over a short
+    tail are quantization-biased, exactly as in
+    :func:`repro.core.sampling.windowed_cycles_per_transaction`).
+    """
+
+    def __init__(self, interval_transactions: int) -> None:
+        if interval_transactions <= 0:
+            raise ValueError("interval_transactions must be positive")
+        self.interval_transactions = interval_transactions
+        #: one feature dict per completed interval, in lifetime order
+        self.signatures: list[dict[str, float]] = []
+        self._reset_interval()
+
+    def _reset_interval(self) -> None:
+        self._txns = 0
+        self._coherence = 0
+        self._coherence_writes = 0
+        self._lock_blocks = 0
+        self._lock_handoffs = 0
+        self._txn_mix: Counter = Counter()
+
+    def on_cache(self, now, node, block, source, latency_ns, is_write) -> None:
+        self._coherence += 1
+        if is_write:
+            self._coherence_writes += 1
+
+    def on_lock(self, event, now, tid, lock_id) -> None:
+        if event == "block":
+            self._lock_blocks += 1
+        else:
+            self._lock_handoffs += 1
+
+    def on_txn(self, now, tid, type_id) -> None:
+        self._txn_mix[type_id] += 1
+        self._txns += 1
+        if self._txns >= self.interval_transactions:
+            self._flush()
+
+    def _flush(self) -> None:
+        txns = self._txns
+        features = {
+            "coherence_per_txn": self._coherence / txns,
+            "coherence_write_fraction": (
+                self._coherence_writes / self._coherence if self._coherence else 0.0
+            ),
+            "lock_blocks_per_txn": self._lock_blocks / txns,
+            "lock_handoffs_per_txn": self._lock_handoffs / txns,
+        }
+        for type_id, count in sorted(self._txn_mix.items()):
+            features[f"txn_mix_{type_id}"] = count / txns
+        self.signatures.append(features)
+        self._reset_interval()
+
+
 class TransactionLogProbe:
     """Records every transaction completion as ``(now, tid, type_id)``."""
 

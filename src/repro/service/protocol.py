@@ -11,12 +11,13 @@ makes a served campaign's cache entries interchangeable with an
 in-process campaign's: plan, serve, execute, and resume all agree on
 what each grid point *is*.
 
-Version 2 of the wire format adds the ``fidelity`` tier
-(:mod:`repro.core.request`); version 1 submissions (no ``fidelity``
-field) are still accepted on read and decode to full fidelity.  Mode
-strings are validated *at submit time* (:func:`validate_modes`) so a
-typo fails the submission with one clear error instead of failing N
-cells into quarantine worker by worker.
+Version 2 of the wire format added the ``fidelity`` tier
+(:mod:`repro.core.request`); version 3 adds the ``sampling_mode``
+(:mod:`repro.core.livesample`).  Older submissions are still accepted
+on read and decode to the defaults (full fidelity, fixed sampling).
+Mode strings are validated *at submit time* (:func:`validate_modes`)
+so a typo fails the submission with one clear error instead of failing
+N cells into quarantine worker by worker.
 
 Only fixed-N specs are serializable for now: an adaptive stop rule
 grows cells from results sequentially, which contradicts decomposing
@@ -29,7 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.campaign.plan import CampaignSpec, cell_request
-from repro.core.request import FIDELITY_FULL, FIDELITY_TIERS, WARMUP_MODES, WorkloadSpec
+from repro.core.request import (
+    FIDELITY_FULL,
+    FIDELITY_TIERS,
+    SAMPLING_FIXED,
+    SAMPLING_MODES,
+    WARMUP_MODES,
+    WorkloadSpec,
+)
 from repro.store.serialize import (
     run_config_from_dict,
     run_config_to_dict,
@@ -38,10 +46,11 @@ from repro.store.serialize import (
 )
 
 #: bump on incompatible changes to the submission wire format
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
-#: versions this service still decodes (v1: no fidelity field)
-ACCEPTED_VERSIONS = (1, 2)
+#: versions this service still decodes (v1: no fidelity field;
+#: v2: no sampling_mode field)
+ACCEPTED_VERSIONS = (1, 2, 3)
 
 
 class ServiceError(ValueError):
@@ -49,13 +58,15 @@ class ServiceError(ValueError):
     campaign, protocol mismatch); the message is safe to show a client."""
 
 
-def validate_modes(warmup_mode: str, fidelity: str) -> None:
+def validate_modes(
+    warmup_mode: str, fidelity: str, sampling_mode: str = SAMPLING_FIXED
+) -> None:
     """Reject unknown mode strings with a client-safe explanation.
 
     Called on both the submit and decode paths: a misspelled
-    ``warmup_mode``/``fidelity`` must bounce the submission immediately,
-    not surface later as N per-cell worker failures marching the cells
-    into quarantine.
+    ``warmup_mode``/``fidelity``/``sampling_mode`` must bounce the
+    submission immediately, not surface later as N per-cell worker
+    failures marching the cells into quarantine.
     """
     if warmup_mode not in WARMUP_MODES:
         raise ServiceError(
@@ -66,6 +77,16 @@ def validate_modes(warmup_mode: str, fidelity: str) -> None:
         raise ServiceError(
             f"unknown fidelity {fidelity!r}: expected one of "
             f"{', '.join(FIDELITY_TIERS)}"
+        )
+    if sampling_mode not in SAMPLING_MODES:
+        raise ServiceError(
+            f"unknown sampling_mode {sampling_mode!r}: expected one of "
+            f"{', '.join(SAMPLING_MODES)}"
+        )
+    if sampling_mode == "live" and fidelity == "ffwd":
+        raise ServiceError(
+            "sampling_mode='live' places timed windows; the ffwd fidelity "
+            "tier has none (use fidelity='simple' or 'ooo')"
         )
 
 
@@ -98,6 +119,7 @@ def spec_to_dict(spec: CampaignSpec) -> dict:
         "warm_start": spec.warm_start,
         "warmup_mode": spec.warmup_mode,
         "fidelity": spec.fidelity,
+        "sampling_mode": spec.sampling_mode,
     }
 
 
@@ -115,7 +137,9 @@ def spec_from_dict(data: dict) -> CampaignSpec:
                 f"{', '.join(str(v) for v in ACCEPTED_VERSIONS[:-1])})"
             )
         validate_modes(
-            data.get("warmup_mode", "timed"), data.get("fidelity", FIDELITY_FULL)
+            data.get("warmup_mode", "timed"),
+            data.get("fidelity", FIDELITY_FULL),
+            data.get("sampling_mode", SAMPLING_FIXED),
         )
         return CampaignSpec(
             configs=[
@@ -137,6 +161,7 @@ def spec_from_dict(data: dict) -> CampaignSpec:
             warm_start=data.get("warm_start", False),
             warmup_mode=data.get("warmup_mode", "timed"),
             fidelity=data.get("fidelity", FIDELITY_FULL),
+            sampling_mode=data.get("sampling_mode", SAMPLING_FIXED),
         )
     except ServiceError:
         raise

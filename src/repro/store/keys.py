@@ -53,6 +53,7 @@ def run_key(
     checkpoint_digest: str | None = None,
     warmup_mode: str = "timed",
     fidelity: str = "ooo",
+    sampling_mode: str = "fixed",
 ) -> str:
     """The content-addressed key of one simulation run.
 
@@ -72,9 +73,14 @@ def run_key(
     :mod:`repro.core.fidelity`): a simple-tier run substitutes the
     SimpleCore for the configured model and a ffwd-tier run only
     estimates timing, so neither may ever alias the full-fidelity
-    result of the same nominal configuration.  Both defaults are folded
-    in only at non-default values, keeping every pre-existing key
-    byte-identical.
+    result of the same nominal configuration.  ``sampling_mode`` is how
+    the measured region is observed (``"fixed"`` -- one contiguous
+    timed window -- or ``"live"``, the phase-detecting stratified
+    sampler of :mod:`repro.core.livesample`, which estimates the same
+    region from a subset of timed windows); an estimated result must
+    never alias the exhaustively-timed one.  All three defaults are
+    folded in only at non-default values, keeping every pre-existing
+    key byte-identical.
     """
     payload = {
         "v": KEY_VERSION,
@@ -92,6 +98,8 @@ def run_key(
         payload["warmup_mode"] = warmup_mode
     if fidelity != "ooo":
         payload["fidelity"] = fidelity
+    if sampling_mode != "fixed":
+        payload["sampling_mode"] = sampling_mode
     return digest(payload)
 
 

@@ -43,6 +43,15 @@ class TestParser:
         assert not args.adaptive
         assert not args.dry_run
 
+    def test_sampling_mode_flag(self):
+        assert build_parser().parse_args(["space"]).sampling_mode == "fixed"
+        args = build_parser().parse_args(["space", "--sampling-mode", "live"])
+        assert args.sampling_mode == "live"
+        args = build_parser().parse_args(["campaign", "--sampling-mode", "live"])
+        assert args.sampling_mode == "live"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["space", "--sampling-mode", "psychic"])
+
 
 class TestCommands:
     def test_workloads_lists_all(self, capsys):
@@ -88,6 +97,16 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "CoV=0.00%" in out
+
+    def test_space_live_sampling(self, capsys):
+        code = main(
+            ["space", "--workload", "oltp", "--txns", "32", "--warmup", "10",
+             "--cpus", "2", "--runs", "2", "--sampling-mode", "live"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CoV" in out
+        assert out.count("seed") == 2
 
     def test_space_json(self, capsys):
         code = main(

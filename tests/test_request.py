@@ -19,6 +19,7 @@ from repro.core.request import (
     DEFAULT_WORKLOAD_SEED,
     FIDELITY_FULL,
     FIDELITY_TIERS,
+    SAMPLING_MODES,
     RunRequest,
     WorkloadSpec,
     effective_config,
@@ -163,20 +164,54 @@ class TestKeyStability:
     @settings(max_examples=25, deadline=None)
     @given(config=configs(), run=run_configs(), wspec=workload_specs())
     def test_tier_and_mode_combinations_never_collide(self, config, run, wspec):
-        """Every (fidelity, warmup_mode) combination keys distinctly --
-        the never-mix rule, as injectivity of the key function."""
+        """Every valid (fidelity, warmup_mode, sampling_mode) combination
+        keys distinctly -- the never-mix rule, as injectivity of the key
+        function.  (live + ffwd is rejected at construction, so it is
+        excluded rather than keyed.)"""
         keys = {}
         for fidelity in FIDELITY_TIERS:
             for mode in ("timed", "functional"):
-                request = RunRequest(
-                    config=config,
-                    workload=wspec,
-                    run=run,
-                    warmup_mode=mode,
-                    fidelity=fidelity,
-                )
-                keys[(fidelity, mode)] = request.run_key
+                for sampling in SAMPLING_MODES:
+                    if sampling == "live" and fidelity == "ffwd":
+                        continue
+                    request = RunRequest(
+                        config=config,
+                        workload=wspec,
+                        run=run,
+                        warmup_mode=mode,
+                        fidelity=fidelity,
+                        sampling_mode=sampling,
+                    )
+                    keys[(fidelity, mode, sampling)] = request.run_key
         assert len(set(keys.values())) == len(keys)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        config=configs(),
+        run=run_configs(),
+        wspec=workload_specs(),
+        ckpt=checkpoint_refs,
+    )
+    def test_live_sampling_folds_into_run_key_only(
+        self, config, run, wspec, ckpt
+    ):
+        """``sampling_mode="live"`` re-keys the run (an estimate must never
+        alias the exhaustively-timed result) but leaves the warm key alone
+        (warm state is sampling-independent); the ``"fixed"`` default stays
+        byte-identical to the pre-livesample payload."""
+        fixed = RunRequest(
+            config=config, workload=wspec, run=run, checkpoint_ref=ckpt
+        )
+        live = RunRequest(
+            config=config,
+            workload=wspec,
+            run=run,
+            checkpoint_ref=ckpt,
+            sampling_mode="live",
+        )
+        assert fixed.run_key == pre_refactor_run_key(config, run, wspec, ckpt)
+        assert live.run_key != fixed.run_key
+        assert live.warm_checkpoint_key() == fixed.warm_checkpoint_key()
 
     def test_simple_tier_warm_key_separates_via_effective_config(self):
         """Warm keys have no fidelity parameter; a simple-tier request over
@@ -244,6 +279,14 @@ class TestRunRequest:
         with pytest.raises(ValueError, match="warm-up mode"):
             self.request(warmup_mode="psychic")
 
+    def test_unknown_sampling_mode_rejected(self):
+        with pytest.raises(ValueError, match="sampling mode"):
+            self.request(sampling_mode="psychic")
+
+    def test_live_sampling_rejects_ffwd_fidelity(self):
+        with pytest.raises(ValueError, match="no timed execution"):
+            self.request(sampling_mode="live", fidelity="ffwd")
+
     def test_with_seed_changes_only_the_seed(self):
         request = self.request()
         reseeded = request.with_seed(42)
@@ -256,6 +299,7 @@ class TestRunRequest:
             self.request(),
             self.request(warmup_mode="functional", fidelity="simple"),
             self.request(checkpoint_ref="warm:" + "a" * 32),
+            self.request(sampling_mode="live"),
         ):
             assert RunRequest.from_dict(request.to_dict()) == request
             # through actual JSON text, as the wire carries it
@@ -268,6 +312,7 @@ class TestRunRequest:
         data = self.request().to_dict()
         assert "warmup_mode" not in data
         assert "fidelity" not in data
+        assert "sampling_mode" not in data
 
     def test_picklable(self):
         request = self.request(fidelity="ffwd")

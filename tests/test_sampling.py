@@ -159,3 +159,136 @@ class TestCheckpointStudy:
     def test_between_checkpoint_spread(self):
         # (12 - 10) / 10 = 20%.
         assert self._study().between_checkpoint_spread_percent() == pytest.approx(20.0)
+
+
+# ---------------------------------------------------------------------------
+# multi_window_sample: seed-behaviour regression and boundary accounting
+# ---------------------------------------------------------------------------
+
+
+def seed_cadence_replica(config, workload, run, *, n_windows, skip_transactions):
+    """The fixed-cadence algorithm exactly as the seed shipped it,
+    reimplemented inline (not imported) so a drift in
+    ``multi_window_sample`` cannot silently rewrite both sides of the
+    byte-for-byte comparison.  Returns the windows plus the transaction
+    positions the replica observed, for the boundary assertions."""
+    from repro.sim.rng import stream_seed
+    from repro.system.machine import Machine
+
+    machine = Machine(config, workload)
+    machine.hierarchy.seed_perturbation(stream_seed(run.seed, "perturbation"))
+    if run.warmup_transactions:
+        machine.fast_forward_transactions(
+            machine.completed_transactions + run.warmup_transactions,
+            max_time_ns=run.max_time_ns,
+        )
+    windows = []
+    start_positions = []
+    for index in range(n_windows):
+        start_txns = machine.completed_transactions
+        start_positions.append(start_txns)
+        start_ns = machine.clock.now
+        end_ns = machine.run_until_transactions(
+            start_txns + run.measured_transactions, max_time_ns=run.max_time_ns
+        )
+        windows.append(
+            (start_ns, end_ns, machine.completed_transactions - start_txns)
+        )
+        if skip_transactions and index < n_windows - 1:
+            machine.fast_forward_transactions(
+                machine.completed_transactions + skip_transactions,
+                max_time_ns=run.max_time_ns,
+            )
+    return windows, start_positions, machine.completed_transactions
+
+
+class TestMultiWindowRegression:
+    """``sampling_mode="fixed"``'s cadence must not move: the default
+    path is locked byte-for-byte against the inline seed replica, and
+    the docstring's boundary accounting is asserted explicitly."""
+
+    CONFIG = SystemConfig(n_cpus=4)
+
+    def run_config(self, *, measured=25, warmup=80, seed=5):
+        from repro.config import RunConfig
+
+        return RunConfig(
+            measured_transactions=measured,
+            warmup_transactions=warmup,
+            seed=seed,
+        )
+
+    @pytest.mark.parametrize("skip", [None, 0, 7])
+    def test_byte_identical_to_seed_cadence(self, skip):
+        from repro.core.sampling import multi_window_sample
+        from repro.workloads.registry import make_workload
+
+        run = self.run_config()
+        effective_skip = run.measured_transactions if skip is None else skip
+        sample = multi_window_sample(
+            self.CONFIG, "oltp", run, n_windows=4, skip_transactions=skip
+        )
+        replica, _, _ = seed_cadence_replica(
+            self.CONFIG,
+            make_workload("oltp"),
+            run,
+            n_windows=4,
+            skip_transactions=effective_skip,
+        )
+        assert [
+            (w.start_ns, w.end_ns, w.transactions) for w in sample.windows
+        ] == replica
+
+    @pytest.mark.parametrize("warmup,skip", [(80, 7), (0, 0), (40, None)])
+    def test_boundary_accounting_is_exact(self, warmup, skip):
+        """The docstring's contract: window ``i`` covers transactions
+        ``[warmup + i*(measured+skip), ... + measured)``, every window
+        times exactly ``measured`` transactions (none counted twice,
+        none straddling a re-arm), and the run ends with its last timed
+        window -- no trailing skip."""
+        from repro.core.sampling import multi_window_sample
+        from repro.workloads.registry import make_workload
+
+        run = self.run_config(warmup=warmup)
+        n_windows = 4
+        measured = run.measured_transactions
+        effective_skip = measured if skip is None else skip
+        _, starts, final = seed_cadence_replica(
+            self.CONFIG,
+            make_workload("oltp"),
+            run,
+            n_windows=n_windows,
+            skip_transactions=effective_skip,
+        )
+        assert starts == [
+            warmup + i * (measured + effective_skip) for i in range(n_windows)
+        ]
+        assert final == warmup + n_windows * measured + (
+            n_windows - 1
+        ) * effective_skip
+        # ...and the library's windows report the same exact counts
+        sample = multi_window_sample(
+            self.CONFIG, "oltp", run, n_windows=n_windows, skip_transactions=skip
+        )
+        assert [w.transactions for w in sample.windows] == [measured] * n_windows
+
+    def test_live_key_never_aliases_fixed(self):
+        """The store-key discipline behind the regression lock: a live
+        request can never return a fixed run's exhaustive measurement."""
+        from repro.config import RunConfig
+        from repro.core.request import RunRequest, WorkloadSpec
+
+        request = RunRequest(
+            config=self.CONFIG,
+            workload=WorkloadSpec.resolve("oltp"),
+            run=RunConfig(measured_transactions=25, warmup_transactions=80),
+        )
+        assert (
+            request.run_key
+            != RunRequest(
+                config=request.config,
+                workload=request.workload,
+                run=request.run,
+                sampling_mode="live",
+            ).run_key
+        )

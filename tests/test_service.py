@@ -129,8 +129,43 @@ class TestWireProtocol:
         data = spec_to_dict(small_spec())
         data["version"] = 1
         del data["fidelity"]
+        del data["sampling_mode"]
         spec = spec_from_dict(data)
         assert spec.fidelity == "ooo"
+        assert spec == small_spec()
+
+    def test_unknown_sampling_mode_rejected_at_submit(self):
+        data = spec_to_dict(small_spec())
+        data["sampling_mode"] = "psychic"
+        with pytest.raises(
+            ServiceError, match="unknown sampling_mode 'psychic': expected one of"
+        ):
+            spec_from_dict(data)
+
+    def test_live_with_ffwd_rejected_at_submit(self):
+        data = spec_to_dict(small_spec())
+        data["sampling_mode"] = "live"
+        data["fidelity"] = "ffwd"
+        with pytest.raises(ServiceError, match="ffwd"):
+            spec_from_dict(data)
+
+    def test_sampling_mode_round_trips(self):
+        from dataclasses import replace
+
+        spec = replace(small_spec(), sampling_mode="live")
+        data = spec_to_dict(spec)
+        assert data["sampling_mode"] == "live"
+        assert data["version"] == 3
+        assert spec_from_dict(data) == spec
+
+    def test_v2_payload_decodes_at_fixed_sampling(self):
+        """A spec serialized before sampling_mode existed (protocol v2)
+        must decode to fixed sampling, keying exactly as it always did."""
+        data = spec_to_dict(small_spec())
+        data["version"] = 2
+        del data["sampling_mode"]
+        spec = spec_from_dict(data)
+        assert spec.sampling_mode == "fixed"
         assert spec == small_spec()
 
     def test_cells_match_campaign_plan(self, tmp_path):
@@ -164,6 +199,16 @@ class TestDifferential:
 
     def test_served_equals_in_process_functional_warmup(self, tmp_path, backend):
         spec = small_spec(warm_start=True, warmup=30, warmup_mode="functional")
+        inproc = RunStore(tmp_path / "a", backend=backend)
+        Campaign(spec, inproc).run()
+        served = RunStore(tmp_path / "b", backend=backend)
+        service_run(spec, served)
+        assert_stores_identical(inproc, served)
+
+    def test_served_equals_in_process_live_sampling(self, tmp_path, backend):
+        from dataclasses import replace
+
+        spec = replace(small_spec(warmup=10), sampling_mode="live")
         inproc = RunStore(tmp_path / "a", backend=backend)
         Campaign(spec, inproc).run()
         served = RunStore(tmp_path / "b", backend=backend)
