@@ -13,17 +13,36 @@ trajectory.  Usage::
     PYTHONPATH=src python benchmarks/bench_hotpath.py             # measure + write
     PYTHONPATH=src python benchmarks/bench_hotpath.py --baseline  # store as baseline
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick     # 1 rep (CI smoke)
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --backend vector
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --assert-backend-parity
 
 ``--baseline`` records the current measurements under the ``baseline``
 key (this was run once on the pre-refactor tree); subsequent default
 runs record under ``current`` and report the speedup against the stored
-baseline.
+baseline.  ``--backend`` selects the execution backend
+(:mod:`repro.core.backend`) for the main measurement; the default run
+also performs an interleaved python/vector A/B comparison and records
+the vector side under the ``vector`` key (same per-scenario schema as
+``current``).  ``--assert-backend-parity`` exits non-zero if the vector
+backend is measurably slower than python on the oltp scenario (CPU-time
+interleaved best-of-N; used as a CI gate).
+
+Measurement note: each scenario now runs a short warm-up leg
+(``warmup`` transactions) before the timer starts, and ``ops_per_sec`` /
+``events_per_sec`` are computed over the *timed region only* (op/event
+deltas divided by the timed wall).  Earlier revisions divided the
+whole-run totals by the whole-run wall including warm-up, which
+understated steady-state throughput.  ``wall_s`` remains the whole-run
+wall time (warm-up + timed) so ``speedup_vs_baseline`` stays comparable
+with baselines recorded before this change; ``timed_wall_s`` is the
+timed region alone.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -33,24 +52,24 @@ from repro.workloads.registry import make_workload
 
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
-#: deterministic scenarios: workload params + transaction target
+#: deterministic scenarios: workload params + warm-up/timed transaction split
 SCENARIOS: dict[str, dict] = {
-    "oltp": {"workload": "oltp", "params": {"threads_per_cpu": 2}, "txns": 600},
-    "apache": {"workload": "apache", "params": {"threads_per_cpu": 2}, "txns": 3000},
-    "specjbb": {"workload": "specjbb", "params": {}, "txns": 3000},
-    "slashcode": {"workload": "slashcode", "params": {"threads_per_cpu": 2}, "txns": 700},
-    "barnes": {"workload": "barnes", "params": {}, "scale": 6.0, "txns": 1},
+    "oltp": {"workload": "oltp", "params": {"threads_per_cpu": 2}, "warmup": 60, "txns": 600},
+    "apache": {"workload": "apache", "params": {"threads_per_cpu": 2}, "warmup": 300, "txns": 3000},
+    "specjbb": {"workload": "specjbb", "params": {}, "warmup": 300, "txns": 3000},
+    "slashcode": {"workload": "slashcode", "params": {"threads_per_cpu": 2}, "warmup": 70, "txns": 700},
+    "barnes": {"workload": "barnes", "params": {}, "scale": 6.0, "warmup": 0, "txns": 1},
 }
 
 SEED = 1234
 
 
-def build_machine(scenario: dict) -> Machine:
+def build_machine(scenario: dict, backend: str | None = None) -> Machine:
     config = SystemConfig(n_cpus=4)
     workload = make_workload(
         scenario["workload"], scale=scenario.get("scale", 1.0), **scenario["params"]
     )
-    machine = Machine(config, workload)
+    machine = Machine(config, workload, backend=backend)
     machine.hierarchy.seed_perturbation(SEED)
     return machine
 
@@ -66,38 +85,57 @@ def ops_consumed(machine: Machine) -> int | None:
     return total
 
 
-def run_scenario(scenario: dict, *, probes: bool = False) -> dict:
-    machine = build_machine(scenario)
+def run_scenario(
+    scenario: dict, *, probes: bool = False, backend: str | None = None
+) -> dict:
+    machine = build_machine(scenario, backend=backend)
     if probes:
         from repro.probes import ProbeBus
 
         machine.attach_probes(ProbeBus())  # empty bus: zero hooks installed
+    warmup = scenario.get("warmup", 0)
     wall = time.perf_counter()
+    if warmup:
+        machine.run_until_transactions(warmup, max_time_ns=10**14)
+    warm_ops = ops_consumed(machine) or 0
+    warm_events = getattr(machine, "events_processed", None)
+    timed_wall = time.perf_counter()
     machine.run_until_transactions(scenario["txns"], max_time_ns=10**14)
-    wall = time.perf_counter() - wall
+    end = time.perf_counter()
+    timed_wall = end - timed_wall
+    wall = end - wall
     ops = ops_consumed(machine)
     events = getattr(machine, "events_processed", None)
+    # Throughput over the timed region only (see module docstring).
     sample = {
         "wall_s": wall,
+        "timed_wall_s": timed_wall,
+        "warmup_transactions": warmup,
         "sim_ns": machine.clock.now,
         "transactions": machine.completed_transactions,
         "ops": ops,
         "events": events,
-        "ops_per_sec": ops / wall if ops else None,
-        "events_per_sec": events / wall if events else None,
+        "ops_per_sec": (ops - warm_ops) / timed_wall if ops else None,
+        "events_per_sec": (
+            (events - warm_events) / timed_wall
+            if events is not None and warm_events is not None
+            else None
+        ),
     }
     # Trees without op/event accounting yield None for those fields;
     # emit only what was measured instead of writing nulls to the JSON.
     return {key: value for key, value in sample.items() if value is not None}
 
 
-def measure(reps: int, *, probes: bool = False) -> dict[str, dict]:
+def measure(
+    reps: int, *, probes: bool = False, backend: str | None = None
+) -> dict[str, dict]:
     """Best-of-``reps`` measurement for every scenario."""
     results: dict[str, dict] = {}
     for name, scenario in SCENARIOS.items():
         best: dict | None = None
         for _ in range(reps):
-            sample = run_scenario(scenario, probes=probes)
+            sample = run_scenario(scenario, probes=probes, backend=backend)
             if best is None or sample["wall_s"] < best["wall_s"]:
                 best = sample
         results[name] = best
@@ -111,31 +149,130 @@ def measure(reps: int, *, probes: bool = False) -> dict[str, dict]:
     return results
 
 
+def backend_ab(reps: int) -> tuple[dict[str, dict], dict[str, float]]:
+    """Interleaved python/vector A/B over every scenario.
+
+    Alternates the two backends within one process per rep (so drift in
+    machine load hits both sides equally) and keeps the best sample per
+    side by timed wall.  Returns (vector-side results, per-scenario
+    speedup python/vector on the timed region).
+    """
+    vector_results: dict[str, dict] = {}
+    speedups: dict[str, float] = {}
+    for name, scenario in SCENARIOS.items():
+        best_py: dict | None = None
+        best_vec: dict | None = None
+        for _ in range(reps):
+            sample_py = run_scenario(scenario, backend="python")
+            sample_vec = run_scenario(scenario, backend="vector")
+            if best_py is None or sample_py["timed_wall_s"] < best_py["timed_wall_s"]:
+                best_py = sample_py
+            if best_vec is None or sample_vec["timed_wall_s"] < best_vec["timed_wall_s"]:
+                best_vec = sample_vec
+        vector_results[name] = best_vec
+        speedups[name] = round(
+            best_py["timed_wall_s"] / best_vec["timed_wall_s"], 3
+        )
+        print(
+            f"A/B {name:10s} python={best_py['timed_wall_s']:.3f}s "
+            f"vector={best_vec['timed_wall_s']:.3f}s "
+            f"speedup={speedups[name]:.3f}x"
+        )
+    return vector_results, speedups
+
+
+def assert_backend_parity(reps: int, tolerance: float) -> bool:
+    """CI gate: vector must not be slower than python on oltp.
+
+    Interleaved CPU-time (``time.process_time``) best-of-``reps`` pairs
+    on the oltp scenario; passes when the vector best is within
+    ``tolerance`` of the python best (the two backends are measured at
+    parity -- see DESIGN.md section 14 -- so this guards against the
+    vector path regressing into real slowness, with headroom for
+    shared-runner noise).
+    """
+    scenario = SCENARIOS["oltp"]
+
+    def one(backend: str) -> float:
+        machine = build_machine(scenario, backend=backend)
+        t0 = time.process_time()
+        machine.run_until_transactions(scenario["txns"], max_time_ns=10**14)
+        return time.process_time() - t0
+
+    best_py = min(one("python") for _ in range(reps))
+    best_vec = min(one("vector") for _ in range(reps))
+    ratio = best_vec / best_py
+    ok = ratio <= 1.0 + tolerance
+    print(
+        f"backend parity (oltp, cpu-time best-of-{reps}): "
+        f"python={best_py:.3f}s vector={best_vec:.3f}s "
+        f"vector/python={ratio:.3f} tolerance={1.0 + tolerance:.2f} "
+        f"-> {'ok' if ok else 'FAIL'}"
+    )
+    return ok
+
+
 def probe_overhead_pct(reps: int) -> float | None:
-    """Overhead of attaching an empty ProbeBus on the oltp scenario."""
+    """Overhead of attaching an empty ProbeBus on the oltp scenario.
+
+    CPU time (``time.process_time``), interleaved best-of-``reps``: the
+    expected result is within noise of zero, and on shared runners the
+    wall clock is too noisy to resolve that.
+    """
     try:
-        import repro.probes  # noqa: F401
+        from repro.probes import ProbeBus
     except ImportError:
         return None
     scenario = SCENARIOS["oltp"]
-    plain = min(run_scenario(scenario)["wall_s"] for _ in range(reps))
-    probed = min(run_scenario(scenario, probes=True)["wall_s"] for _ in range(reps))
+
+    def one(probes: bool) -> float:
+        machine = build_machine(scenario)
+        if probes:
+            machine.attach_probes(ProbeBus())  # empty bus: zero hooks
+        t0 = time.process_time()
+        machine.run_until_transactions(scenario["txns"], max_time_ns=10**14)
+        return time.process_time() - t0
+
+    pairs = [(one(False), one(True)) for _ in range(reps)]
+    plain = min(pair[0] for pair in pairs)
+    probed = min(pair[1] for pair in pairs)
     return (probed / plain - 1.0) * 100.0
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", action="store_true", help="store results as the baseline")
     parser.add_argument("--quick", action="store_true", help="single rep (CI smoke)")
     parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument(
+        "--backend", choices=("python", "vector"), default=None,
+        help="execution backend for the main measurement (default: "
+             "process default, i.e. $REPRO_SIM_BACKEND or python)",
+    )
+    parser.add_argument(
+        "--no-ab", action="store_true",
+        help="skip the interleaved python/vector A/B section",
+    )
+    parser.add_argument(
+        "--assert-backend-parity", action="store_true",
+        help="only run the oltp parity gate (exit 1 when the vector "
+             "backend is slower than python beyond --parity-tolerance)",
+    )
+    parser.add_argument(
+        "--parity-tolerance", type=float, default=0.10,
+        help="allowed vector/python slowdown ratio margin for the gate",
+    )
     args = parser.parse_args()
     reps = 1 if args.quick else args.reps
+
+    if args.assert_backend_parity:
+        return 0 if assert_backend_parity(max(reps, 3), args.parity_tolerance) else 1
 
     doc: dict = {}
     if OUT_PATH.exists():
         doc = json.loads(OUT_PATH.read_text())
 
-    results = measure(reps)
+    results = measure(reps, backend=args.backend)
     if args.baseline:
         doc["baseline"] = results
     else:
@@ -150,6 +287,10 @@ def main() -> None:
                     speedups[name] = round(base["wall_s"] / sample["wall_s"], 3)
             doc["speedup_vs_baseline"] = speedups
             print("speedup vs baseline:", speedups)
+        if not args.no_ab:
+            vector_results, ab_speedups = backend_ab(reps)
+            doc["vector"] = vector_results
+            doc["vector_speedup_vs_python"] = ab_speedups
         overhead = probe_overhead_pct(reps)
         if overhead is not None:
             doc["empty_probe_bus_overhead_pct"] = round(overhead, 2)
@@ -157,7 +298,8 @@ def main() -> None:
 
     OUT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {OUT_PATH}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Simulation execution backend selection.
+
+The hot path has two interchangeable executors:
+
+- ``python`` -- the reference per-op interpreter: the dispatch-table
+  loop in :meth:`repro.system.machine.Machine._run_slice` and the
+  per-op functional loop in :mod:`repro.core.ffwd`.  Always available.
+- ``vector`` -- the array-level executor (:mod:`repro.system.trace` +
+  the batched slice runners): each thread's op buffer is decoded once
+  into flat arrays (opcodes, block numbers, per-op hit-latency deltas,
+  prefix sums), and runs of consecutive ``OP_CPU``/``OP_MEM`` ops are
+  executed against that decoded trace with constant-time slice/deadline
+  crossing (bisect on the prefix sums) and last-line memoization,
+  bailing out to the scalar handlers on anything that touches global
+  state: L1/L2 misses, coherence upgrades, locks, barriers, I/O,
+  transaction markers, quantum/window boundaries, or an attached op
+  probe.  Requires numpy for the decode step.
+
+Backend choice is **execution strategy, not experiment identity**: both
+backends are bit-for-bit equivalent (golden digests,
+``python -m repro verify`` and the differential double-run in
+:mod:`repro.verify.differential` gate this), so the choice is
+deliberately *not* part of :class:`repro.config.RunConfig` and never
+folds into store keys -- a run computed under either backend is the
+same run, and a shared store stays deduplicated across heterogeneous
+fleets.  See DESIGN.md section 14.
+
+Selection precedence (first match wins):
+
+1. an explicit ``backend=`` argument at a construction site (tests);
+2. a process-global override installed with :func:`set_backend`;
+3. the ``REPRO_SIM_BACKEND`` environment variable;
+4. the default, ``python``.
+
+The value ``auto`` resolves to ``vector`` when the capability probe
+passes and ``python`` otherwise.  Requesting ``vector`` on a machine
+without numpy *falls back* to ``python`` (recorded, warned once) rather
+than failing: backend selection must never turn a runnable experiment
+into an error.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+
+#: recognised backend names (``auto`` additionally accepted as a request)
+BACKENDS = ("python", "vector")
+
+ENV_VAR = "REPRO_SIM_BACKEND"
+
+#: process-global override installed by :func:`set_backend` (None = unset)
+_forced: str | None = None
+
+#: memoized capability probe result (None = not yet probed)
+_vector_probe: bool | None = None
+
+#: whether the fallback warning has been emitted already
+_warned_fallback = False
+
+
+def _validate(name: str) -> str:
+    normalized = name.strip().lower()
+    if normalized not in BACKENDS + ("auto",):
+        raise ValueError(
+            f"unknown simulation backend {name!r}; expected one of "
+            f"{BACKENDS + ('auto',)}"
+        )
+    return normalized
+
+
+def numpy_or_none():
+    """Return the numpy module, or None when it is unavailable."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def vector_available(*, _refresh: bool = False) -> bool:
+    """Capability probe for the ``vector`` backend (memoized).
+
+    Checks that numpy imports and that the handful of array operations
+    the trace decoder relies on (int64 arrays, floor division, prefix
+    sums, ``tolist``) behave sanely.  A broken or masquerading numpy
+    fails the probe instead of crashing mid-run.
+    """
+    global _vector_probe
+    if _vector_probe is not None and not _refresh:
+        return _vector_probe
+    np = numpy_or_none()
+    ok = False
+    if np is not None:
+        try:
+            arr = np.array([130, 64, 65], dtype=np.int64)
+            ok = (
+                (arr // 64).tolist() == [2, 1, 1]
+                and np.cumsum(arr).tolist() == [130, 194, 259]
+            )
+        except Exception:
+            ok = False
+    _vector_probe = ok
+    return ok
+
+
+def capability_report() -> dict:
+    """Diagnostic summary of backend availability (CLI / debugging)."""
+    np = numpy_or_none()
+    return {
+        "backends": list(BACKENDS),
+        "selected": current_backend(),
+        "vector_available": vector_available(),
+        "numpy": getattr(np, "__version__", None),
+        "env": os.environ.get(ENV_VAR),
+        "forced": _forced,
+    }
+
+
+def _fallback_warn(requested: str) -> None:
+    global _warned_fallback
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            f"simulation backend {requested!r} requested but numpy is "
+            "unavailable; falling back to the pure-python backend "
+            "(results are identical, only slower)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def resolve_backend(explicit: str | None = None) -> str:
+    """Resolve the effective backend name (``python`` or ``vector``).
+
+    ``explicit`` wins over the process override, which wins over
+    ``$REPRO_SIM_BACKEND``; unset everywhere means ``python``.  An
+    unsatisfiable ``vector`` request degrades to ``python``.
+    """
+    if explicit is not None:
+        requested = _validate(explicit)
+    elif _forced is not None:
+        requested = _forced
+    else:
+        env = os.environ.get(ENV_VAR)
+        requested = _validate(env) if env else "python"
+    if requested == "auto":
+        return "vector" if vector_available() else "python"
+    if requested == "vector" and not vector_available():
+        _fallback_warn(requested)
+        return "python"
+    return requested
+
+
+def current_backend() -> str:
+    """The backend a machine constructed right now would use."""
+    return resolve_backend()
+
+
+def set_backend(name: str | None) -> None:
+    """Install (or clear, with None) the process-global backend override.
+
+    Affects machines constructed *after* the call; existing machines
+    keep the backend they resolved at construction (use
+    :meth:`repro.system.machine.Machine.set_backend` to switch one).
+    """
+    global _forced
+    _forced = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager: run a block under a forced backend selection."""
+    global _forced
+    previous = _forced
+    set_backend(name)
+    try:
+        yield
+    finally:
+        _forced = previous

@@ -1,0 +1,316 @@
+"""Backend parity: batched (vector) execution == scalar execution.
+
+The vector backend (:mod:`repro.core.backend`, DESIGN.md section 14) is
+an execution strategy, not a model change: every observable -- end time,
+transaction log, hierarchy counters, cache occupancy *including LRU
+order*, lock state, per-thread counters -- must match the python backend
+bit-for-bit.  These tests drive both backends over hypothesis-generated
+op scripts (covering the boundary cases batching can get wrong: span
+splits at the quantum deadline, mid-run probe attachment, cold-miss fill
+ordering) and pin the trace decoder's numpy and pure-python paths to
+each other element-for-element.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import OSConfig, SystemConfig
+from repro.core.backend import (
+    capability_report,
+    current_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+    vector_available,
+)
+from repro.isa import (
+    OP_CPU,
+    OP_IO,
+    OP_LOCK,
+    OP_MEM,
+    OP_TXN_BEGIN,
+    OP_TXN_END,
+    OP_UNLOCK,
+    OP_YIELD,
+)
+from repro.system.machine import Machine
+from repro.system.trace import TraceConstants, decode_trace, decode_trace_python
+from repro.workloads.base import Workload, WorkloadProgram
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    HAVE_HYPOTHESIS = False
+
+needs_vector = pytest.mark.skipif(
+    not vector_available(), reason="numpy unavailable: vector backend degenerate"
+)
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis unavailable"
+)
+
+MAX_TIME = 10**13
+
+
+# ---------------------------------------------------------------------------
+# Scripted workload: threads replay externally supplied op lists
+# ---------------------------------------------------------------------------
+class _ScriptProgram(WorkloadProgram):
+    global_queue = False
+
+    def __init__(self, name, tid, seed, clock, script):
+        super().__init__(name, tid, seed, clock)
+        self._script = script
+
+    def build_transaction(self):
+        if self.txn_index >= len(self._script):
+            self.finished = True
+            return []
+        return list(self._script[self.txn_index])
+
+
+class _ScriptWorkload(Workload):
+    """One thread per script; each script is a list of transactions."""
+
+    name = "script"
+
+    def __init__(self, scripts, seed: int = 7) -> None:
+        super().__init__(seed=seed)
+        self._scripts = scripts
+
+    def n_threads(self, n_cpus: int) -> int:
+        return len(self._scripts)
+
+    def make_program(self, tid, clock):
+        return _ScriptProgram(self.name, tid, self.seed, clock, self._scripts[tid])
+
+
+def _total_txns(scripts) -> int:
+    return sum(len(script) for script in scripts)
+
+
+def _machine_state(machine: Machine) -> tuple:
+    """Everything observable, as one comparable value."""
+    stats = machine.hierarchy.stats
+    return (
+        machine.completed_transactions,
+        tuple(machine.transaction_log or ()),
+        tuple(
+            getattr(stats, name)
+            for name in (
+                "accesses", "l1_hits", "l2_hits", "l2_misses",
+                "cache_to_cache", "memory_fetches", "upgrades",
+                "writebacks", "perturbation_total_ns",
+            )
+        ),
+        machine.hierarchy.occupancy(include_order=True),
+        machine.locks.occupancy(),
+        tuple(
+            (
+                tid,
+                thread.stats.instructions,
+                thread.stats.transactions,
+                thread.stats.cpu_time_ns,
+                thread.ops_fetched,
+                thread.op_index,
+            )
+            for tid, thread in sorted(machine.scheduler.threads.items())
+        ),
+        tuple(core.instructions_retired for core in machine.cores),
+    )
+
+
+def _run_both(scripts, config: SystemConfig, *, probe_at: int | None = None):
+    """Run the scripts under both backends; return the two end states."""
+    states = []
+    for backend in ("python", "vector"):
+        machine = Machine(config, _ScriptWorkload(scripts), backend=backend)
+        machine.hierarchy.seed_perturbation(99)
+        target = _total_txns(scripts)
+        if probe_at is not None and 0 < probe_at < target:
+            machine.run_until_transactions(probe_at, max_time_ns=MAX_TIME)
+            from repro.probes import ProbeBus
+
+            seen = []
+            bus = ProbeBus()
+            bus.on_op(lambda now, cpu, tid, op: seen.append((cpu, tid, op[0])))
+            machine.attach_probes(bus)
+            end = machine.run_until_transactions(target, max_time_ns=MAX_TIME)
+            states.append((end, _machine_state(machine), tuple(seen)))
+        else:
+            end = machine.run_until_transactions(target, max_time_ns=MAX_TIME)
+            states.append((end, _machine_state(machine)))
+    return states
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies: op scripts with hit/miss/sharing structure
+# ---------------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+    # A small address pool concentrates traffic: re-references hit (fast
+    # spans), the pool exceeding L1 capacity forces evictions and cold
+    # fills, and cross-thread overlap forces coherence upgrades.
+    _addr = st.integers(min_value=0, max_value=255).map(lambda b: b * 64 + 8)
+    _code = st.integers(min_value=0, max_value=63).map(lambda b: b * 64)
+
+    _body_op = st.one_of(
+        st.tuples(st.just(OP_MEM), _addr, st.integers(0, 1)),
+        st.tuples(st.just(OP_CPU), st.integers(1, 60), _code),
+        st.tuples(st.just(OP_IO), st.integers(50, 400)),
+        st.tuples(st.just(OP_YIELD)),
+    )
+
+    @st.composite
+    def _transaction(draw):
+        body = draw(st.lists(_body_op, min_size=1, max_size=24))
+        # Locks are emitted as balanced critical sections so scripts
+        # can never deadlock (a finished thread would otherwise strand
+        # waiters and stall the machine).
+        if draw(st.booleans()):
+            lock_id = draw(st.integers(0, 2))
+            inner = draw(st.lists(_body_op, min_size=0, max_size=6))
+            body.append((OP_LOCK, lock_id))
+            body.extend(inner)
+            body.append((OP_UNLOCK, lock_id))
+        return [(OP_TXN_BEGIN, 0), *body, (OP_TXN_END, 0)]
+
+    _script = st.lists(_transaction(), min_size=1, max_size=5)
+    _scripts = st.lists(_script, min_size=1, max_size=4)
+
+
+@needs_vector
+@needs_hypothesis
+class TestBatchedEqualsScalar:
+    @settings(max_examples=25, deadline=None)
+    @given(scripts=_scripts if HAVE_HYPOTHESIS else st.nothing())
+    def test_property_scripts(self, scripts):
+        config = SystemConfig(n_cpus=2)
+        state_py, state_vec = _run_both(scripts, config)
+        assert state_py == state_vec
+
+    @settings(max_examples=10, deadline=None)
+    @given(scripts=_scripts if HAVE_HYPOTHESIS else st.nothing())
+    def test_batch_split_at_quantum_deadline(self, scripts):
+        # A tiny quantum with more threads than CPUs forces preemption
+        # inside fast spans: the deadline check must split the span at
+        # the exact op the scalar loop splits it at.
+        config = SystemConfig(
+            n_cpus=1, os=OSConfig(quantum_ns=700, interleave_ns=500)
+        )
+        # At least two runnable threads so quantum expiry actually preempts.
+        while len(scripts) < 2:
+            scripts = scripts + [script for script in scripts]
+        state_py, state_vec = _run_both(scripts, config)
+        assert state_py == state_vec
+
+    @settings(max_examples=10, deadline=None)
+    @given(scripts=_scripts if HAVE_HYPOTHESIS else st.nothing())
+    def test_mid_run_probe_attach(self, scripts):
+        # Attaching an op probe mid-run makes the vector runner stand
+        # down (probes must observe every op); the hand-off must not
+        # skip or double-execute anything, and the probe must see the
+        # identical op sequence under both backends.
+        total = _total_txns(scripts)
+        config = SystemConfig(n_cpus=2)
+        state_py, state_vec = _run_both(
+            scripts, config, probe_at=max(1, total // 2)
+        )
+        assert state_py == state_vec
+
+
+@needs_vector
+def test_cold_miss_fill_ordering():
+    """Cold stream then re-reference: fills, evictions, and the final
+    LRU order must match scalar execution exactly."""
+    stream = []
+    for i in range(600):  # > L1 capacity: forces evictions
+        stream.append((OP_MEM, i * 64, i % 3 == 0))
+    for i in range(0, 600, 7):  # re-touch in a different order
+        stream.append((OP_MEM, i * 64, 0))
+    scripts = [[[(OP_TXN_BEGIN, 0), *stream, (OP_TXN_END, 0)]]]
+    state_py, state_vec = _run_both(scripts, SystemConfig(n_cpus=1))
+    assert state_py == state_vec
+
+
+# ---------------------------------------------------------------------------
+# Trace decoder: numpy path == pure-python path
+# ---------------------------------------------------------------------------
+_CONSTS = TraceConstants(
+    block_bytes=64, l1d_hit_ns=2, l1i_hit_ns=1, l1d_sets=32, l1i_sets=32
+)
+
+
+@needs_hypothesis
+class TestTraceDecode:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        buf=st.lists(
+            st.one_of(
+                st.tuples(st.just(OP_MEM), st.integers(0, 1 << 20), st.integers(0, 1)),
+                st.tuples(st.just(OP_CPU), st.integers(1, 100), st.integers(0, 1 << 20)),
+                st.tuples(st.just(OP_LOCK), st.integers(0, 7)),
+                st.tuples(st.just(OP_TXN_END), st.integers(0, 3)),
+                st.tuples(st.just(OP_YIELD)),
+            ),
+            min_size=0,
+            max_size=64,
+        )
+        if HAVE_HYPOTHESIS
+        else st.nothing(),
+    )
+    def test_numpy_equals_python(self, buf):
+        if not vector_available():
+            pytest.skip("numpy unavailable")
+        assert decode_trace(buf, _CONSTS) == decode_trace_python(buf, _CONSTS)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection semantics
+# ---------------------------------------------------------------------------
+class TestBackendSelection:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        set_backend(None)
+        assert resolve_backend() == "python"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "vector")
+        set_backend(None)
+        expected = "vector" if vector_available() else "python"
+        assert resolve_backend() == expected
+
+    def test_explicit_beats_override(self):
+        with use_backend("vector"):
+            assert resolve_backend("python") == "python"
+        assert current_backend() in ("python", "vector")
+
+    def test_auto_resolves(self):
+        assert resolve_backend("auto") in ("python", "vector")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("cython")
+        with pytest.raises(ValueError):
+            set_backend("fortran")
+
+    def test_capability_report_shape(self):
+        report = capability_report()
+        assert set(report) >= {"backends", "selected", "vector_available", "numpy"}
+
+    @needs_vector
+    def test_machine_set_backend_switches_runner(self):
+        from repro.workloads.registry import make_workload
+
+        machine = Machine(
+            SystemConfig(n_cpus=1),
+            make_workload("oltp", threads_per_cpu=1),
+            backend="python",
+        )
+        assert machine._slice_fn == machine._run_slice
+        machine.set_backend("vector")
+        assert machine._slice_fn == machine._run_slice_vector
+        machine.set_backend("python")
+        assert machine._slice_fn == machine._run_slice
