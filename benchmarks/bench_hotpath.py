@@ -15,6 +15,7 @@ trajectory.  Usage::
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick     # 1 rep (CI smoke)
     PYTHONPATH=src python benchmarks/bench_hotpath.py --backend vector
     PYTHONPATH=src python benchmarks/bench_hotpath.py --assert-backend-parity
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --assert-miss-path
 
 ``--baseline`` records the current measurements under the ``baseline``
 key (this was run once on the pre-refactor tree); subsequent default
@@ -55,6 +56,20 @@ OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 #: deterministic scenarios: workload params + warm-up/timed transaction split
 SCENARIOS: dict[str, dict] = {
     "oltp": {"workload": "oltp", "params": {"threads_per_cpu": 2}, "warmup": 60, "txns": 600},
+    # Miss-heavy / low-locality: the Zipf pool is blown out to 64x the L2
+    # and the per-thread private region to 32 L2 ways' worth, so the
+    # coherence miss legs (GETS/GETM/eviction) dominate the access path
+    # (~83% L2 miss rate vs ~74% for plain oltp, L1 hit rate ~43%).
+    "oltp_misses": {
+        "workload": "oltp",
+        "params": {
+            "threads_per_cpu": 2,
+            "pool_bytes": 16 * 1024 * 1024,
+            "private_bytes": 256 * 1024,
+        },
+        "warmup": 40,
+        "txns": 400,
+    },
     "apache": {"workload": "apache", "params": {"threads_per_cpu": 2}, "warmup": 300, "txns": 3000},
     "specjbb": {"workload": "specjbb", "params": {}, "warmup": 300, "txns": 3000},
     "slashcode": {"workload": "slashcode", "params": {"threads_per_cpu": 2}, "warmup": 70, "txns": 700},
@@ -212,6 +227,90 @@ def assert_backend_parity(reps: int, tolerance: float) -> bool:
     return ok
 
 
+MISS_PATH_SCENARIOS = ("oltp", "oltp_misses")
+
+
+def miss_path_ab(reps: int) -> dict[str, dict]:
+    """Interleaved A/B of the integer-coded miss path vs the reference path.
+
+    :class:`repro.memory.refpath.RefMissPathHierarchy` re-enacts the
+    seed-tree miss legs (dict-of-tuples transition lookups, string action
+    scans, per-transaction set/line allocations) on top of the current
+    tree, so the ratio isolates the miss-path optimisation from
+    everything else that changed.  CPU time (``time.process_time``),
+    interleaved best-of-``reps`` pairs; the two sides must finish in the
+    same simulated state (digest check) or the comparison is void.
+    """
+    from repro.memory.refpath import RefMissPathHierarchy
+
+    results: dict[str, dict] = {}
+    for name in MISS_PATH_SCENARIOS:
+        scenario = SCENARIOS[name]
+
+        def one(ref: bool) -> tuple[float, tuple]:
+            machine = build_machine(scenario)
+            if ref:
+                RefMissPathHierarchy.install(machine.hierarchy)
+            t0 = time.process_time()
+            machine.run_until_transactions(scenario["txns"], max_time_ns=10**14)
+            elapsed = time.process_time() - t0
+            digest = (
+                machine.clock.now,
+                machine.completed_transactions,
+                machine.hierarchy.stats,
+            )
+            return elapsed, digest
+
+        best_new = best_ref = None
+        digest_new = digest_ref = None
+        for _ in range(reps):
+            elapsed, digest = one(ref=False)
+            if best_new is None or elapsed < best_new:
+                best_new = elapsed
+            digest_new = digest
+            elapsed, digest = one(ref=True)
+            if best_ref is None or elapsed < best_ref:
+                best_ref = elapsed
+            digest_ref = digest
+        if digest_new != digest_ref:
+            raise AssertionError(
+                f"miss-path A/B diverged on {name}: the reference path is "
+                f"no longer bit-identical ({digest_new} != {digest_ref})"
+            )
+        stats = digest_new[2]
+        results[name] = {
+            "new_cpu_s": best_new,
+            "ref_cpu_s": best_ref,
+            "speedup": round(best_ref / best_new, 3),
+            "l2_miss_rate": round(stats.l2_miss_rate, 4),
+        }
+        print(
+            f"miss-path A/B {name:12s} new={best_new:.3f}s ref={best_ref:.3f}s "
+            f"speedup={results[name]['speedup']:.3f}x "
+            f"(l2 miss rate {stats.l2_miss_rate:.3f})"
+        )
+    return results
+
+
+def assert_miss_path(reps: int, tolerance: float) -> bool:
+    """CI gate: the integer-coded miss path must not regress vs the seed.
+
+    Fails when the optimised path is slower than the reference
+    (seed-shaped) path beyond ``tolerance`` on either miss-path scenario.
+    """
+    ok = True
+    for name, sample in miss_path_ab(reps).items():
+        ratio = sample["new_cpu_s"] / sample["ref_cpu_s"]
+        passed = ratio <= 1.0 + tolerance
+        ok = ok and passed
+        print(
+            f"miss-path gate ({name}, cpu-time best-of-{reps}): "
+            f"new/ref={ratio:.3f} tolerance={1.0 + tolerance:.2f} "
+            f"-> {'ok' if passed else 'FAIL'}"
+        )
+    return ok
+
+
 def probe_overhead_pct(reps: int) -> float | None:
     """Overhead of attaching an empty ProbeBus on the oltp scenario.
 
@@ -262,11 +361,23 @@ def main() -> int:
         "--parity-tolerance", type=float, default=0.10,
         help="allowed vector/python slowdown ratio margin for the gate",
     )
+    parser.add_argument(
+        "--assert-miss-path", action="store_true",
+        help="only run the miss-path gate (exit 1 when the integer-coded "
+             "miss path is slower than the reference path beyond "
+             "--miss-path-tolerance)",
+    )
+    parser.add_argument(
+        "--miss-path-tolerance", type=float, default=0.05,
+        help="allowed new/ref slowdown ratio margin for the miss-path gate",
+    )
     args = parser.parse_args()
     reps = 1 if args.quick else args.reps
 
     if args.assert_backend_parity:
         return 0 if assert_backend_parity(max(reps, 3), args.parity_tolerance) else 1
+    if args.assert_miss_path:
+        return 0 if assert_miss_path(max(reps, 3), args.miss_path_tolerance) else 1
 
     doc: dict = {}
     if OUT_PATH.exists():
@@ -291,6 +402,7 @@ def main() -> int:
             vector_results, ab_speedups = backend_ab(reps)
             doc["vector"] = vector_results
             doc["vector_speedup_vs_python"] = ab_speedups
+        doc["miss_path_ab"] = miss_path_ab(reps)
         overhead = probe_overhead_pct(reps)
         if overhead is not None:
             doc["empty_probe_bus_overhead_pct"] = round(overhead, 2)

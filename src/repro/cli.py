@@ -269,13 +269,32 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Execute one measured simulation run and print its metrics."""
-    result = run_simulation(
-        _base_config(args),
-        args.workload,
-        _run_config(args),
-        workload_scale=args.scale,
-        warmup_mode=args.warmup_mode,
-    )
+
+    def execute():
+        return run_simulation(
+            _base_config(args),
+            args.workload,
+            _run_config(args),
+            workload_scale=args.scale,
+            warmup_mode=args.warmup_mode,
+        )
+
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(execute)
+        profiler.create_stats()
+        if args.profile_out:
+            profiler.dump_stats(args.profile_out)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(pstats.SortKey.CUMULATIVE)
+        stats.print_stats(args.profile_top)
+        if args.profile_out:
+            print(f"raw profile written to {args.profile_out}")
+    else:
+        result = execute()
     print(f"cycles per transaction : {result.cycles_per_transaction:,.0f}")
     print(f"simulated time         : {result.elapsed_ns:,} ns")
     print(f"throughput             : {result.transactions_per_second:,.0f} txn/s")
@@ -765,6 +784,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute the warm-up leg timed (full event loop) or "
              "functional (fast-forward, ~5x throughput; measurement is "
              "always timed)",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top functions by "
+             "cumulative time (the profiler roughly halves throughput; "
+             "metrics are still printed)",
+    )
+    run_parser.add_argument(
+        "--profile-top", type=int, default=25, metavar="N",
+        help="with --profile: number of functions to print (default 25)",
+    )
+    run_parser.add_argument(
+        "--profile-out", metavar="PATH",
+        help="with --profile: also dump raw pstats data to PATH for "
+             "offline analysis (python -m pstats PATH)",
     )
     run_parser.set_defaults(func=cmd_run)
 

@@ -79,6 +79,7 @@ from repro.isa import (
     OP_YIELD,
     op_name,
 )
+from repro.memory.hierarchy import L1_RW_CODE as _RW
 from repro.osmodel.thread import ThreadState
 from repro.sim.events import EV_CORE, EV_READY
 
@@ -254,7 +255,7 @@ def fast_forward_transactions(
                         line = lines.get(block)
                         is_write = op[2]
                         if line is not None and (
-                            not is_write or line.state == "RW"
+                            not is_write or line.code == _RW
                         ):
                             del lines[block]
                             lines[block] = line
@@ -510,7 +511,7 @@ def _vector_slice(
             lines = l1d_sets[block % l1d_n]
             line = lines.get(block)
             is_write = op[2]
-            if line is not None and (not is_write or line.state == "RW"):
+            if line is not None and (not is_write or line.code == _RW):
                 del lines[block]
                 lines[block] = line
                 d_hits += 1

@@ -14,18 +14,60 @@ lookup path to one index plus one dict probe, with no exists-yet branch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import CacheConfig
+from repro.memory.coherence import STATE_CODES, STATE_NAMES
 
 
-@dataclass(slots=True)
 class CacheLine:
-    """State of one resident cache block."""
+    """State of one resident cache block.
 
-    block: int
-    state: str
-    dirty: bool = False
+    The coherence (or L1 permission) state is stored as its integer code
+    (:data:`repro.memory.coherence.STATE_CODES`) in the ``code`` slot --
+    the hot paths in :mod:`repro.memory.hierarchy`, :mod:`repro.core.ffwd`
+    and :mod:`repro.system.machine` compare and assign codes directly.
+    The ``state`` property keeps the historical string form at every
+    boundary (snapshots, tests, invariant checks, replay), so external
+    formats are unchanged: a constructor or setter accepts either form.
+    """
+
+    __slots__ = ("block", "code", "dirty")
+
+    def __init__(self, block: int, state: str | int = "I", dirty: bool = False) -> None:
+        self.block = block
+        self.code = STATE_CODES[state] if type(state) is str else state
+        self.dirty = dirty
+
+    @property
+    def state(self) -> str:
+        """The state as its canonical name (decoded from ``code``)."""
+        return STATE_NAMES[self.code]
+
+    @state.setter
+    def state(self, value: str | int) -> None:
+        self.code = STATE_CODES[value] if type(value) is str else value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheLine):
+            return NotImplemented
+        return (
+            self.block == other.block
+            and self.code == other.code
+            and self.dirty == other.dirty
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheLine(block={self.block}, state={self.state!r}, "
+            f"dirty={self.dirty})"
+        )
+
+    def __getstate__(self) -> tuple[int, int, bool]:
+        return (self.block, self.code, self.dirty)
+
+    def __setstate__(self, state: tuple[int, int, bool]) -> None:
+        self.block, self.code, self.dirty = state
 
 
 @dataclass(slots=True)

@@ -213,6 +213,141 @@ PROTOCOL_OWNER_STATES: dict[str, tuple[MOSIState, ...]] = {
 PROTOCOL_HAS_E: dict[str, bool] = {"mosi": False, "mesi": True, "moesi": True}
 
 
+# ---------------------------------------------------------------------------
+# Integer-coded protocol layer
+#
+# The enum tables above are the *specification*: readable, validated, and
+# exactly the Multifacet table style.  The timing engine's miss legs run at
+# simulation rates, where enum identity hashes and string-scanned action
+# tuples are measurable (the same reasoning that moved the op ISA to
+# integer opcodes).  This layer derives, from the very same tables, a flat
+# integer encoding:
+#
+# - every state (plus the two L1 permission tags, which share the code
+#   space so cache snapshots decode uniformly) gets a small int code;
+# - every event gets a small int code;
+# - actions become bit flags, so "is this action present" is one AND
+#   instead of a tuple scan;
+# - a protocol becomes a flat list indexed ``state_code * N_EVENTS +
+#   event_code`` holding ``(action_flags, next_state_code)`` or ``None``
+#   for illegal pairs.
+#
+# Because the int tables are *derived* from the enum tables at import
+# time, they cannot drift; tests/test_int_tables.py additionally pins the
+# equivalence transition-for-transition under hypothesis.
+# ---------------------------------------------------------------------------
+
+#: code -> canonical name.  Coherence states first (stable, then
+#: transient), then the L1 permission tags RO/RW (repro.memory.hierarchy);
+#: the L1s are not coherence points but their lines live in the same
+#: CacheLine code space.
+STATE_NAMES: tuple[str, ...] = (
+    "I", "S", "E", "O", "M",
+    "IS_D", "IM_D", "SM_D", "OM_D", "MI_A", "OI_A",
+    "RO", "RW",
+)
+(
+    ST_I, ST_S, ST_E, ST_O, ST_M,
+    ST_IS_D, ST_IM_D, ST_SM_D, ST_OM_D, ST_MI_A, ST_OI_A,
+    ST_RO, ST_RW,
+) = range(13)
+
+#: name -> code (accepts every STATE_NAMES entry, including RO/RW)
+STATE_CODES: dict[str, int] = {name: code for code, name in enumerate(STATE_NAMES)}
+
+#: number of *coherence* states (rows of the flat tables; RO/RW excluded)
+N_COHERENCE_STATES = 11
+
+#: event codes, in ProtocolEvent declaration order
+(
+    EV_LOAD, EV_STORE, EV_REPLACEMENT, EV_OWN_DATA, EV_OWN_DATA_EXCL,
+    EV_OWN_ACK, EV_WB_ACK, EV_OTHER_GETS, EV_OTHER_GETM, EV_OTHER_PUTM,
+) = range(10)
+N_EVENTS = 10
+
+EVENT_CODES: dict[ProtocolEvent, int] = {
+    event: code for code, event in enumerate(ProtocolEvent)
+}
+EVENT_NAMES: tuple[str, ...] = tuple(event.value for event in ProtocolEvent)
+
+#: action bit flags (one bit per symbolic action string)
+ACT_HIT = 1
+ACT_ISSUE_GETS = 2
+ACT_ISSUE_GETM = 4
+ACT_ISSUE_PUTM = 8
+ACT_SEND_DATA = 16
+ACT_WRITEBACK = 32
+ACT_FILL = 64
+ACT_DEALLOCATE = 128
+
+ACTION_FLAGS: dict[str, int] = {
+    "hit": ACT_HIT,
+    "issue_gets": ACT_ISSUE_GETS,
+    "issue_getm": ACT_ISSUE_GETM,
+    "issue_putm": ACT_ISSUE_PUTM,
+    "send_data": ACT_SEND_DATA,
+    "writeback": ACT_WRITEBACK,
+    "fill": ACT_FILL,
+    "deallocate": ACT_DEALLOCATE,
+}
+
+#: bitmask of states a load can complete from locally (is_readable)
+READABLE_MASK = (1 << ST_S) | (1 << ST_E) | (1 << ST_O) | (1 << ST_M)
+#: bitmask of states a store can complete from locally (is_writable)
+WRITABLE_MASK = (1 << ST_M) | (1 << ST_E)
+
+#: per-protocol bitmask of owner states (holder supplies data on a miss)
+PROTOCOL_OWNER_MASKS: dict[str, int] = {
+    name: sum(1 << STATE_CODES[state.value] for state in states)
+    for name, states in PROTOCOL_OWNER_STATES.items()
+}
+
+
+def encode_actions(actions: tuple[str, ...]) -> int:
+    """Fold a symbolic action tuple into its bit-flag word."""
+    flags = 0
+    for action in actions:
+        flags |= ACTION_FLAGS[action]
+    return flags
+
+
+def int_table_for(protocol: str) -> list[tuple[int, int] | None]:
+    """The flat integer transition table of a protocol.
+
+    ``table[state_code * N_EVENTS + event_code]`` is ``(action_flags,
+    next_state_code)``, or ``None`` when the pair is illegal.  Derived
+    from :func:`transitions_for`, so it encodes exactly the enum table.
+    """
+    enum_table = transitions_for(protocol)
+    flat: list[tuple[int, int] | None] = [None] * (N_COHERENCE_STATES * N_EVENTS)
+    for (state, event), transition in enum_table.items():
+        index = STATE_CODES[state.value] * N_EVENTS + EVENT_CODES[event]
+        flat[index] = (
+            encode_actions(transition.actions),
+            STATE_CODES[transition.next_state.value],
+        )
+    return flat
+
+
+def event_column(flat: list, event_code: int) -> list[tuple[int, int] | None]:
+    """One event's column of a flat table, indexed directly by state code.
+
+    Padded to the full CacheLine code space (RO/RW rows are ``None``) so
+    an L1 tag reaching a coherence lookup indexes cleanly into an
+    illegal-transition error instead of an IndexError.
+    """
+    column = [flat[state * N_EVENTS + event_code] for state in range(N_COHERENCE_STATES)]
+    column += [None] * (len(STATE_NAMES) - N_COHERENCE_STATES)
+    return column
+
+
+def illegal_transition(state_code: int, event_code: int) -> CoherenceError:
+    """A CoherenceError naming an illegal (state, event) pair by name."""
+    return CoherenceError(
+        f"illegal event {EVENT_NAMES[event_code]} in state {STATE_NAMES[state_code]}"
+    )
+
+
 def available_protocols() -> list[str]:
     """Names of the supported coherence protocols."""
     return sorted(_PROTOCOLS)

@@ -42,37 +42,50 @@ from repro.isa import (
 )
 from repro.memory.cache import CacheLine, SetAssociativeCache
 from repro.memory.coherence import (
+    ACT_DEALLOCATE,
+    ACT_HIT,
+    ACT_ISSUE_PUTM,
+    ACT_WRITEBACK,
+    EV_LOAD,
+    EV_OTHER_GETM,
+    EV_OTHER_GETS,
+    EV_OWN_ACK,
+    EV_REPLACEMENT,
+    EV_STORE,
+    EV_WB_ACK,
     CoherenceError,
-    MOSIState,
+    N_EVENTS,
     PROTOCOL_HAS_E,
+    PROTOCOL_OWNER_MASKS,
     PROTOCOL_OWNER_STATES,
-    ProtocolEvent,
-    apply_event,
-    is_readable,
-    is_writable,
-    transitions_for,
+    READABLE_MASK,
+    ST_E,
+    ST_M,
+    ST_RO,
+    ST_RW,
+    ST_S,
+    event_column,
+    illegal_transition,
+    int_table_for,
 )
 from repro.memory.dram import MemoryController
 from repro.memory.interconnect import Crossbar
 from repro.sim.rng import RandomStream
 
 #: L1 line permission tags (the L1s are not coherence points; they mirror
-#: a subset of the local L2 state under inclusion).
+#: a subset of the local L2 state under inclusion).  The string forms are
+#: the boundary/API constants; lines store the integer codes.
 L1_READ_ONLY = "RO"
 L1_READ_WRITE = "RW"
+L1_RO_CODE = ST_RO
+L1_RW_CODE = ST_RW
 
-#: hot-path constant: lines store coherence state as the enum value string
-_M_VALUE = MOSIState.M.value
-_S_VALUE = MOSIState.S.value
-_E_VALUE = MOSIState.E.value
-
-#: functional-path constants: protocol events hoisted once (enum member
-#: and ``.value`` descriptor hops are measurable at fast-forward rates)
-_OTHER_GETS = ProtocolEvent.OTHER_GETS
-_OTHER_GETM = ProtocolEvent.OTHER_GETM
-_OWN_ACK = ProtocolEvent.OWN_ACK
-_REPLACEMENT = ProtocolEvent.REPLACEMENT
-_WB_ACK = ProtocolEvent.WB_ACK
+#: hot-path constants: lines store coherence state as the integer code
+_M = ST_M
+_S = ST_S
+_E = ST_E
+_RO = ST_RO
+_RW = ST_RW
 
 #: shared empty sharer set (read-only uses only; avoids a set() per miss)
 _EMPTY_SET: frozenset = frozenset()
@@ -121,35 +134,24 @@ class MemoryHierarchy:
         # Table-driven protocol selection (paper 3.2.3: the memory
         # simulator supports a range of protocols as transition tables).
         self.protocol = config.coherence_protocol
-        self._table = transitions_for(self.protocol)
         self._owner_states = PROTOCOL_OWNER_STATES[self.protocol]
         self._has_exclusive = PROTOCOL_HAS_E[self.protocol]
-        # Value-keyed views of the protocol table.  Lines store their
-        # state as the enum *value* string, so keying transitions on that
-        # string (instead of reconstructing the enum member per event)
-        # removes two dict hops from every L2 access.  ``_l2_demand`` is
-        # (load_map, store_map): state value -> (is_hit, next state value).
-        self._table_v = {
-            (state.value, event): transition
-            for (state, event), transition in self._table.items()
-        }
-        self._l2_demand = tuple(
-            {
-                state.value: ("hit" in tr.actions, tr.next_state.value)
-                for (state, event), tr in self._table.items()
-                if event is demand
-            }
-            for demand in (ProtocolEvent.LOAD, ProtocolEvent.STORE)
+        # Integer-coded protocol views.  Lines store their state as an
+        # int code, so every transition lookup on the miss legs is a flat
+        # list index (``state_code * N_EVENTS + event_code``) yielding
+        # ``(action_flags, next_code)``; action checks are one bit-AND.
+        # ``_demand`` is (load_column, store_column): state code ->
+        # (is_hit, next_code), the two per-access-hottest columns
+        # extracted for direct indexing.
+        self._int_table = int_table_for(self.protocol)
+        self._demand = tuple(
+            [
+                entry if entry is None else (entry[0] & ACT_HIT, entry[1])
+                for entry in event_column(self._int_table, event)
+            ]
+            for event in (EV_LOAD, EV_STORE)
         )
-        self._owner_state_values = frozenset(s.value for s in self._owner_states)
-        # Functional-path protocol view: (state value, event) ->
-        # (actions, next state value).  Same transitions as ``_table_v``
-        # but with the next state pre-resolved to its value string, so
-        # the fast-forward path never touches an enum descriptor.
-        self._table_f = {
-            (state.value, event): (tr.actions, tr.next_state.value)
-            for (state, event), tr in self._table.items()
-        }
+        self._owner_mask = PROTOCOL_OWNER_MASKS[self.protocol]
         # Directory derived from L2 states: block -> owner node (M or O
         # copy), block -> set of nodes with any readable copy.
         self._owner: dict[int, int] = {}
@@ -242,7 +244,7 @@ class MemoryHierarchy:
             del lines[block]
             lines[block] = line
             l1.stats.hits += 1
-            if not is_write or line.state == L1_READ_WRITE:
+            if not is_write or line.code == _RW:
                 if is_write:
                     line.dirty = True
                 stats.l1_hits += 1
@@ -260,20 +262,19 @@ class MemoryHierarchy:
             del l2_lines[block]
             l2_lines[block] = l2_line
             l2.stats.hits += 1
-            entry = self._l2_demand[1 if is_write else 0].get(l2_line.state)
+            entry = self._demand[is_write][l2_line.code]
             if entry is None:
-                raise CoherenceError(
-                    f"illegal demand {'STORE' if is_write else 'LOAD'} "
-                    f"in state {l2_line.state}"
+                raise illegal_transition(
+                    l2_line.code, EV_STORE if is_write else EV_LOAD
                 )
-            hit, next_value = entry
-            l2_line.state = next_value
+            hit, next_code = entry
+            l2_line.code = next_code
             if hit:
                 if is_write:
                     l2_line.dirty = True
                 self.stats.l2_hits += 1
                 source = SRC_L2
-                writable = next_value == _M_VALUE
+                writable = next_code == _M
             else:
                 # Upgrade path: the line stays resident in a transient
                 # state while the GetM is outstanding; OWN_ACK lands the
@@ -304,20 +305,20 @@ class MemoryHierarchy:
         # already dirty), so the victim is recycled for the incoming
         # block.  The global transaction never touches this node's L1
         # copy of ``block``, so ``lines``/``line`` remain valid.
-        state = L1_READ_WRITE if writable else L1_READ_ONLY
+        code = _RW if writable else _RO
         if line is not None:
-            line.state = state
+            line.code = code
             line.dirty = is_write
         else:
             if len(lines) >= l1.associativity:
                 line = lines.pop(next(iter(lines)))
                 l1.stats.evictions += 1
                 line.block = block
-                line.state = state
+                line.code = code
                 line.dirty = is_write
                 lines[block] = line
             else:
-                lines[block] = CacheLine(block=block, state=state, dirty=is_write)
+                lines[block] = CacheLine(block, code, is_write)
         return (latency, source)
 
     def access_functional(
@@ -352,7 +353,7 @@ class MemoryHierarchy:
             del lines[block]
             lines[block] = line
             l1.stats.hits += 1
-            if not is_write or line.state == L1_READ_WRITE:
+            if not is_write or line.code == _RW:
                 if is_write:
                     line.dirty = True
                 stats.l1_hits += 1
@@ -365,19 +366,18 @@ class MemoryHierarchy:
             del l2_lines[block]
             l2_lines[block] = l2_line
             l2.stats.hits += 1
-            entry = self._l2_demand[1 if is_write else 0].get(l2_line.state)
+            entry = self._demand[is_write][l2_line.code]
             if entry is None:
-                raise CoherenceError(
-                    f"illegal demand {'STORE' if is_write else 'LOAD'} "
-                    f"in state {l2_line.state}"
+                raise illegal_transition(
+                    l2_line.code, EV_STORE if is_write else EV_LOAD
                 )
-            hit, next_value = entry
-            l2_line.state = next_value
+            hit, next_code = entry
+            l2_line.code = next_code
             if hit:
                 if is_write:
                     l2_line.dirty = True
                 stats.l2_hits += 1
-                writable = next_value == _M_VALUE
+                writable = next_code == _M
             else:
                 self._functional_transaction(
                     node, block, is_write, now, upgrading=l2_line
@@ -389,20 +389,20 @@ class MemoryHierarchy:
             writable = is_write
 
         # L1 fill: identical to the timed path (see access()).
-        state = L1_READ_WRITE if writable else L1_READ_ONLY
+        code = _RW if writable else _RO
         if line is not None:
-            line.state = state
+            line.code = code
             line.dirty = is_write
         else:
             if len(lines) >= l1.associativity:
                 line = lines.pop(next(iter(lines)))
                 l1.stats.evictions += 1
                 line.block = block
-                line.state = state
+                line.code = code
                 line.dirty = is_write
                 lines[block] = line
             else:
-                lines[block] = CacheLine(block=block, state=state, dirty=is_write)
+                lines[block] = CacheLine(block, code, is_write)
 
     def _functional_transaction(
         self, node: int, block: int, is_write: bool, now: int, upgrading
@@ -422,45 +422,58 @@ class MemoryHierarchy:
             data_from_cache = False
             if sharers:
                 if len(sharers) == 1:
-                    # Dominant case: one holder.  Skip the set-difference /
-                    # sort allocations of the general path.  (Bind before
-                    # applying: the transition mutates the sharer set.)
+                    # Dominant case: one holder.  Skip the sort allocation
+                    # of the general path.  (Bind before applying: the
+                    # transition mutates the sharer set.)
                     sharer = next(iter(sharers))
                     if sharer != node:
-                        self._apply_remote_f(sharer, block, _OTHER_GETM)
+                        self._apply_remote_f(sharer, block, EV_OTHER_GETM)
                 else:
-                    for sharer in sorted(sharers - {node}):
-                        self._apply_remote_f(sharer, block, _OTHER_GETM)
+                    # sorted() materializes a copy first, so directory
+                    # mutation during the walk is safe; skipping ``node``
+                    # inside the loop visits exactly sorted(sharers -
+                    # {node}) in the same order, minus the set-difference
+                    # allocation.
+                    for sharer in sorted(sharers):
+                        if sharer != node:
+                            self._apply_remote_f(sharer, block, EV_OTHER_GETM)
             if owner is not None and owner != node:
                 data_from_cache = True
             if upgrading is not None:
-                entry = self._table_f.get((upgrading.state, _OWN_ACK))
+                entry = self._int_table[upgrading.code * N_EVENTS + EV_OWN_ACK]
                 if entry is None:
-                    raise CoherenceError(
-                        f"illegal event {_OWN_ACK.value} in state {upgrading.state}"
-                    )
-                upgrading.state = entry[1]
+                    raise illegal_transition(upgrading.code, EV_OWN_ACK)
+                upgrading.code = entry[1]
                 upgrading.dirty = True
                 source = SRC_UPGRADE
                 self.stats.upgrades += 1
             elif data_from_cache:
                 source = SRC_CACHE
                 self.stats.cache_to_cache += 1
-                self._fill_f(node, block, _M_VALUE, True)
+                self._fill_f(node, block, _M, True)
             else:
                 source = SRC_MEMORY
                 self.stats.memory_fetches += 1
-                self._fill_f(node, block, _M_VALUE, True)
+                self._fill_f(node, block, _M, True)
             self._owner[block] = node
-            self._sharers[block] = {node}
+            current = self._sharers.get(block)
+            if current is not None:
+                # Reuse the surviving set object: every remote copy was
+                # just invalidated (or was stale), so after clearing it
+                # holds exactly {node} -- same contents as the fresh-set
+                # form, without the per-GetM allocation.
+                current.clear()
+                current.add(node)
+            else:
+                self._sharers[block] = {node}
         else:
             # Mirrors _resolve_gets without the latency legs.
             if owner is not None and owner != node:
-                self._apply_remote_f(owner, block, _OTHER_GETS)
+                self._apply_remote_f(owner, block, EV_OTHER_GETS)
                 source = SRC_CACHE
                 self.stats.cache_to_cache += 1
                 supplier = self.l2[owner].peek(block)
-                if supplier is None or supplier.state not in self._owner_state_values:
+                if supplier is None or not (1 << supplier.code) & self._owner_mask:
                     self._owner.pop(block, None)
             else:
                 source = SRC_MEMORY
@@ -470,7 +483,7 @@ class MemoryHierarchy:
                 and owner is None
                 and (not sharers or (len(sharers) == 1 and node in sharers))
             )
-            self._fill_f(node, block, _E_VALUE if exclusive else _S_VALUE, False)
+            self._fill_f(node, block, _E if exclusive else _S, False)
             current = self._sharers.get(block)
             if current is None:
                 self._sharers[block] = {node}
@@ -482,67 +495,68 @@ class MemoryHierarchy:
         if self._probe_cache is not None:
             self._probe_cache(now, node, block, source, 0, is_write)
 
-    def _apply_remote_f(self, node: int, block: int, event: ProtocolEvent) -> None:
+    def _apply_remote_f(self, node: int, block: int, event_code: int) -> None:
         """Functional twin of :meth:`_apply_remote`: identical state
-        transitions through the value-keyed table; a MESI writeback is
+        transitions through the flat int table; a MESI writeback is
         counted but not sent to the DRAM occupancy model."""
         l2 = self.l2[node]
         lines = l2._sets[block % l2.n_sets]
         line = lines.get(block)
         if line is None:
             return
-        entry = self._table_f.get((line.state, event))
+        entry = self._int_table[line.code * N_EVENTS + event_code]
         if entry is None:
-            raise CoherenceError(
-                f"illegal event {event.value} in state {line.state}"
-            )
-        actions, next_value = entry
-        if "writeback" in actions:
+            raise illegal_transition(line.code, event_code)
+        flags, next_code = entry
+        if flags & ACT_WRITEBACK:
             self.stats.writebacks += 1
             line.dirty = False
-        if "deallocate" in actions:
-            lines.pop(block, None)
+        if flags & ACT_DEALLOCATE:
+            del lines[block]
             self._drop_l1(node, block)
             self._directory_remove(node, block)
         else:
-            line.state = next_value
+            line.code = next_code
             self._demote_l1(node, block)
 
-    def _fill_f(self, node: int, block: int, state_value: str, dirty: bool) -> None:
-        """Functional twin of :meth:`_fill` (state passed as its value
-        string); identical residency/eviction decisions."""
+    def _fill_f(self, node: int, block: int, code: int, dirty: bool) -> None:
+        """Functional twin of :meth:`_fill` (state passed as its int
+        code); identical residency/eviction decisions."""
         cache = self.l2[node]
         lines = cache._sets[block % cache.n_sets]
         existing = lines.get(block)
         if existing is not None:
-            existing.state = state_value
+            existing.code = code
             existing.dirty = dirty
             return
-        victim = None
         if len(lines) >= cache.associativity:
             victim = lines.pop(next(iter(lines)))
             cache.stats.evictions += 1
-        lines[block] = CacheLine(block=block, state=state_value, dirty=dirty)
-        if victim is not None:
-            self._handle_l2_eviction_f(node, victim)
+            victim_block = victim.block
+            victim_code = victim.code
+            # Recycle the victim object for the incoming block (the
+            # eviction leg below needs only its old identity/state).
+            victim.block = block
+            victim.code = code
+            victim.dirty = dirty
+            lines[block] = victim
+            self._handle_l2_eviction_f(node, victim_block, victim_code)
+        else:
+            lines[block] = CacheLine(block, code, dirty)
 
-    def _handle_l2_eviction_f(self, node: int, victim) -> None:
+    def _handle_l2_eviction_f(self, node: int, victim_block: int, victim_code: int) -> None:
         """Functional twin of :meth:`_handle_l2_eviction`: the PutM leg is
         legality-checked and counted, the DRAM model untouched."""
-        entry = self._table_f.get((victim.state, _REPLACEMENT))
+        entry = self._int_table[victim_code * N_EVENTS + EV_REPLACEMENT]
         if entry is None:
-            raise CoherenceError(
-                f"illegal event {_REPLACEMENT.value} in state {victim.state}"
-            )
-        actions, next_value = entry
-        if "issue_putm" in actions:
-            if (next_value, _WB_ACK) not in self._table_f:
-                raise CoherenceError(
-                    f"illegal event {_WB_ACK.value} in state {next_value}"
-                )
+            raise illegal_transition(victim_code, EV_REPLACEMENT)
+        flags, next_code = entry
+        if flags & ACT_ISSUE_PUTM:
+            if self._int_table[next_code * N_EVENTS + EV_WB_ACK] is None:
+                raise illegal_transition(next_code, EV_WB_ACK)
             self.stats.writebacks += 1
-        self._drop_l1(node, victim.block)
-        self._directory_remove(node, victim.block)
+        self._drop_l1(node, victim_block)
+        self._directory_remove(node, victim_block)
 
     def _global_transaction(
         self,
@@ -602,14 +616,14 @@ class MemoryHierarchy:
         if owner is not None and owner != node:
             # Owner observes OTHER_GETS: M -> O (MOSI/MOESI) or M -> S
             # with writeback (MESI); E -> S.  It supplies the data.
-            self._apply_remote(owner, block, ProtocolEvent.OTHER_GETS)
+            self._apply_remote(owner, block, EV_OTHER_GETS)
             latency = self.crossbar.round_trip(now) + self._cache_provide_ns
             source = SRC_CACHE
             self.stats.cache_to_cache += 1
             # The supplier may have dropped out of the owner states
             # (MESI M->S): ownership reverts to memory.
             supplier = self.l2[owner].peek(block)
-            if supplier is None or supplier.state not in self._owner_state_values:
+            if supplier is None or not (1 << supplier.code) & self._owner_mask:
                 self._owner.pop(block, None)
         else:
             latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
@@ -620,10 +634,9 @@ class MemoryHierarchy:
         exclusive = (
             self._has_exclusive
             and owner is None
-            and (not sharers or not (sharers - {node}))
+            and (not sharers or (len(sharers) == 1 and node in sharers))
         )
-        fill_state = MOSIState.E if exclusive else MOSIState.S
-        self._fill(node, block, fill_state, dirty=False)
+        self._fill(node, block, _E if exclusive else _S, False)
         current = self._sharers.get(block)
         if current is None:
             self._sharers[block] = {node}
@@ -646,16 +659,31 @@ class MemoryHierarchy:
         # Remote copies observe OTHER_GETM.
         data_from_cache = False
         if sharers:
-            for sharer in sorted(sharers - {node}):
-                self._apply_remote(sharer, block, ProtocolEvent.OTHER_GETM)
+            if len(sharers) == 1:
+                # Dominant case: one holder.  Skip the sort allocation of
+                # the general path.  (Bind before applying: the transition
+                # mutates the sharer set.)
+                sharer = next(iter(sharers))
+                if sharer != node:
+                    self._apply_remote(sharer, block, EV_OTHER_GETM)
+            else:
+                # sorted() materializes a copy first, so directory mutation
+                # during the walk is safe; skipping ``node`` inside the
+                # loop visits exactly sorted(sharers - {node}) in the same
+                # order, minus the set-difference allocation.
+                for sharer in sorted(sharers):
+                    if sharer != node:
+                        self._apply_remote(sharer, block, EV_OTHER_GETM)
         if owner is not None and owner != node:
             data_from_cache = True
 
         if upgrading is not None:
             # SM_D/OM_D + OWN_ACK -> M.  Invalidation round trip only; the
             # requestor already holds the data.
-            transition = self._apply_value(upgrading.state, ProtocolEvent.OWN_ACK)
-            upgrading.state = transition.next_state.value
+            entry = self._int_table[upgrading.code * N_EVENTS + EV_OWN_ACK]
+            if entry is None:
+                raise illegal_transition(upgrading.code, EV_OWN_ACK)
+            upgrading.code = entry[1]
             upgrading.dirty = True
             latency = self.crossbar.round_trip(now)
             source = SRC_UPGRADE
@@ -664,91 +692,103 @@ class MemoryHierarchy:
             latency = self.crossbar.round_trip(now) + self._cache_provide_ns
             source = SRC_CACHE
             self.stats.cache_to_cache += 1
-            self._fill(node, block, MOSIState.M, dirty=True)
+            self._fill(node, block, _M, True)
         else:
             latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
             source = SRC_MEMORY
             self.stats.memory_fetches += 1
-            self._fill(node, block, MOSIState.M, dirty=True)
+            self._fill(node, block, _M, True)
 
-        # Directory: the requestor is now the sole owner.
+        # Directory: the requestor is now the sole owner.  Every remote
+        # copy was just invalidated above (remote stable states all
+        # deallocate on OTHER_GETM), so a surviving sharer-set object
+        # holds at most {node}: reuse it instead of allocating a fresh
+        # one-element set per GetM.
         self._owner[block] = node
-        self._sharers[block] = {node}
+        current = self._sharers.get(block)
+        if current is not None:
+            current.clear()
+            current.add(node)
+        else:
+            self._sharers[block] = {node}
         return (latency, source)
 
     # ------------------------------------------------------------------
     # Protocol plumbing
     # ------------------------------------------------------------------
-    def _apply_value(self, state_value: str, event: ProtocolEvent):
-        """:func:`apply_event` keyed on the stored state-value string."""
-        transition = self._table_v.get((state_value, event))
-        if transition is None:
-            raise CoherenceError(
-                f"illegal event {event.value} in state {state_value}"
-            )
-        return transition
-
-    def _apply_remote(self, node: int, block: int, event: ProtocolEvent) -> None:
+    def _apply_remote(self, node: int, block: int, event_code: int) -> None:
         """Apply a remote-observed event at one node's L2 (and L1s)."""
         l2 = self.l2[node]
-        line = l2._sets[block % l2.n_sets].get(block)
+        lines = l2._sets[block % l2.n_sets]
+        line = lines.get(block)
         if line is None:
             return
-        transition = self._apply_value(line.state, event)
-        if "writeback" in transition.actions:
+        entry = self._int_table[line.code * N_EVENTS + event_code]
+        if entry is None:
+            raise illegal_transition(line.code, event_code)
+        flags, next_code = entry
+        if flags & ACT_WRITEBACK:
             # MESI: a read-shared M copy flushes to memory (no O state).
             self.dram.writeback(block, self._block_busy.get(block, 0))
             self.stats.writebacks += 1
             line.dirty = False
-        if "deallocate" in transition.actions:
-            l2._sets[block % l2.n_sets].pop(block, None)
+        if flags & ACT_DEALLOCATE:
+            del lines[block]
             self._drop_l1(node, block)
             self._directory_remove(node, block)
         else:
-            line.state = transition.next_state.value
-            if transition.next_state is MOSIState.O:
-                # Ownership retained; nothing else to do (data transfer is
-                # accounted by the requestor's latency).
-                pass
+            line.code = next_code
             # Losing write permission demotes any RW L1 copy.
             self._demote_l1(node, block)
 
-    def _fill(self, node: int, block: int, state: MOSIState, dirty: bool) -> None:
+    def _fill(self, node: int, block: int, code: int, dirty: bool) -> None:
         """Install an arriving block in a node's L2, handling the victim.
 
         Fused peek + insert over the set dict (one pass; runs once per
         L2 fill).  An existing line is overwritten in place *without* an
         LRU move -- IM_D after a racing OTHER_GETM stripped us while
         upgrading leaves the line object resident -- exactly as the
-        peek-then-insert form behaved.
+        peek-then-insert form behaved.  A capacity victim's line object
+        is recycled for the incoming block (its old identity is passed on
+        to the eviction leg by value), saving one allocation per miss
+        once the L2 sets run full.
         """
         cache = self.l2[node]
         lines = cache._sets[block % cache.n_sets]
         existing = lines.get(block)
         if existing is not None:
-            existing.state = state.value
+            existing.code = code
             existing.dirty = dirty
             return
-        victim = None
         if len(lines) >= cache.associativity:
             # LRU victim is the first (oldest) entry.
             victim = lines.pop(next(iter(lines)))
             cache.stats.evictions += 1
-        lines[block] = CacheLine(block=block, state=state.value, dirty=dirty)
-        if victim is not None:
-            self._handle_l2_eviction(node, victim)
+            victim_block = victim.block
+            victim_code = victim.code
+            victim.block = block
+            victim.code = code
+            victim.dirty = dirty
+            lines[block] = victim
+            self._handle_l2_eviction(node, victim_block, victim_code)
+        else:
+            lines[block] = CacheLine(block, code, dirty)
 
-    def _handle_l2_eviction(self, node: int, victim) -> None:
+    def _handle_l2_eviction(self, node: int, victim_block: int, victim_code: int) -> None:
         """Run the replacement leg of the protocol for an evicted line."""
-        transition = self._apply_value(victim.state, ProtocolEvent.REPLACEMENT)
-        if "issue_putm" in transition.actions:
+        entry = self._int_table[victim_code * N_EVENTS + EV_REPLACEMENT]
+        if entry is None:
+            raise illegal_transition(victim_code, EV_REPLACEMENT)
+        flags, next_code = entry
+        if flags & ACT_ISSUE_PUTM:
             # MI_A/OI_A + WB_ACK -> writeback to the home controller, off
             # the requestor's critical path.
-            self._apply_value(transition.next_state.value, ProtocolEvent.WB_ACK)
-            self.dram.writeback(victim.block, self._block_busy.get(victim.block, 0))
+            if self._int_table[next_code * N_EVENTS + EV_WB_ACK] is None:
+                raise illegal_transition(next_code, EV_WB_ACK)
+            self.dram.writeback(victim_block, self._block_busy.get(victim_block, 0))
             self.stats.writebacks += 1
-        self._drop_l1(node, victim.block)
-        self._directory_remove(node, victim.block)
+        self._drop_l1(node, victim_block)
+        self._directory_remove(node, victim_block)
 
     def _directory_remove(self, node: int, block: int) -> None:
         """Remove a node's copy from the directory."""
@@ -772,7 +812,7 @@ class MemoryHierarchy:
         cache = self.l1d[node]
         line = cache._sets[block % cache.n_sets].get(block)
         if line is not None:
-            line.state = L1_READ_ONLY
+            line.code = _RO
 
     # ------------------------------------------------------------------
     # Directory maintenance
@@ -790,16 +830,15 @@ class MemoryHierarchy:
         """
         owner: dict[int, int] = {}
         sharers: dict[int, set[int]] = {}
-        owner_states = self._owner_states
+        owner_mask = self._owner_mask
         for node in range(self.config.n_cpus):
             cache = self.l2[node]
             for block in cache.resident_blocks():
                 line = cache.peek(block)
-                mosi = MOSIState(line.state)
                 sharers.setdefault(block, set()).add(node)
-                if mosi in owner_states:
+                if (1 << line.code) & owner_mask:
                     if block in owner:
-                        line.state = MOSIState.S.value
+                        line.code = _S
                     else:
                         owner[block] = node
         self._owner = owner
@@ -856,15 +895,16 @@ class MemoryHierarchy:
         resident lines); intended for tests, not the hot path.
         """
         problems: list[str] = []
-        by_block: dict[int, list[tuple[int, MOSIState]]] = {}
+        by_block: dict[int, list[tuple[int, int]]] = {}
         for node in range(self.config.n_cpus):
             for block in self.l2[node].resident_blocks():
                 line = self.l2[node].peek(block)
-                by_block.setdefault(block, []).append((node, MOSIState(line.state)))
+                by_block.setdefault(block, []).append((node, line.code))
+        owner_mask = self._owner_mask
         for block, copies in by_block.items():
-            m_holders = [n for n, s in copies if s in (MOSIState.M, MOSIState.E)]
-            owners = [n for n, s in copies if s in self._owner_states]
-            readable = {n for n, s in copies if is_readable(s)}
+            m_holders = [n for n, c in copies if c == ST_M or c == ST_E]
+            owners = [n for n, c in copies if (1 << c) & owner_mask]
+            readable = {n for n, c in copies if (1 << c) & READABLE_MASK}
             if len(m_holders) > 1:
                 problems.append(f"block {block}: multiple M copies {m_holders}")
             if m_holders and len(readable) > 1:

@@ -1,0 +1,200 @@
+"""Reference (pre-optimisation) miss path, kept for interleaved A/B gates.
+
+The integer-coded miss legs in :mod:`repro.memory.hierarchy` replaced a
+dict-of-tuples transition table (``(state, event) -> Transition``) with a
+flat int-indexed list, symbolic action-string scans with bit flags, and
+per-miss set/line allocations with reuse.  Benchmarks that want to claim
+a speedup need the *old* cost profile runnable in the same process, on
+the same Python build, against the same workload stream -- otherwise the
+comparison is a guess about a commit that is no longer checked out.
+
+:class:`RefMissPathHierarchy` is that old cost profile: a subclass that
+overrides only the global-transaction resolution legs (``_resolve_gets``
+/ ``_resolve_getm`` and their plumbing) with the seed implementation's
+shape -- tuple-keyed dict lookups, ``"writeback" in actions`` string
+scans, ``sorted(sharers - {node})`` set differences, and a fresh
+``CacheLine``/sharer-set allocation per fill/GetM.  It is behaviourally
+bit-identical to the optimised path (both derive from the same enum
+table), so an A/B harness can also assert digest equality while it
+measures; ``benchmarks/bench_hotpath.py --assert-miss-path`` does both.
+
+Install onto a live hierarchy (no construction-path divergence)::
+
+    RefMissPathHierarchy.install(machine.hierarchy)
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import CacheLine
+from repro.memory.coherence import (
+    EV_OTHER_GETM,
+    EV_OTHER_GETS,
+    EV_OWN_ACK,
+    EV_REPLACEMENT,
+    EV_WB_ACK,
+    EVENT_CODES,
+    PROTOCOL_OWNER_STATES,
+    ST_E,
+    ST_M,
+    ST_S,
+    STATE_CODES,
+    illegal_transition,
+    transitions_for,
+)
+from repro.memory.hierarchy import SRC_CACHE, SRC_MEMORY, SRC_UPGRADE, MemoryHierarchy
+
+
+def ref_table_for(protocol: str) -> dict:
+    """The seed-shaped transition table: ``(state_code, event_code) ->
+    (action_strings, next_state_code)``.
+
+    Tuple-keyed dict probes and tuple-of-string action scans reproduce
+    the pre-optimisation lookup costs; deriving from the same enum table
+    as :func:`repro.memory.coherence.int_table_for` keeps the behaviour
+    identical.
+    """
+    return {
+        (STATE_CODES[state.value], EVENT_CODES[event]): (
+            transition.actions,
+            STATE_CODES[transition.next_state.value],
+        )
+        for (state, event), transition in transitions_for(protocol).items()
+    }
+
+
+class RefMissPathHierarchy(MemoryHierarchy):
+    """A :class:`MemoryHierarchy` whose miss legs use the seed cost profile."""
+
+    @classmethod
+    def install(cls, hierarchy: MemoryHierarchy) -> MemoryHierarchy:
+        """Swap a live hierarchy's miss legs to the reference path."""
+        hierarchy.__class__ = cls
+        hierarchy._ref_table = ref_table_for(hierarchy.protocol)
+        hierarchy._ref_owner_codes = {
+            STATE_CODES[state.value]
+            for state in PROTOCOL_OWNER_STATES[hierarchy.protocol]
+        }
+        return hierarchy
+
+    # -- seed-shaped protocol plumbing ---------------------------------
+    def _ref_apply(self, state_code: int, event_code: int):
+        entry = self._ref_table.get((state_code, event_code))
+        if entry is None:
+            raise illegal_transition(state_code, event_code)
+        return entry
+
+    def _apply_remote(self, node: int, block: int, event_code: int) -> None:
+        l2 = self.l2[node]
+        line = l2._sets[block % l2.n_sets].get(block)
+        if line is None:
+            return
+        actions, next_code = self._ref_apply(line.code, event_code)
+        if "writeback" in actions:
+            self.dram.writeback(block, self._block_busy.get(block, 0))
+            self.stats.writebacks += 1
+            line.dirty = False
+        if "deallocate" in actions:
+            l2._sets[block % l2.n_sets].pop(block, None)
+            self._drop_l1(node, block)
+            self._directory_remove(node, block)
+        else:
+            line.code = next_code
+            self._demote_l1(node, block)
+
+    def _fill(self, node: int, block: int, code: int, dirty: bool) -> None:
+        cache = self.l2[node]
+        lines = cache._sets[block % cache.n_sets]
+        existing = lines.get(block)
+        if existing is not None:
+            existing.code = code
+            existing.dirty = dirty
+            return
+        victim = None
+        if len(lines) >= cache.associativity:
+            victim = lines.pop(next(iter(lines)))
+            cache.stats.evictions += 1
+        # Seed shape: a fresh line object per fill, the victim handled
+        # afterwards as a live object.
+        lines[block] = CacheLine(block=block, state=code, dirty=dirty)
+        if victim is not None:
+            self._ref_handle_eviction(node, victim)
+
+    def _ref_handle_eviction(self, node: int, victim: CacheLine) -> None:
+        actions, next_code = self._ref_apply(victim.code, EV_REPLACEMENT)
+        if "issue_putm" in actions:
+            self._ref_apply(next_code, EV_WB_ACK)
+            self.dram.writeback(victim.block, self._block_busy.get(victim.block, 0))
+            self.stats.writebacks += 1
+        self._drop_l1(node, victim.block)
+        self._directory_remove(node, victim.block)
+
+    # -- seed-shaped resolution legs -----------------------------------
+    def _resolve_gets(
+        self, node: int, block: int, now: int, owner: int | None, sharers: set[int]
+    ) -> tuple:
+        if owner is not None and owner != node:
+            self._apply_remote(owner, block, EV_OTHER_GETS)
+            latency = self.crossbar.round_trip(now) + self._cache_provide_ns
+            source = SRC_CACHE
+            self.stats.cache_to_cache += 1
+            supplier = self.l2[owner].peek(block)
+            if supplier is None or supplier.code not in self._ref_owner_codes:
+                self._owner.pop(block, None)
+        else:
+            latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
+            source = SRC_MEMORY
+            self.stats.memory_fetches += 1
+        exclusive = (
+            self._has_exclusive
+            and owner is None
+            and (not sharers or not (sharers - {node}))
+        )
+        self._fill(node, block, ST_E if exclusive else ST_S, False)
+        current = self._sharers.get(block)
+        if current is None:
+            self._sharers[block] = {node}
+        else:
+            current.add(node)
+        if exclusive:
+            self._owner[block] = node
+        return (latency, source)
+
+    def _resolve_getm(
+        self,
+        node: int,
+        block: int,
+        now: int,
+        owner: int | None,
+        sharers: set[int],
+        upgrading,
+    ) -> tuple:
+        data_from_cache = False
+        if sharers:
+            # Seed shape: set difference + sort allocate per GetM.
+            for sharer in sorted(sharers - {node}):
+                self._apply_remote(sharer, block, EV_OTHER_GETM)
+        if owner is not None and owner != node:
+            data_from_cache = True
+
+        if upgrading is not None:
+            _actions, next_code = self._ref_apply(upgrading.code, EV_OWN_ACK)
+            upgrading.code = next_code
+            upgrading.dirty = True
+            latency = self.crossbar.round_trip(now)
+            source = SRC_UPGRADE
+            self.stats.upgrades += 1
+        elif data_from_cache:
+            latency = self.crossbar.round_trip(now) + self._cache_provide_ns
+            source = SRC_CACHE
+            self.stats.cache_to_cache += 1
+            self._fill(node, block, ST_M, True)
+        else:
+            latency = self.crossbar.round_trip(now) + self.dram.read(block, now)
+            source = SRC_MEMORY
+            self.stats.memory_fetches += 1
+            self._fill(node, block, ST_M, True)
+
+        # Seed shape: a fresh one-element sharer set per GetM.
+        self._owner[block] = node
+        self._sharers[block] = {node}
+        return (latency, source)

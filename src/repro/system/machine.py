@@ -46,7 +46,7 @@ from repro.isa import (
     OP_YIELD,
     op_name,
 )
-from repro.memory.hierarchy import L1_READ_WRITE, MemoryHierarchy
+from repro.memory.hierarchy import L1_RW_CODE, MemoryHierarchy
 from repro.osmodel.locks import LockTable
 from repro.osmodel.scheduler import Scheduler
 from repro.osmodel.thread import SimThread, ThreadState
@@ -55,7 +55,13 @@ from repro.proc.simple import SimpleCore
 from repro.sim.events import EV_CORE, EV_READY, EventQueue, SimulationClock
 from repro.sim.rng import stream_seed
 from repro.system.trace import TraceConstants
-from repro.workloads.base import Workload, WorkloadClock
+from repro.workloads.base import (
+    Workload,
+    WorkloadClock,
+    export_stream_memo,
+    merge_stream_memo,
+    stream_memo_enabled,
+)
 
 #: default maximum uninterrupted execution per core event (overridable
 #: via OSConfig.interleave_ns), keeping cross-CPU interleaving
@@ -121,6 +127,9 @@ class Machine:
         n_threads = self.workload.n_threads(self.config.n_cpus)
         for tid in range(n_threads):
             program = self.workload.make_program(tid, self.workload_clock)
+            bind_memo = getattr(self.workload, "bind_stream_memo", None)
+            if bind_memo is not None:
+                bind_memo(program)
             thread = SimThread(
                 tid=tid,
                 name=f"{self.workload.name}-{tid}",
@@ -477,7 +486,7 @@ class Machine:
                     line = lines.get(block)
                     w = op[2]
                     if line is not None and (
-                        not w or line.state == L1_READ_WRITE
+                        not w or line.code == L1_RW_CODE
                     ):
                         if w:
                             line.dirty = True
@@ -771,6 +780,11 @@ class Machine:
 
         Probes must be detached first (their callbacks are arbitrary
         callables; attach them to the thawed copy instead).
+
+        The template also carries the process's memoized transaction
+        streams for this workload (:mod:`repro.workloads.base`): a
+        thawing worker process merges them and starts with the warm-up
+        region's op lists prebuilt instead of regenerating them per seed.
         """
         if self.probes is not None:
             raise ValueError("detach probes before freezing a machine")
@@ -790,6 +804,8 @@ class Machine:
                 "backend",
             )
         }
+        if stream_memo_enabled():
+            state["_stream_memo"] = export_stream_memo(self.workload.stream_key())
         import pickle
 
         return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
@@ -804,8 +820,18 @@ class Machine:
         """
         import pickle
 
+        state = pickle.loads(template)
+        memo = state.pop("_stream_memo", None)
+        if memo:
+            merge_stream_memo(memo)
         machine = cls.__new__(cls)
-        machine.__dict__.update(pickle.loads(template))
+        machine.__dict__.update(state)
+        # Programs pickle without their memo bucket (it is process-local
+        # shared state); rebind against this process's registry.
+        bind_memo = getattr(machine.workload, "bind_stream_memo", None)
+        if bind_memo is not None:
+            for thread in machine.scheduler.threads.values():
+                bind_memo(thread.program)
         machine._simple_handlers = None
         machine.backend = resolve_backend()
         machine._build_dispatch()
@@ -877,6 +903,9 @@ class Machine:
             )
         for tid in range(n_threads):
             program = workload.make_program(tid, machine.workload_clock)
+            bind_memo = getattr(workload, "bind_stream_memo", None)
+            if bind_memo is not None:
+                bind_memo(program)
             thread = SimThread(
                 tid=tid,
                 name=f"{workload.name}-{tid}",

@@ -93,6 +93,18 @@ class ApacheProgram(WorkloadProgram):
         ops.append((OP_TXN_END, 0))
         return ops
 
+    def stream_token(self):
+        # The only clock reads are the integer page-cache churn epoch and
+        # the log-rotation window test, so this coarse token is bit-exact
+        # (no float phase arithmetic) and memoizes across clock skew
+        # within an epoch/window.
+        t = self.clock.total_transactions
+        w = self.w
+        return (
+            t // w.churn_period_txns,
+            t % w.rotate_period_txns < w.rotate_window_txns,
+        )
+
     def extra_state(self) -> dict:
         return {"mem_counter": self.mem_counter}
 

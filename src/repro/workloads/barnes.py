@@ -70,9 +70,18 @@ class BarnesProgram(WorkloadProgram):
                 # The benchmark is one transaction, reported once.
                 return [(OP_TXN_END, 0)]
             return [(OP_CPU, 1, aspace.CODE_BASE)]
-        ops = self._superstep()
+        memo = self._memo
+        if memo is None:
+            ops = self._superstep()
+        else:
+            ops = self._memo_fetch(memo, self.step, self._superstep)
         self.step += 1
         return ops
+
+    def stream_token(self):
+        # Supersteps never read the workload clock; content is keyed
+        # entirely on (tid, step).
+        return 0
 
     def _superstep(self) -> list[Op]:
         ops: list[Op] = []

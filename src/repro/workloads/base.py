@@ -35,6 +35,8 @@ every run; only its *timing context* differs.
 
 from __future__ import annotations
 
+import os
+from array import array
 from dataclasses import dataclass
 from typing import Any
 
@@ -43,6 +45,133 @@ from repro.sim.rng import _GAMMA, _MASK64, _MIX1, _MIX2, hash_extend, hash_u64, 
 
 #: operations are plain tuples; this alias documents intent
 Op = tuple
+
+
+# ----------------------------------------------------------------------
+# Transaction-stream memoization
+# ----------------------------------------------------------------------
+#
+# A transaction's operation list is a pure function of (workload config,
+# thread identity, txn_key, the workload-clock reads the builder makes,
+# and the program's mutable extra state before the build) -- everything
+# else is counter-based hashing.  Multi-pass methodologies regenerate
+# those exact lists constantly: the live sampler's survey/pilot/extra
+# passes replay the same region three times, the fidelity ladder re-runs
+# a (config, workload, seed) triple at higher fidelity, and fan-out
+# workers thawed from one frozen template regenerate identical warm-up
+# streams per perturbation seed.  The memo below shares the built lists
+# process-globally, keyed so that a hit is *provably* the list the
+# builder would have produced:
+#
+#   registry key:  (program class, tid, Workload.stream_key())
+#   entry key:     (txn_key, stream_token(), extra_state() before build)
+#   entry value:   (ops, extra_state() after build or None)
+#
+# ``stream_token()`` must cover every workload-clock read the builder
+# makes (the base implementation returns the raw clock value -- always
+# correct, least reuse; generators with integer-coarse or no clock reads
+# override it).  Mutable generator state rides on the existing
+# checkpoint contract: anything that affects future transactions must
+# already round-trip through ``extra_state``/``restore_extra`` for
+# checkpointing to work, so keying on the before-image and replaying the
+# after-image reproduces the build's side effects exactly.  Consumers
+# never mutate returned op lists (``SimThread.refill`` rebinds, the
+# engines read by index), so one list may be shared by any number of
+# machines in the process.
+#
+# ``REPRO_STREAM_MEMO=0`` disables the memo (every build runs); the
+# per-stream entry cap bounds footprint on long runs.
+
+_MEMO_ENABLED = os.environ.get("REPRO_STREAM_MEMO", "1") != "0"
+_MEMO_STREAM_CAP = 4096
+#: suffix distinguishing an entry's extra-state after-image from its op
+#: stream within one bucket (a sentinel string rather than an object()
+#: so exported memos stay picklable; extra-state values are ints, so it
+#: cannot collide with a real key)
+_AFTER = "\0after\0"
+_STREAM_MEMO: dict[tuple, dict] = {}
+
+
+@dataclass
+class StreamMemoStats:
+    """Process-wide counters for the transaction-stream memo."""
+
+    hits: int = 0
+    misses: int = 0
+    ops_reused: int = 0
+
+    @property
+    def builds_saved(self) -> int:
+        """Number of build_transaction calls the memo avoided."""
+        return self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of memo lookups that hit (0 if none)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "ops_reused": self.ops_reused,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+_MEMO_STATS = StreamMemoStats()
+
+
+def stream_memo_stats() -> StreamMemoStats:
+    """The live process-wide memo counters (mutated in place)."""
+    return _MEMO_STATS
+
+
+def stream_memo_enabled() -> bool:
+    """Whether the memo is active in this process."""
+    return _MEMO_ENABLED
+
+
+def reset_stream_memo(reset_stats: bool = True) -> None:
+    """Drop all memoized streams (tests; long-lived campaign workers)."""
+    _STREAM_MEMO.clear()
+    if reset_stats:
+        _MEMO_STATS.hits = 0
+        _MEMO_STATS.misses = 0
+        _MEMO_STATS.ops_reused = 0
+
+
+def export_stream_memo(stream_key: tuple | None = None) -> dict:
+    """Memo contents for pickling into a frozen machine template.
+
+    With ``stream_key`` given, only that workload's streams are exported
+    (a frozen template should not drag along unrelated workloads).
+    """
+    if stream_key is None:
+        return {key: dict(bucket) for key, bucket in _STREAM_MEMO.items()}
+    return {
+        key: dict(bucket)
+        for key, bucket in _STREAM_MEMO.items()
+        if key[2] == stream_key
+    }
+
+
+def merge_stream_memo(exported: dict) -> None:
+    """Merge an :func:`export_stream_memo` payload into this process.
+
+    Existing entries win (they are byte-identical by construction; not
+    replacing them preserves list sharing with live op buffers).
+    """
+    if not _MEMO_ENABLED:
+        return
+    for key, bucket in exported.items():
+        mine = _STREAM_MEMO.setdefault(key, {})
+        for entry_key, entry in bucket.items():
+            if entry_key not in mine:
+                mine[entry_key] = entry
 
 
 @dataclass
@@ -104,6 +233,10 @@ class WorkloadProgram:
 
     global_queue = True
 
+    #: memo bucket for this (class, tid, workload-config) stream; bound
+    #: by Workload.bind_stream_memo, None = memoization off
+    _memo: dict | None = None
+
     def __init__(self, name: str, tid: int, seed: int, clock: WorkloadClock) -> None:
         self.name = name
         self.tid = tid
@@ -120,6 +253,13 @@ class WorkloadProgram:
         self._acc = 0
         self._acc_key: int | None = None
 
+    def __getstate__(self) -> dict:
+        """Pickle without the memo bucket (process-local, shared, large);
+        :meth:`repro.system.machine.Machine.thaw` rebinds it."""
+        state = self.__dict__.copy()
+        state.pop("_memo", None)
+        return state
+
     # ------------------------------------------------------------------
     # Stream generation
     # ------------------------------------------------------------------
@@ -131,9 +271,97 @@ class WorkloadProgram:
             self.txn_key = self.clock.take_ticket()
         else:
             self.txn_key = self.txn_index
-        ops = self.build_transaction()
+        memo = self._memo
+        if memo is None:
+            ops = self.build_transaction()
+        else:
+            ops = self._memo_fetch(memo, self.txn_key, self.build_transaction)
         self.txn_index += 1
         return ops
+
+    def _memo_fetch(self, memo: dict, key, build) -> list[Op]:
+        """Memoized ``build()``: return the cached op list when this
+        logical transaction was built before (here or in a machine thawed
+        into this process), replaying the build's extra-state after-image.
+
+        ``key`` must determine the build together with ``stream_token()``
+        and the extra-state before-image (base ``next_ops`` passes
+        ``txn_key``; programs that override ``next_ops`` pass their own
+        progress counter).  Callers guarantee returned sequences are
+        never mutated.
+
+        Retention discipline: op streams are packed into ``array('q')``
+        buffers (ops are tuples of 2-3 ints; each is stored as ``len``
+        followed by its fields) and unpacked on hit.  The buffer is a
+        single non-GC object, so retaining thousands of streams is
+        invisible to the cycle collector.  An early revision retained
+        the op tuples themselves; the young-generation allocation
+        counter never receives the matching deallocation credit for
+        retained objects, so gen-0 collections fired ~7x as often and a
+        low-hit-rate (miss-dominated) run was ~15% slower than no memo
+        at all.  Unpacking costs ~2 allocations per op on each hit --
+        young objects that die with the op buffer -- which is still
+        ~30x cheaper than rebuilding the stream.  The entry key and the
+        extra-state after-image (a sibling entry under
+        ``key + (_AFTER,)``) are flat scalar tuples for the same
+        reason: flat tuples of ints/strs are untracked by the first
+        collection that sees them.
+        """
+        extra = self.extra_state()
+        entry_key = (key, self.stream_token())
+        if extra:
+            for item in sorted(extra.items()):
+                entry_key += item
+        packed = memo.get(entry_key)
+        if packed is not None:
+            after = memo.get(entry_key + (_AFTER,))
+            if after is not None:
+                self.restore_extra(dict(zip(after[::2], after[1::2])))
+            ops = []
+            i = 0
+            end = len(packed)
+            while i < end:
+                j = i + 1 + packed[i]
+                ops.append(tuple(packed[i + 1 : j]))
+                i = j
+            _MEMO_STATS.hits += 1
+            _MEMO_STATS.ops_reused += len(ops)
+            return ops
+        ops = build()
+        _MEMO_STATS.misses += 1
+        if len(memo) < _MEMO_STREAM_CAP:
+            after = self.extra_state()
+            packed = array("q")
+            try:
+                for op in ops:
+                    packed.append(len(op))
+                    packed.extend(op)
+            except (TypeError, OverflowError):
+                # Third-party generator emitting non-int (legacy string-
+                # kinded) op fields: serve it unmemoized.
+                return ops
+            memo[entry_key] = packed
+            if after:
+                flat: tuple = ()
+                for item in sorted(after.items()):
+                    flat += item
+                memo[entry_key + (_AFTER,)] = flat
+        return ops
+
+    def stream_token(self) -> Any:
+        """Hashable token covering every workload-clock read
+        :meth:`build_transaction` makes.
+
+        Two builds of the same ``txn_key`` with equal tokens (and equal
+        extra state) produce identical op lists.  The default -- the raw
+        clock value -- is always correct but memoizes only exact replays;
+        generators whose clock reads are coarser (integer phase/epoch
+        arithmetic) or absent override this to widen reuse.  Generators
+        with *float* phase arithmetic must NOT coarsen: ``sin(2*pi*t/P)``
+        is not exactly periodic in floating point, so only the raw ``t``
+        token is bit-safe.
+        """
+        return self.clock.total_transactions
 
     def build_transaction(self) -> list[Op]:
         """Produce the operation list for transaction ``self.txn_index``."""
@@ -278,6 +506,42 @@ class Workload:
     def make_program(self, tid: int, clock: WorkloadClock) -> WorkloadProgram:
         """Build the program for thread ``tid``."""
         raise NotImplementedError
+
+    def stream_key(self) -> tuple:
+        """Value identity of this workload's transaction streams.
+
+        Two workload instances with equal stream keys generate identical
+        op lists for identical (tid, txn_key, clock, extra-state)
+        coordinates, so their programs may share one memo bucket.  The
+        key folds in the concrete class and every instance attribute --
+        seed, scale, and any registry parameter overrides (all plain
+        numbers) -- because any of them can steer ``build_transaction``.
+        Computed at bind time, after overrides (and mutations such as the
+        scientific workloads' ``total_threads``) have landed.
+        """
+        cls = type(self)
+        return (
+            cls.__module__,
+            cls.__qualname__,
+            tuple(sorted(self.__dict__.items())),
+        )
+
+    def bind_stream_memo(self, program: WorkloadProgram) -> None:
+        """Attach the shared memo bucket for ``program``'s stream.
+
+        Machine construction (and thaw) calls this once per thread; a
+        no-op when ``REPRO_STREAM_MEMO=0``.
+        """
+        if not _MEMO_ENABLED:
+            return
+        key = (type(program).__qualname__, program.tid, self.stream_key())
+        try:
+            program._memo = _STREAM_MEMO.setdefault(key, {})
+        except TypeError:
+            # An unhashable config attribute (e.g. a scripted-ops list)
+            # defeats value identity -- such a workload cannot prove two
+            # instances generate the same stream, so it does not memoize.
+            return
 
     def make_branch_context(self, tid: int) -> BranchContext:
         """Branch-stream context for thread ``tid``.

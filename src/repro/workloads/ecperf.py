@@ -103,6 +103,10 @@ class ECPerfProgram(WorkloadProgram):
         ops.append((OP_TXN_END, txn_type))
         return ops
 
+    def stream_token(self):
+        # Transaction content never reads the workload clock.
+        return 0
+
     def extra_state(self) -> dict:
         return {"mem_counter": self.mem_counter}
 

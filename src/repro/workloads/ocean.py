@@ -54,9 +54,18 @@ class OceanProgram(WorkloadProgram):
             if self.tid == 0:
                 return [(OP_TXN_END, 0)]
             return [(OP_CPU, 1, aspace.CODE_BASE)]
-        ops = self._sweep()
+        memo = self._memo
+        if memo is None:
+            ops = self._sweep()
+        else:
+            ops = self._memo_fetch(memo, self.step, self._sweep)
         self.step += 1
         return ops
+
+    def stream_token(self):
+        # Sweeps never read the workload clock; content is keyed entirely
+        # on (tid, step, sweep_counter).
+        return 0
 
     def _sweep(self) -> list[Op]:
         ops: list[Op] = []

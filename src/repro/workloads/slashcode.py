@@ -139,6 +139,10 @@ class SlashcodeProgram(WorkloadProgram):
         ops.append((OP_UNLOCK, COMMENT_LOCK + 8 + story))
         ops.append((OP_UNLOCK, STORY_LOCK + story))
 
+    def stream_token(self):
+        # Transaction content never reads the workload clock.
+        return 0
+
     def extra_state(self) -> dict:
         return {"mem_counter": self.mem_counter}
 
